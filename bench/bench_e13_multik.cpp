@@ -1,0 +1,98 @@
+// E13 — extension: monitoring several k simultaneously. The multi-k
+// monitor shares FILTERRESET work across boundaries (one top-(k_max+1)
+// selection rebuilds all of them); the natural baseline runs one
+// independent Algorithm 1 instance per k.
+//
+// Regenerates: total messages of MultiKMonitor vs the sum of independent
+// instances, for growing boundary counts, on a reset-heavy and on a
+// similar-inputs workload.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using namespace topkmon::bench;
+
+namespace {
+
+std::uint64_t run_multi(const StreamSpec& spec, std::size_t n,
+                        const std::vector<std::size_t>& ks,
+                        std::uint64_t steps, std::uint64_t seed) {
+  auto streams = make_stream_set(spec, n, seed);
+  MultiKMonitor m(ks);
+  RunConfig cfg;
+  cfg.n = n;
+  cfg.k = ks.front();
+  cfg.steps = steps;
+  cfg.seed = seed;
+  return run_monitor(m, streams, cfg).comm.total();
+}
+
+std::uint64_t run_independent(const StreamSpec& spec, std::size_t n,
+                              const std::vector<std::size_t>& ks,
+                              std::uint64_t steps, std::uint64_t seed) {
+  std::uint64_t total = 0;
+  for (const std::size_t k : ks) {
+    auto streams = make_stream_set(spec, n, seed);
+    TopkFilterMonitor m(k);
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.steps = steps;
+    cfg.seed = seed;
+    total += run_monitor(m, streams, cfg).comm.total();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::uint64_t steps = args.steps_or(400);
+  constexpr std::size_t kN = 64;
+
+  std::cout << "E13: multi-k monitoring — shared vs independent machinery "
+               "(extension)\n"
+            << "n = " << kN << ", steps = " << steps
+            << " (all boundaries validated in the test suite)\n\n";
+
+  const std::vector<std::vector<std::size_t>> query_sets{
+      {4}, {2, 8}, {2, 8, 16}, {1, 2, 4, 8, 16, 32}};
+
+  for (const auto workload :
+       {StreamFamily::kIidUniform, StreamFamily::kRandomWalk}) {
+    StreamSpec spec;
+    spec.family = workload;
+    spec.walk.max_step = 2'000;
+    std::cout << "workload: " << family_name(workload) << "\n";
+    Table t({"monitored ks", "multi_k msgs", "independent msgs", "saving"});
+    for (const auto& ks : query_sets) {
+      std::string label;
+      for (const auto k : ks) {
+        if (!label.empty()) label += ",";
+        label += std::to_string(k);
+      }
+      const auto multi = run_multi(spec, kN, ks, steps, args.seed);
+      const auto indep = run_independent(spec, kN, ks, steps, args.seed);
+      t.add_row({label, fmt_count(multi), fmt_count(indep),
+                 fmt(static_cast<double>(indep) /
+                         static_cast<double>(std::max<std::uint64_t>(1, multi)),
+                     2)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args,
+              std::string("e13_multik_") + std::string(family_name(workload)));
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "shape check: on reset-heavy inputs (iid) the saving grows with "
+         "the number of monitored ks — one shared k_max+1 selection beats "
+         "the sum of per-k selections. On localized churn (random walk) "
+         "sharing can LOSE: a crossing at a small-k boundary triggers the "
+         "full k_max+1 rebuild where an independent instance would only "
+         "re-select k+1 nodes. A per-boundary local reset is the natural "
+         "follow-up optimization (see DESIGN.md).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E2 — Theorem 4.2 (w.h.p. part): the message count of the
+// MaximumProtocol is O(log N) with high probability; the proof uses a
+// Chernoff bound over negatively-correlated indicators.
+//
+// Regenerates the concentration view: full distribution (quantiles,
+// histogram) of report counts at fixed n, plus tail mass beyond c·E for
+// growing c — which should decay geometrically.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using namespace topkmon::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::uint64_t trials = args.trials_or(20'000);
+  constexpr std::size_t kN = 1 << 14;
+
+  std::cout << "E2: MaximumProtocol concentration at n = 2^14 (Theorem 4.2 "
+               "w.h.p.)\n"
+            << "trials: " << trials << "\n\n";
+
+  Quantiles reports;
+  reports.reserve(trials);
+  Histogram hist(0.0, 60.0, 30);
+  Rng value_rng(args.seed);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Cluster c(kN, args.seed * 31 + t);
+    for (NodeId i = 0; i < kN; ++i) {
+      c.set_value(i, value_rng.uniform_int(0, 1'000'000'000));
+    }
+    const auto r = run_max_protocol(c, c.all_ids(), kN);
+    reports.add(static_cast<double>(r.reports));
+    hist.add(static_cast<double>(r.reports));
+  }
+
+  const double mean = [&] {
+    double s = 0;
+    for (const double x : reports.sorted_samples()) s += x;
+    return s / static_cast<double>(reports.count());
+  }();
+
+  Table q({"statistic", "reports"});
+  q.add_row({"mean", fmt(mean)});
+  q.add_row({"p50", fmt(reports.quantile(0.50))});
+  q.add_row({"p90", fmt(reports.quantile(0.90))});
+  q.add_row({"p99", fmt(reports.quantile(0.99))});
+  q.add_row({"p99.9", fmt(reports.quantile(0.999))});
+  q.add_row({"max", fmt(reports.quantile(1.0))});
+  q.add_row({"bound 2logN+1", fmt(2.0 * 14 + 1)});
+  q.print(std::cout);
+
+  std::cout << "\ndistribution of report counts:\n" << hist.ascii(40) << "\n";
+
+  Table tail({"c", "threshold c*E", "tail fraction"});
+  for (const double c : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0}) {
+    tail.add_row({fmt(c), fmt(c * mean),
+                  fmt(reports.tail_fraction_above(c * mean), 5)});
+  }
+  tail.print(std::cout);
+  maybe_csv(q, args, "e2_quantiles");
+  maybe_csv(tail, args, "e2_tail");
+  std::cout << "\nshape check: tail mass decays geometrically in c "
+               "(Chernoff-style concentration).\n";
+  return 0;
+}

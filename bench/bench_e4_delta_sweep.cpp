@@ -1,0 +1,140 @@
+// E4 — Theorem 3.3 / 4.4: the competitive ratio of Algorithm 1 carries a
+// log Δ factor, Δ = max_t (v_k - v_{k+1}).
+//
+// Two workloads:
+//  (a) adversarial "sawtooth approach": the top node repeatedly descends
+//      geometrically onto the runner-up before swapping, forcing the full
+//      log Δ chain of midpoint halvings between OPT updates — the input
+//      family on which the analysis is tight; the measured ratio should
+//      grow ~linearly in log Δ.
+//  (b) natural random walks confined to a band scaling with Δ: typical
+//      inputs sit far below the worst case (ratio roughly flat), showing
+//      the bound is a worst-case guarantee, not the common cost.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using namespace topkmon::bench;
+
+namespace {
+
+/// Builds the sawtooth-approach trace: node 1 sits at `center`; node 0
+/// descends from center+delta geometrically (gap /= 4 per step), dips one
+/// unit below node 1 (swap: OPT must update), then jumps back up (swap
+/// back: OPT update again). Nodes 2.. are quiet background fillers.
+TraceMatrix sawtooth_trace(std::size_t n, std::size_t steps, Value delta) {
+  constexpr Value kCenter = 1'000'000;
+  TraceMatrix trace(n, steps);
+  Value gap = delta;
+  bool below = false;
+  for (std::size_t t = 0; t < steps; ++t) {
+    trace.at(t, 1) = kCenter;
+    for (NodeId i = 2; i < n; ++i) {
+      trace.at(t, i) = static_cast<Value>(1'000 - i);  // far below, static
+    }
+    if (below) {
+      // One step below the runner-up, then restart the descent.
+      trace.at(t, 0) = kCenter - 1;
+      below = false;
+      gap = delta;
+    } else {
+      trace.at(t, 0) = kCenter + gap;
+      gap /= 4;
+      if (gap == 0) below = true;
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::uint64_t steps = args.steps_or(4'000);
+  const std::uint64_t trials = args.trials_or(5);
+  constexpr std::size_t kN = 16;
+
+  std::cout << "E4: competitive ratio vs Delta (Theorems 3.3/4.4)\n"
+            << "n = " << kN << ", steps = " << steps << "\n\n";
+
+  // ---- (a) adversarial sawtooth, k = 1 --------------------------------------
+  {
+    std::cout << "(a) adversarial sawtooth approach (analysis-tight family, "
+                 "k = 1)\n";
+    Table t({"Delta", "log2 Delta", "msgs", "OPT updates", "ratio",
+             "ratio/logDelta"});
+    for (Value delta = 1 << 6; delta <= 1 << 26; delta <<= 4) {
+      TopkFilterMonitor monitor(1);
+      const auto trace = sawtooth_trace(kN, steps, delta);
+      auto streams = trace.to_stream_set();
+      RunConfig cfg;
+      cfg.n = kN;
+      cfg.k = 1;
+      cfg.steps = steps - 1;
+      cfg.seed = args.seed;
+      cfg.record_trace = true;
+      const auto r = run_monitor(monitor, streams, cfg);
+      const auto opt = compute_offline_opt(*r.trace, 1);
+      const double ld = std::log2(static_cast<double>(delta));
+      const double ratio = competitive_ratio(r, 1);
+      t.add_row({std::to_string(delta), fmt(ld, 0),
+                 fmt_count(r.comm.total()),
+                 fmt_count(opt.updates()), fmt(ratio, 1),
+                 fmt(ratio / ld, 2)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e4a_sawtooth");
+    std::cout << "shape: ratio grows ~linearly in log Delta (normalized "
+                 "column ~constant) — the bound's log Delta term is real.\n\n";
+  }
+
+  // ---- (b) natural random walks ---------------------------------------------
+  {
+    std::cout << "(b) random walks confined to a Delta-scaled band (typical "
+                 "inputs, k = 4)\n";
+    constexpr std::size_t kK = 4;
+    Table t({"walk span", "measured logDelta", "E[msgs]", "E[OPT updates]",
+             "ratio", "ratio/(logD+k)logn"});
+    for (Value span = 4; span <= 65'536; span *= 8) {
+      OnlineStats msgs;
+      OnlineStats opt_updates;
+      OnlineStats ratios;
+      OnlineStats log_delta;
+      for (std::uint64_t t2 = 0; t2 < trials; ++t2) {
+        StreamSpec spec;
+        spec.family = StreamFamily::kRandomWalk;
+        spec.walk.max_step = span;
+        spec.walk.lo = 0;
+        spec.walk.hi = span * 64;
+        TopkFilterMonitor monitor(kK);
+        RunConfig cfg;
+        cfg.n = kN;
+        cfg.k = kK;
+        cfg.steps = steps;
+        cfg.seed = args.seed * 1000 + static_cast<std::uint64_t>(span) + t2;
+        cfg.record_trace = true;
+        const auto r = run_once(monitor, spec, cfg);
+        const auto opt = compute_offline_opt(*r.trace, kK);
+        const auto delta = trace_delta(*r.trace, kK);
+        msgs.add(static_cast<double>(r.comm.total()));
+        opt_updates.add(static_cast<double>(opt.updates()));
+        ratios.add(competitive_ratio(r, kK));
+        log_delta.add(
+            std::log2(static_cast<double>(std::max<Value>(2, delta))));
+      }
+      const double bound_scale =
+          (log_delta.mean() + kK) * std::log2(static_cast<double>(kN));
+      t.add_row({std::to_string(span), fmt(log_delta.mean()),
+                 fmt(msgs.mean(), 0), fmt(opt_updates.mean(), 1),
+                 fmt(ratios.mean(), 1),
+                 fmt(ratios.mean() / bound_scale, 3)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e4b_walks");
+    std::cout << "shape: typical-case ratio is roughly flat and sits well "
+                 "inside the worst-case (log Delta + k) log n budget.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E5 — Theorem 3.3 / 4.4: the additive k term. FILTERRESET costs
+// (k+1)·M(n); on reset-heavy inputs the messages per OPT update should
+// grow ~linearly in k.
+//
+// Regenerates: k = 1..64 sweep at fixed n, on iid-uniform inputs (every
+// step reshuffles, so nearly every step forces a reset for OPT and the
+// algorithm alike).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using namespace topkmon::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::uint64_t steps = args.steps_or(400);
+  const std::uint64_t trials = args.trials_or(5);
+  constexpr std::size_t kN = 128;
+
+  std::cout << "E5: cost vs k (Theorems 3.3/4.4, additive k term)\n"
+            << "n = " << kN << ", steps = " << steps << ", trials = " << trials
+            << ", workload = iid uniform (reset-heavy)\n\n";
+
+  Table table({"k", "E[msgs]", "E[resets]", "E[OPT updates]", "ratio",
+               "ratio/(logD+k)logn", "msgs/step"});
+
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    OnlineStats msgs;
+    OnlineStats resets;
+    OnlineStats opt_updates;
+    OnlineStats ratios;
+    OnlineStats log_delta;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      StreamSpec spec;
+      spec.family = StreamFamily::kIidUniform;
+      TopkFilterMonitor monitor(k);
+      RunConfig cfg;
+      cfg.n = kN;
+      cfg.k = k;
+      cfg.steps = steps;
+      cfg.seed = args.seed * 100 + k * 17 + t;
+      cfg.record_trace = true;
+      const auto r = run_once(monitor, spec, cfg);
+      const auto opt = compute_offline_opt(*r.trace, k);
+      msgs.add(static_cast<double>(r.comm.total()));
+      resets.add(static_cast<double>(r.monitor.filter_resets));
+      opt_updates.add(static_cast<double>(opt.updates()));
+      ratios.add(competitive_ratio(r, k));
+      const auto delta = trace_delta(*r.trace, k);
+      log_delta.add(std::log2(static_cast<double>(std::max<Value>(2, delta))));
+    }
+    const double bound_scale = (log_delta.mean() + static_cast<double>(k)) *
+                               std::log2(static_cast<double>(kN));
+    table.add_row({std::to_string(k), fmt(msgs.mean(), 0),
+                   fmt(resets.mean(), 1), fmt(opt_updates.mean(), 1),
+                   fmt(ratios.mean(), 1), fmt(ratios.mean() / bound_scale, 3),
+                   fmt(msgs.mean() / static_cast<double>(steps), 1)});
+  }
+
+  table.print(std::cout);
+  maybe_csv(table, args, "e5_k_sweep");
+  std::cout << "\nshape check: messages/step grows ~linearly in k (the "
+               "(k+1)·M(n) reset term dominates on reset-heavy inputs); the "
+               "normalized ratio stays O(1).\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+// E8 — design-choice ablations called out in DESIGN.md:
+//  (a) §3.1: Lam-style full dominance tracking vs Algorithm 1 on inputs
+//      with deep-order churn but a quiet k-boundary (not competitive);
+//  (b) the randomized extremum protocol vs poll-based resolution
+//      (slack/B&O style) as n grows — M(n) = O(log n) vs Θ(n);
+//  (c) midpoint vs asymmetric/adaptive filter placement;
+//  (d) idle-beacon suppression inside Algorithm 2;
+//  (e) broadcast-cost sensitivity: total weighted cost at beta = 1 vs n.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using namespace topkmon::bench;
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::uint64_t steps = args.steps_or(1'000);
+
+  std::cout << "E8: ablations\n\n";
+
+  // ---- (a) dominance vs topk_filter on deep-churn inputs -------------------
+  {
+    std::cout << "(a) full-order tracking is not competitive for top-k "
+                 "(§3.1): crossing pairs, k = 2, n sweep\n";
+    Table t({"n", "topk_filter msgs", "dominance msgs", "blowup"});
+    for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+      StreamSpec spec;
+      spec.family = StreamFamily::kCrossingPairs;
+      spec.crossing.period = 32;
+      TopkFilterMonitor a(2);
+      RunConfig cfg;
+      cfg.n = n;
+      cfg.k = 2;
+      cfg.steps = steps;
+      cfg.seed = args.seed;
+      const auto ra = run_once(a, spec, cfg);
+      DominanceMonitor b(2);
+      const auto rb = run_once(b, spec, cfg);
+      t.add_row({std::to_string(n), fmt_count(ra.comm.total()),
+                 fmt_count(rb.comm.total()),
+                 fmt(static_cast<double>(rb.comm.total()) /
+                         static_cast<double>(
+                             std::max<std::uint64_t>(1, ra.comm.total())),
+                     1)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e8a_dominance");
+    std::cout << "shape: blowup grows ~linearly in n (every pair's churn "
+                 "costs messages; only the boundary pair matters for "
+                 "top-k).\n\n";
+  }
+
+  // ---- (b) randomized protocol vs polling resolution -----------------------
+  {
+    std::cout << "(b) resolution machinery: Algorithm 2 (log n) vs polling "
+                 "(n), random walk, k = 4\n";
+    Table t({"n", "topk_filter msgs", "slack(poll) msgs", "poll/proto"});
+    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+      StreamSpec spec;
+      spec.family = StreamFamily::kRandomWalk;
+      spec.walk.max_step = 5'000;
+      RunConfig cfg;
+      cfg.n = n;
+      cfg.k = 4;
+      cfg.steps = steps / 2;
+      cfg.seed = args.seed + n;
+      TopkFilterMonitor a(4);
+      const auto ra = run_once(a, spec, cfg);
+      SlackMonitor b(4);
+      const auto rb = run_once(b, spec, cfg);
+      t.add_row({std::to_string(n), fmt_count(ra.comm.total()),
+                 fmt_count(rb.comm.total()),
+                 fmt(static_cast<double>(rb.comm.total()) /
+                         static_cast<double>(
+                             std::max<std::uint64_t>(1, ra.comm.total())),
+                     2)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e8b_protocol_vs_poll");
+    std::cout << "shape: the poll/protocol ratio grows with n — the "
+                 "O(log n) protocol is what makes Algorithm 1 scale.\n\n";
+  }
+
+  // ---- (c) filter placement ------------------------------------------------
+  {
+    std::cout << "(c) boundary placement within [T-, T+]: alpha sweep + "
+                 "adaptive, biased upward-drift walk, k = 4, n = 32\n";
+    Table t({"placement", "msgs", "violation steps", "resets"});
+    auto run_with = [&](const char* label, SlackMonitor::Options o) {
+      StreamSpec spec;
+      spec.family = StreamFamily::kBursty;
+      spec.bursty.p_enter_burst = 0.01;
+      SlackMonitor m(4, o);
+      RunConfig cfg;
+      cfg.n = 32;
+      cfg.k = 4;
+      cfg.steps = steps;
+      cfg.seed = args.seed;
+      const auto r = run_once(m, spec, cfg);
+      t.add_row({label, fmt_count(r.comm.total()),
+                 fmt_count(r.monitor.violation_steps),
+                 fmt_count(r.monitor.filter_resets)});
+    };
+    SlackMonitor::Options o;
+    o.alpha = 0.1;
+    run_with("alpha=0.1", o);
+    o.alpha = 0.5;
+    run_with("alpha=0.5 (midpoint)", o);
+    o.alpha = 0.9;
+    run_with("alpha=0.9", o);
+    o.alpha = 0.5;
+    o.adaptive = true;
+    run_with("adaptive", o);
+    t.print(std::cout);
+    maybe_csv(t, args, "e8c_placement");
+    std::cout << "shape: midpoint is a robust default; adaptive tracks the "
+                 "violation mix within noise.\n\n";
+  }
+
+  // ---- (d) idle-beacon suppression ------------------------------------------
+  {
+    std::cout << "(d) Algorithm 2 idle-beacon suppression inside Algorithm 1, "
+                 "random walk, n = 64, k = 4\n";
+    Table t({"variant", "total msgs", "broadcasts", "upstream"});
+    for (const bool suppress : {false, true}) {
+      StreamSpec spec;
+      spec.family = StreamFamily::kRandomWalk;
+      spec.walk.max_step = 5'000;
+      TopkFilterMonitor::Options o;
+      o.suppress_idle_broadcasts = suppress;
+      TopkFilterMonitor m(4, o);
+      RunConfig cfg;
+      cfg.n = 64;
+      cfg.k = 4;
+      cfg.steps = steps;
+      cfg.seed = args.seed;
+      const auto r = run_once(m, spec, cfg);
+      t.add_row({suppress ? "suppressed" : "every round",
+                 fmt_count(r.comm.total()), fmt_count(r.comm.broadcast()),
+                 fmt_count(r.comm.upstream())});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e8d_beacons");
+    std::cout << "shape: suppression trades beacon broadcasts for slightly "
+                 "more reports (weaker deactivation); both stay correct.\n\n";
+  }
+
+  // ---- (e) broadcast weight sensitivity -------------------------------------
+  {
+    std::cout << "(e) broadcast-cost sensitivity: weighted cost with "
+                 "beta = 1 (paper) vs beta = n (no broadcast channel)\n";
+    Table t({"monitor", "beta=1", "beta=n", "beta=n / beta=1"});
+    constexpr std::size_t kN = 64;
+    StreamSpec spec;
+    spec.family = StreamFamily::kRandomWalk;
+    spec.walk.max_step = 2'000;
+    RunConfig cfg;
+    cfg.n = kN;
+    cfg.k = 4;
+    cfg.steps = steps;
+    cfg.seed = args.seed;
+    {
+      TopkFilterMonitor m(4);
+      const auto r = run_once(m, spec, cfg);
+      t.add_row({"topk_filter", fmt(r.comm.weighted_total(1.0), 0),
+                 fmt(r.comm.weighted_total(kN), 0),
+                 fmt(r.comm.weighted_total(kN) / r.comm.weighted_total(1.0),
+                     1)});
+    }
+    {
+      NaiveMonitor m(4);
+      const auto r = run_once(m, spec, cfg);
+      t.add_row({"naive", fmt(r.comm.weighted_total(1.0), 0),
+                 fmt(r.comm.weighted_total(kN), 0),
+                 fmt(r.comm.weighted_total(kN) / r.comm.weighted_total(1.0),
+                     1)});
+    }
+    t.print(std::cout);
+    maybe_csv(t, args, "e8e_broadcast_weight");
+    std::cout << "shape: Algorithm 1 leans on the broadcast channel "
+                 "(Cormode et al. model); without it (beta = n) its "
+                 "advantage shrinks but filters still avoid the naive "
+                 "per-step flood.\n";
+  }
+  return 0;
+}

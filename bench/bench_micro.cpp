@@ -1,0 +1,128 @@
+// E11 — google-benchmark microbenchmarks: CPU-side throughput of the
+// simulator, protocols and monitors (implementation quality; no paper
+// claim attached). Message counts are the paper's metric — these
+// wall-clock numbers just demonstrate the library is fast enough to run
+// the larger experiment sweeps.
+#include <benchmark/benchmark.h>
+
+#include "topkmon.hpp"
+
+namespace topkmon {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_BernoulliPow2(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli_pow2(3, 10));
+  }
+}
+BENCHMARK(BM_BernoulliPow2);
+
+void BM_NetworkBroadcastDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  Network net(n, &stats);
+  Message m;
+  m.kind = MsgKind::kRoundBeacon;
+  for (auto _ : state) {
+    net.coord_broadcast(m);
+    for (NodeId i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(net.drain_node(i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NetworkBroadcastDrain)->Arg(64)->Arg(1024);
+
+void BM_MaxProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster c(n, ++seed);
+    Rng values(seed);
+    for (NodeId i = 0; i < n; ++i) {
+      c.set_value(i, values.uniform_int(0, 1'000'000));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(run_max_protocol(c, c.all_ids(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MaxProtocol)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_TopkMonitorStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 500;
+  auto streams = make_stream_set(spec, n, 7);
+  Cluster c(n, 7);
+  TopkFilterMonitor m(4);
+  for (NodeId i = 0; i < n; ++i) c.set_value(i, streams.advance(i));
+  m.initialize(c);
+  TimeStep t = 0;
+  for (auto _ : state) {
+    ++t;
+    for (NodeId i = 0; i < n; ++i) c.set_value(i, streams.advance(i));
+    m.step(c, t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopkMonitorStep)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_GroundTruthTopk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Value> values(n);
+  Rng rng(5);
+  for (auto& v : values) v = rng.uniform_int(0, 1'000'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(true_topk_set(values, 8));
+  }
+}
+BENCHMARK(BM_GroundTruthTopk)->Arg(1024)->Arg(65536);
+
+void BM_OfflineOpt(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kN = 32;
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 2'000;
+  auto streams = make_stream_set(spec, kN, 11);
+  TraceMatrix trace(kN, steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (NodeId i = 0; i < kN; ++i) trace.at(t, i) = streams.advance(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_offline_opt(trace, 4));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_OfflineOpt)->Arg(1024)->Arg(16384);
+
+void BM_StreamAdvance(benchmark::State& state) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kZipf;
+  auto streams = make_stream_set(spec, 64, 13);
+  NodeId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streams.advance(i));
+    i = (i + 1) % 64;
+  }
+}
+BENCHMARK(BM_StreamAdvance);
+
+}  // namespace
+}  // namespace topkmon

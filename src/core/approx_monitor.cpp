@@ -1,0 +1,165 @@
+#include "core/approx_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/select_topk.hpp"
+
+namespace topkmon {
+
+ApproxTopkMonitor::ApproxTopkMonitor(std::size_t k)
+    : ApproxTopkMonitor(k, Options{}) {}
+
+ApproxTopkMonitor::ApproxTopkMonitor(std::size_t k, Options opts)
+    : k_(k), opts_(opts) {
+  if (k == 0) {
+    throw std::invalid_argument("ApproxTopkMonitor: k must be >= 1");
+  }
+  if (opts_.epsilon < 0) {
+    throw std::invalid_argument("ApproxTopkMonitor: epsilon must be >= 0");
+  }
+  popts_.suppress_idle_broadcasts = opts_.suppress_idle_broadcasts;
+}
+
+void ApproxTopkMonitor::initialize(Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  if (k_ > n) throw std::invalid_argument("ApproxTopkMonitor: k > n");
+  filters_.assign(n, Filter{});
+  in_topk_.assign(n, 0);
+  degenerate_ = (k_ == n);
+  if (degenerate_) {
+    std::fill(in_topk_.begin(), in_topk_.end(), char{1});
+    rebuild_id_lists();
+    return;
+  }
+  filter_reset(cluster);
+}
+
+void ApproxTopkMonitor::step(Cluster& cluster, TimeStep) {
+  if (degenerate_) return;
+  const std::size_t n = cluster.size();
+
+  std::vector<NodeId> viol_top;
+  std::vector<NodeId> viol_bot;
+  for (NodeId id = 0; id < n; ++id) {
+    const Value v = cluster.value(id);
+    if (filters_[id].contains(v)) continue;
+    (in_topk_[id] ? viol_top : viol_bot).push_back(id);
+  }
+  if (viol_top.empty() && viol_bot.empty()) return;
+
+  ++mstats_.violation_steps;
+  mstats_.violations += viol_top.size() + viol_bot.size();
+
+  std::optional<Value> min_v;
+  std::optional<Value> max_v;
+  if (!viol_top.empty()) {
+    const auto res = run_min_protocol(cluster, viol_top, k_, popts_);
+    ++mstats_.protocol_runs;
+    min_v = res.extremum;
+  }
+  if (!viol_bot.empty()) {
+    const auto res = run_max_protocol(cluster, viol_bot, n - k_, popts_);
+    ++mstats_.protocol_runs;
+    max_v = res.extremum;
+  }
+  violation_handler(cluster, min_v, max_v);
+}
+
+void ApproxTopkMonitor::violation_handler(Cluster& cluster,
+                                          std::optional<Value> min_v,
+                                          std::optional<Value> max_v) {
+  ++mstats_.handler_calls;
+  const std::size_t n = cluster.size();
+
+  // As in Algorithm 1: complete the missing side's extremum. A violating
+  // top member sits below M − ε/2 <= filter bound of every other member,
+  // so the violators' minimum is the side minimum (dito for outsiders).
+  if (!max_v.has_value()) {
+    Message start;
+    start.kind = MsgKind::kProtocolStart;
+    start.a = 0;
+    cluster.net().coord_broadcast(start);
+    const auto res = run_max_protocol(cluster, rest_list_, n - k_, popts_);
+    ++mstats_.protocol_runs;
+    max_v = res.extremum;
+  } else {
+    Message start;
+    start.kind = MsgKind::kProtocolStart;
+    start.a = 1;
+    cluster.net().coord_broadcast(start);
+    const auto res = run_min_protocol(cluster, topk_list_, k_, popts_);
+    ++mstats_.protocol_runs;
+    min_v = res.extremum;
+  }
+
+  tplus_ = std::min(tplus_, *min_v);
+  tminus_ = std::max(tminus_, *max_v);
+
+  // Slack is 2*floor(eps/2) rather than eps so that, with integer
+  // midpoints, the re-centered boundary always sits within floor(eps/2) of
+  // both T+ and T- — otherwise an odd eps could leave a node permanently
+  // outside its widened filter (violation livelock).
+  const Value slack = 2 * (opts_.epsilon / 2);
+  if (tplus_ < tminus_ - slack) {
+    // Even the widened filters cannot justify the current set: the answer
+    // may have ceased to be ε-valid. Recompute from scratch.
+    filter_reset(cluster);
+  } else {
+    // ε-feasible: re-center. M lies in the closed interval between T- and
+    // T+ extended by ε; the widened filters then contain both side
+    // extrema:
+    //   member values >= T+ >= M − ε/2   and   outsiders <= T- <= M + ε/2.
+    ++mstats_.midpoint_updates;
+    apply_boundary(cluster, midpoint(tminus_, tplus_));
+  }
+}
+
+void ApproxTopkMonitor::filter_reset(Cluster& cluster) {
+  ++mstats_.filter_resets;
+  const std::size_t n = cluster.size();
+  const auto sel = select_extreme(cluster, cluster.all_ids(), k_ + 1, n,
+                                  Direction::kMax, popts_);
+  mstats_.protocol_runs += k_ + 1;
+  if (sel.winners.size() != k_ + 1) {
+    throw std::logic_error("ApproxTopkMonitor: selection returned too few");
+  }
+
+  std::fill(in_topk_.begin(), in_topk_.end(), char{0});
+  for (std::size_t i = 0; i < k_; ++i) in_topk_[sel.winners[i].id] = 1;
+  rebuild_id_lists();
+
+  tplus_ = sel.winners[k_ - 1].value;
+  tminus_ = sel.winners[k_].value;
+  apply_boundary(cluster, midpoint(tminus_, tplus_));
+}
+
+void ApproxTopkMonitor::apply_boundary(Cluster& cluster, Value m) {
+  mid_ = m;
+  Message update;
+  update.kind = MsgKind::kFilterUpdate;
+  update.a = m;
+  update.b = opts_.epsilon;
+  cluster.net().coord_broadcast(update);
+  const Value half = opts_.epsilon / 2;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    filters_[i] = in_topk_[i] ? Filter{m - half, kPlusInf}
+                              : Filter{kMinusInf, m + half};
+  }
+}
+
+void ApproxTopkMonitor::rebuild_id_lists() {
+  topk_ids_.clear();
+  topk_list_.clear();
+  rest_list_.clear();
+  for (NodeId id = 0; id < in_topk_.size(); ++id) {
+    if (in_topk_[id]) {
+      topk_ids_.push_back(id);
+      topk_list_.push_back(id);
+    } else {
+      rest_list_.push_back(id);
+    }
+  }
+}
+
+}  // namespace topkmon

@@ -1,0 +1,72 @@
+// ε-approximate Top-k-Position Monitoring — an extension in the spirit of
+// the approximation knob of Babcock–Olston and the error-tolerant variants
+// common in the continuous-monitoring literature (the paper itself only
+// treats the exact problem; see DESIGN.md's extension inventory).
+//
+// Semantics: the coordinator's set R must always satisfy
+//     for all i in R, j not in R:  v_i >= v_j − ε
+// ("ε-valid top-k"). With ε = 0 this is the exact problem.
+//
+// Mechanism: Algorithm 1's machinery with widened filters. Around the
+// boundary M, top-k nodes hold [M − ε/2, +inf] and outsiders
+// [−inf, M + ε/2]; values must stray ε/2 beyond the boundary before any
+// message is sent, so slowly-mixing streams become much cheaper. The
+// violation handler accumulates T+/T− exactly as Algorithm 1 and resets
+// only when T+ < T− − ε (the set cannot be ε-valid any more); otherwise
+// the boundary is re-placed at the midpoint, which keeps both widened
+// filters ε/2-consistent (see apply_boundary for the invariant argument).
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+class ApproxTopkMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    /// Tolerated exactness slack ε >= 0 (0 = exact; then this monitor
+    /// behaves like TopkFilterMonitor up to the reset inequality).
+    Value epsilon = 0;
+    bool suppress_idle_broadcasts = false;
+  };
+
+  explicit ApproxTopkMonitor(std::size_t k);
+  ApproxTopkMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override { return "approx_topk"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  Value epsilon() const noexcept { return opts_.epsilon; }
+  Value boundary() const noexcept { return mid_; }
+  const std::vector<Filter>& filters() const noexcept { return filters_; }
+  const std::vector<char>& membership() const noexcept { return in_topk_; }
+
+ private:
+  void filter_reset(Cluster& cluster);
+  void violation_handler(Cluster& cluster, std::optional<Value> min_v,
+                         std::optional<Value> max_v);
+  void apply_boundary(Cluster& cluster, Value m);
+  void rebuild_id_lists();
+
+  std::size_t k_;
+  Options opts_;
+  ProtocolOptions popts_;
+  bool degenerate_ = false;
+
+  std::vector<Filter> filters_;
+  std::vector<char> in_topk_;
+  std::vector<NodeId> topk_ids_;
+  std::vector<NodeId> topk_list_;
+  std::vector<NodeId> rest_list_;
+  Value tplus_ = 0;
+  Value tminus_ = 0;
+  Value mid_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,217 @@
+#include "core/dominance_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topkmon {
+
+DominanceMonitor::DominanceMonitor(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("DominanceMonitor: k must be >= 1");
+}
+
+Value DominanceMonitor::to_w(NodeId id, Value v) const noexcept {
+  // Order-preserving, tie-breaking toward smaller ids; injective per node.
+  return v * static_cast<Value>(n_) +
+         (static_cast<Value>(n_) - 1 - static_cast<Value>(id));
+}
+
+void DominanceMonitor::initialize(Cluster& cluster) {
+  n_ = cluster.size();
+  if (k_ > n_) throw std::invalid_argument("DominanceMonitor: k > n");
+  filters_.assign(n_, Filter{});
+
+  // One shout-echo cycle: every node reports (id, w); the coordinator
+  // sorts and assigns the initial midpoint slots by unicast.
+  Network& net = cluster.net();
+  Message shout;
+  shout.kind = MsgKind::kProtocolStart;
+  net.coord_broadcast(shout);
+  for (NodeId id = 0; id < n_; ++id) {
+    (void)net.drain_node(id);
+    Message report;
+    report.kind = MsgKind::kValueReport;
+    report.a = to_w(id, cluster.value(id));
+    net.node_send(id, report);
+  }
+
+  std::vector<std::pair<Value, NodeId>> order;  // (w, id)
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind != MsgKind::kValueReport) continue;
+    order.emplace_back(m.a, m.from);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+
+  slots_.clear();
+  slots_.reserve(n_);
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    Slot s;
+    s.owner = order[j].second;
+    s.known_w = order[j].first;
+    s.hi = (j == 0) ? kPlusInf : midpoint(order[j].first, order[j - 1].first);
+    s.lo = (j + 1 == order.size())
+               ? kMinusInf
+               : midpoint(order[j + 1].first, order[j].first);
+    slots_.push_back(s);
+    assign_filter(cluster, *s.owner, s.lo, s.hi);
+  }
+  refresh_topk();
+}
+
+void DominanceMonitor::assign_filter(Cluster& cluster, NodeId id, Value lo_w,
+                                     Value hi_w) {
+  Message assign;
+  assign.kind = MsgKind::kFilterAssign;
+  assign.a = lo_w;
+  assign.b = hi_w;
+  cluster.net().coord_unicast(id, assign);
+  // Node-side effect of receiving the assignment.
+  (void)cluster.net().drain_node(id);
+  filters_[id] = Filter{lo_w, hi_w};
+}
+
+std::size_t DominanceMonitor::find_slot(Value w) const {
+  // Slots are descending and tile the axis; find the first (highest) slot
+  // whose lower bound is <= w.
+  std::size_t lo = 0;
+  std::size_t hi = slots_.size();  // search in [lo, hi)
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (slots_[mid].lo <= w) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo == slots_.size()) {
+    throw std::logic_error("DominanceMonitor: slot tiling broken");
+  }
+  return lo;
+}
+
+void DominanceMonitor::step(Cluster& cluster, TimeStep) {
+  // Node-local violation checks in w-space.
+  std::vector<std::pair<Value, NodeId>> violators;  // (new w, id)
+  for (NodeId id = 0; id < n_; ++id) {
+    const Value w = to_w(id, cluster.value(id));
+    if (filters_[id].contains(w)) continue;
+    violators.emplace_back(w, id);
+  }
+  if (violators.empty()) return;
+  ++mstats_.violation_steps;
+  mstats_.violations += violators.size();
+
+  Network& net = cluster.net();
+
+  // Each violator reports its fresh value (one upstream message each).
+  for (const auto& [w, id] : violators) {
+    Message report;
+    report.kind = MsgKind::kViolation;
+    report.a = w;
+    net.node_send(id, report);
+  }
+  (void)net.drain_coordinator();  // coordinator absorbs the reports
+
+  // Vacate all violators' slots first so violators can land in each
+  // other's former positions, then place in descending w order.
+  for (const auto& [w, id] : violators) {
+    for (auto& s : slots_) {
+      if (s.owner == id) {
+        s.owner.reset();
+        break;
+      }
+    }
+  }
+  std::sort(violators.begin(), violators.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  for (const auto& [w, id] : violators) place_violator(cluster, id, w);
+
+  compact_slots();
+  refresh_topk();
+}
+
+void DominanceMonitor::compact_slots() {
+  // Merge runs of adjacent vacated slots so the tiling stays O(n) slots
+  // regardless of how many moves have happened (a purely coordinator-local
+  // bookkeeping step; no messages).
+  std::vector<Slot> merged;
+  merged.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    if (!merged.empty() && !merged.back().owner.has_value() &&
+        !s.owner.has_value()) {
+      merged.back().lo = s.lo;  // extend the empty run downward
+      continue;
+    }
+    merged.push_back(s);
+  }
+  slots_ = std::move(merged);
+}
+
+void DominanceMonitor::place_violator(Cluster& cluster, NodeId id, Value w) {
+  const std::size_t at = find_slot(w);
+  Slot& slot = slots_[at];
+
+  if (!slot.owner.has_value()) {
+    // Vacated gap: occupy it wholesale.
+    slot.owner = id;
+    slot.known_w = w;
+    assign_filter(cluster, id, slot.lo, slot.hi);
+    return;
+  }
+
+  // Occupied: probe the owner for its fresh w (unicast probe + report),
+  // then split the slot at the fresh midpoint.
+  const NodeId other = *slot.owner;
+  Network& net = cluster.net();
+  Message probe;
+  probe.kind = MsgKind::kProbe;
+  net.coord_unicast(other, probe);
+  (void)net.drain_node(other);
+  Message reply;
+  reply.kind = MsgKind::kValueReport;
+  reply.a = to_w(other, cluster.value(other));
+  net.node_send(other, reply);
+  ++mstats_.polls;
+  Value other_w = reply.a;
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind == MsgKind::kValueReport && m.from == other) other_w = m.a;
+  }
+
+  // w-space values are injective per node, and two distinct nodes cannot
+  // share a w (the id term differs), so strict comparison is total.
+  const bool violator_above = w > other_w;
+  const Value upper_w = violator_above ? w : other_w;
+  const Value lower_w = violator_above ? other_w : w;
+  const NodeId upper_id = violator_above ? id : other;
+  const NodeId lower_id = violator_above ? other : id;
+  const Value split = midpoint(lower_w, upper_w);  // lower_w <= split < upper_w
+
+  const Slot original = slot;
+  Slot upper{upper_id, split, original.hi, upper_w};
+  Slot lower{lower_id, original.lo, split, lower_w};
+  slots_[at] = upper;
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(at) + 1, lower);
+
+  assign_filter(cluster, upper_id, upper.lo, upper.hi);
+  assign_filter(cluster, lower_id, lower.lo, lower.hi);
+}
+
+void DominanceMonitor::refresh_topk() {
+  topk_ids_.clear();
+  for (const auto& s : slots_) {
+    if (!s.owner.has_value()) continue;
+    topk_ids_.push_back(*s.owner);
+    if (topk_ids_.size() == k_) break;
+  }
+  std::sort(topk_ids_.begin(), topk_ids_.end());
+}
+
+std::vector<NodeId> DominanceMonitor::full_order() const {
+  std::vector<NodeId> order;
+  for (const auto& s : slots_) {
+    if (s.owner.has_value()) order.push_back(*s.owner);
+  }
+  return order;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,62 @@
+// Full-order ("dominance") tracking with the midpoint strategy of Lam,
+// Liu & Ting, adapted to one dimension — the approach §3.1 of the paper
+// discusses and rejects for Top-k-Position Monitoring: it maintains the
+// *entire* value order of all n nodes, so it pays for order changes far
+// from the k-boundary that an optimal top-k algorithm ignores; it is
+// therefore not c-competitive for any c (experiment E8 demonstrates the
+// blow-up).
+//
+// Implementation: the coordinator maintains n "slots" — closed intervals
+// that tile the value axis, boundaries at midpoints between value-adjacent
+// nodes — and each node's filter is its slot. On violation the node
+// reports, the coordinator locates the containing slot, probes its owner
+// (one unicast + one report) if any, splits the slot at the fresh midpoint
+// and unicasts the updated filters. All arithmetic runs in the
+// tie-free transformed space w = v*n + (n-1-id), which both end points can
+// compute locally, so the monitor is deterministic even on tied inputs.
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+
+namespace topkmon {
+
+class DominanceMonitor final : public MonitorBase {
+ public:
+  explicit DominanceMonitor(std::size_t k);
+
+  std::string_view name() const override { return "dominance_midpoint"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  /// Full current order (best first) — dominance tracking maintains it as
+  /// a by-product.
+  std::vector<NodeId> full_order() const;
+
+ private:
+  /// One slot of the axis tiling, ordered best-first in `slots_`.
+  struct Slot {
+    std::optional<NodeId> owner;  ///< nullopt: vacated by a moved node
+    Value lo = kMinusInf;         ///< in w-space
+    Value hi = kPlusInf;          ///< in w-space
+    Value known_w = 0;            ///< owner's w at last report/probe
+  };
+
+  Value to_w(NodeId id, Value v) const noexcept;
+  std::size_t find_slot(Value w) const;
+  void place_violator(Cluster& cluster, NodeId id, Value w);
+  void compact_slots();
+  void assign_filter(Cluster& cluster, NodeId id, Value lo_w, Value hi_w);
+  void refresh_topk();
+
+  std::size_t k_;
+  std::size_t n_ = 0;
+  std::vector<Slot> slots_;          ///< descending in w
+  std::vector<Filter> filters_;      ///< node-side, in w-space
+  std::vector<NodeId> topk_ids_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,61 @@
+// Filters (Definition 2.1): per-node closed intervals such that while every
+// node's value stays inside its interval, the top-k position function F
+// cannot change. Lemma 2.2 characterizes validity: every top-k node's lower
+// bound must be >= every non-top-k node's upper bound (intervals across the
+// k-boundary are disjoint except possibly at a single shared point).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// A closed filter interval [lo, hi] with +-infinity sentinels.
+struct Filter {
+  Value lo = kMinusInf;
+  Value hi = kPlusInf;
+
+  constexpr bool contains(Value v) const noexcept { return lo <= v && v <= hi; }
+
+  /// Violation side for a value outside the filter: -1 fell below lo,
+  /// +1 rose above hi, 0 contained.
+  constexpr int violation_side(Value v) const noexcept {
+    if (v < lo) return -1;
+    if (v > hi) return +1;
+    return 0;
+  }
+
+  friend constexpr bool operator==(const Filter&, const Filter&) = default;
+};
+
+/// Checks the Lemma 2.2 characterization for a candidate filter assignment:
+///  (1) every node's current value lies in its interval, and
+///  (2) min over top-k lower bounds >= max over non-top-k upper bounds.
+/// `in_topk[i]` flags node i's membership; all spans have size n.
+inline bool is_valid_filter_set(std::span<const Value> values,
+                                std::span<const Filter> filters,
+                                std::span<const char> in_topk) {
+  if (values.size() != filters.size() || values.size() != in_topk.size()) {
+    return false;
+  }
+  Value min_top_lo = kPlusInf;
+  Value max_bot_hi = kMinusInf;
+  bool has_top = false;
+  bool has_bot = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!filters[i].contains(values[i])) return false;
+    if (in_topk[i]) {
+      has_top = true;
+      min_top_lo = std::min(min_top_lo, filters[i].lo);
+    } else {
+      has_bot = true;
+      max_bot_hi = std::max(max_bot_hi, filters[i].hi);
+    }
+  }
+  if (!has_top || !has_bot) return true;  // k == 0 or k == n: no boundary
+  return min_top_lo >= max_bot_hi;
+}
+
+}  // namespace topkmon

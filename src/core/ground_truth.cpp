@@ -1,0 +1,153 @@
+#include "core/ground_truth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topkmon {
+
+namespace {
+
+std::vector<NodeId> ranked_ids(std::span<const Value> values, std::size_t k) {
+  if (k > values.size()) {
+    throw std::invalid_argument("true_topk: k > n");
+  }
+  std::vector<NodeId> ids(values.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  // Partial sort suffices: only the first k ranks are needed.
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(k), ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+std::vector<Value> snapshot(const Cluster& cluster) {
+  std::vector<Value> values(cluster.size());
+  for (NodeId i = 0; i < cluster.size(); ++i) values[i] = cluster.value(i);
+  return values;
+}
+
+}  // namespace
+
+std::vector<NodeId> true_topk_ordered(std::span<const Value> values,
+                                      std::size_t k) {
+  return ranked_ids(values, k);
+}
+
+std::vector<NodeId> true_topk_set(std::span<const Value> values,
+                                  std::size_t k) {
+  auto ids = ranked_ids(values, k);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<NodeId> true_topk_ordered(const Cluster& cluster, std::size_t k) {
+  const auto values = snapshot(cluster);
+  return true_topk_ordered(values, k);
+}
+
+std::vector<NodeId> true_topk_set(const Cluster& cluster, std::size_t k) {
+  const auto values = snapshot(cluster);
+  return true_topk_set(values, k);
+}
+
+Value nth_value(std::span<const Value> values, std::size_t j) {
+  if (j == 0 || j > values.size()) {
+    throw std::invalid_argument("nth_value: rank out of range");
+  }
+  std::vector<Value> copy(values.begin(), values.end());
+  std::nth_element(copy.begin(),
+                   copy.begin() + static_cast<std::ptrdiff_t>(j - 1),
+                   copy.end(), std::greater<Value>());
+  return copy[j - 1];
+}
+
+bool is_valid_topk(std::span<const Value> values,
+                   std::span<const NodeId> candidate) {
+  std::vector<char> member(values.size(), 0);
+  for (const NodeId id : candidate) {
+    if (id >= values.size() || member[id]) return false;  // bad/duplicate id
+    member[id] = 1;
+  }
+  Value min_in = kPlusInf;
+  Value max_out = kMinusInf;
+  bool has_out = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (member[i]) {
+      min_in = std::min(min_in, values[i]);
+    } else {
+      has_out = true;
+      max_out = std::max(max_out, values[i]);
+    }
+  }
+  if (candidate.empty() || !has_out) return true;
+  return min_in >= max_out;
+}
+
+bool is_valid_topk(const Cluster& cluster, std::span<const NodeId> candidate) {
+  const auto values = snapshot(cluster);
+  return is_valid_topk(values, candidate);
+}
+
+namespace {
+
+/// min member value and max non-member value; returns false on bad ids or
+/// duplicates, or when one side is empty (vacuously fine -> caller decides).
+bool side_extrema(std::span<const Value> values,
+                  std::span<const NodeId> candidate, Value* min_in,
+                  Value* max_out, bool* has_out) {
+  std::vector<char> member(values.size(), 0);
+  for (const NodeId id : candidate) {
+    if (id >= values.size() || member[id]) return false;
+    member[id] = 1;
+  }
+  *min_in = kPlusInf;
+  *max_out = kMinusInf;
+  *has_out = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (member[i]) {
+      *min_in = std::min(*min_in, values[i]);
+    } else {
+      *has_out = true;
+      *max_out = std::max(*max_out, values[i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_valid_topk_eps(std::span<const Value> values,
+                       std::span<const NodeId> candidate, Value eps) {
+  Value min_in = 0;
+  Value max_out = 0;
+  bool has_out = false;
+  if (!side_extrema(values, candidate, &min_in, &max_out, &has_out)) {
+    return false;
+  }
+  if (candidate.empty() || !has_out) return true;
+  return min_in >= max_out - eps;
+}
+
+bool is_valid_topk_eps(const Cluster& cluster,
+                       std::span<const NodeId> candidate, Value eps) {
+  const auto values = snapshot(cluster);
+  return is_valid_topk_eps(values, candidate, eps);
+}
+
+Value topk_regret(std::span<const Value> values,
+                  std::span<const NodeId> candidate) {
+  Value min_in = 0;
+  Value max_out = 0;
+  bool has_out = false;
+  if (!side_extrema(values, candidate, &min_in, &max_out, &has_out)) {
+    return kPlusInf;  // malformed answer: infinite regret
+  }
+  if (candidate.empty() || !has_out) return 0;
+  return std::max<Value>(0, max_out - min_in);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,62 @@
+// Common interface of all Top-k-Position monitoring algorithms.
+//
+// A monitor owns both the coordinator-side and the node-side algorithm
+// state (the simulation runs both roles in one process); all communication
+// between the two sides flows through the cluster's Network so that the
+// paper's message accounting is exact. The runner drives the lifecycle:
+//   observe values -> initialize(cluster)          (time 0)
+//   observe values -> step(cluster, t)             (every t >= 1)
+// and checks `topk()` against the ground truth after every call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Algorithm-level event counters (communication itself is counted by
+/// CommStats; these explain *why* messages happened).
+struct MonitorStats {
+  std::uint64_t violation_steps = 0;    ///< steps with >= 1 filter violation
+  std::uint64_t violations = 0;         ///< individual node violations
+  std::uint64_t handler_calls = 0;      ///< FILTERVIOLATIONHANDLER invocations
+  std::uint64_t midpoint_updates = 0;   ///< broadcast filter midpoint changes
+  std::uint64_t filter_resets = 0;      ///< FILTERRESET invocations
+  std::uint64_t protocol_runs = 0;      ///< max/min protocol executions
+  std::uint64_t polls = 0;              ///< coordinator-initiated probes
+  std::uint64_t full_rebuilds = 0;      ///< defensive full re-initializations
+};
+
+/// Abstract Top-k-Position monitor.
+class MonitorBase {
+ public:
+  virtual ~MonitorBase() = default;
+
+  /// Short identifier used in tables ("topk_filter", "naive", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Called once, after the nodes observed their first values (time 0).
+  /// Establishes the initial coordinator knowledge and filters.
+  virtual void initialize(Cluster& cluster) = 0;
+
+  /// Called after the nodes observed the values of time step t (t >= 1).
+  /// Runs the between-observations communication protocol of the paper's
+  /// model until quiescence.
+  virtual void step(Cluster& cluster, TimeStep t) = 0;
+
+  /// The coordinator's current answer: ids of the top-k nodes, sorted by
+  /// id (canonical set representation).
+  virtual const std::vector<NodeId>& topk() const = 0;
+
+  const MonitorStats& monitor_stats() const noexcept { return mstats_; }
+
+ protected:
+  MonitorStats mstats_;
+};
+
+}  // namespace topkmon

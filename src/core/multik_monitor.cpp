@@ -1,0 +1,251 @@
+#include "core/multik_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/select_topk.hpp"
+
+namespace topkmon {
+
+MultiKMonitor::MultiKMonitor(std::vector<std::size_t> ks)
+    : MultiKMonitor(std::move(ks), Options{}) {}
+
+MultiKMonitor::MultiKMonitor(std::vector<std::size_t> ks, Options opts)
+    : ks_(std::move(ks)), opts_(opts) {
+  if (ks_.empty()) {
+    throw std::invalid_argument("MultiKMonitor: need at least one k");
+  }
+  if (ks_.size() > 200) {
+    throw std::invalid_argument("MultiKMonitor: too many boundaries");
+  }
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (ks_[i] == 0 || (i > 0 && ks_[i] <= ks_[i - 1])) {
+      throw std::invalid_argument(
+          "MultiKMonitor: ks must be positive and strictly increasing");
+    }
+  }
+  popts_.suppress_idle_broadcasts = opts_.suppress_idle_broadcasts;
+}
+
+Value MultiKMonitor::to_w(NodeId id, Value v) const noexcept {
+  return v * static_cast<Value>(n_) +
+         (static_cast<Value>(n_) - 1 - static_cast<Value>(id));
+}
+
+void MultiKMonitor::initialize(Cluster& cluster) {
+  n_ = cluster.size();
+  if (ks_.back() > n_) {
+    throw std::invalid_argument("MultiKMonitor: largest k > n");
+  }
+  boundaries_.clear();
+  for (const std::size_t k : ks_) {
+    if (k < n_) boundaries_.push_back(Boundary{k, 0, 0, 0});
+  }
+  band_.assign(n_, 0);
+  filters_w_.assign(n_, Filter{});
+  if (boundaries_.empty()) {
+    // Only k == n was requested: the answer is static.
+    topk_smallest_ = std::vector<NodeId>(cluster.all_ids());
+    return;
+  }
+  full_reset(cluster);
+}
+
+std::vector<NodeId> MultiKMonitor::side_above(std::size_t j) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < n_; ++id) {
+    if (band_[id] <= j) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> MultiKMonitor::side_below(std::size_t j) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < n_; ++id) {
+    if (band_[id] > j) out.push_back(id);
+  }
+  return out;
+}
+
+void MultiKMonitor::step(Cluster& cluster, TimeStep) {
+  if (boundaries_.empty()) return;
+  const std::size_t m = boundaries_.size();
+
+  struct Violation {
+    NodeId id;
+    Value w;
+    std::uint8_t band;
+    bool went_up;
+  };
+  std::vector<Violation> violations;
+  for (NodeId id = 0; id < n_; ++id) {
+    const Value w = to_w(id, cluster.value(id));
+    const int side = filters_w_[id].violation_side(w);
+    if (side == 0) continue;
+    violations.push_back(Violation{id, w, band_[id], side > 0});
+  }
+  if (violations.empty()) return;
+  ++mstats_.violation_steps;
+  mstats_.violations += violations.size();
+
+  // Classify crossings; a multi-band jump escalates to a shared reset
+  // (conservative but correct, and rare on gradual streams).
+  std::vector<std::vector<NodeId>> up_crossers(m);    // per boundary j
+  std::vector<std::vector<NodeId>> down_crossers(m);  // per boundary j
+  for (const auto& v : violations) {
+    if (v.went_up) {
+      // Node from band b rose above boundary b-1.
+      std::size_t crossed = 0;
+      for (std::size_t j = v.band; j-- > 0;) {
+        if (v.w > boundaries_[j].mid_w) ++crossed;
+        else break;
+      }
+      if (crossed != 1) {
+        full_reset(cluster);
+        return;
+      }
+      up_crossers[v.band - 1].push_back(v.id);
+    } else {
+      // Node from band b fell below boundary b.
+      std::size_t crossed = 0;
+      for (std::size_t j = v.band; j < m; ++j) {
+        if (v.w < boundaries_[j].mid_w) ++crossed;
+        else break;
+      }
+      if (crossed != 1) {
+        full_reset(cluster);
+        return;
+      }
+      down_crossers[v.band].push_back(v.id);
+    }
+  }
+
+  // Per-boundary Algorithm 1 handler. Single-band crossings keep each
+  // boundary's violators disjoint from other boundaries' sides' extrema
+  // (see header), so the boundaries can be processed independently.
+  for (std::size_t j = 0; j < m; ++j) {
+    if (up_crossers[j].empty() && down_crossers[j].empty()) continue;
+    Boundary& b = boundaries_[j];
+    ++mstats_.handler_calls;
+
+    std::optional<Value> min_w;
+    std::optional<Value> max_w;
+    if (!down_crossers[j].empty()) {
+      const auto res = run_min_protocol(cluster, down_crossers[j], b.k, popts_);
+      ++mstats_.protocol_runs;
+      min_w = to_w(res.winner, res.extremum);
+    }
+    if (!up_crossers[j].empty()) {
+      const auto res =
+          run_max_protocol(cluster, up_crossers[j], n_ - b.k, popts_);
+      ++mstats_.protocol_runs;
+      max_w = to_w(res.winner, res.extremum);
+    }
+    if (!max_w.has_value()) {
+      Message start;
+      start.kind = MsgKind::kProtocolStart;
+      start.a = static_cast<std::int64_t>(j);
+      cluster.net().coord_broadcast(start);
+      const auto below = side_below(j);
+      const auto res = run_max_protocol(cluster, below, n_ - b.k, popts_);
+      ++mstats_.protocol_runs;
+      max_w = to_w(res.winner, res.extremum);
+    } else {
+      Message start;
+      start.kind = MsgKind::kProtocolStart;
+      start.a = static_cast<std::int64_t>(j);
+      cluster.net().coord_broadcast(start);
+      const auto above = side_above(j);
+      const auto res = run_min_protocol(cluster, above, b.k, popts_);
+      ++mstats_.protocol_runs;
+      min_w = to_w(res.winner, res.extremum);
+    }
+
+    b.tplus_w = std::min(b.tplus_w, *min_w);
+    b.tminus_w = std::max(b.tminus_w, *max_w);
+
+    if (b.tplus_w < b.tminus_w) {
+      full_reset(cluster);  // shared: rebuilds every boundary at once
+      return;
+    }
+    ++mstats_.midpoint_updates;
+    b.mid_w = midpoint(b.tminus_w, b.tplus_w);
+    Message update;
+    update.kind = MsgKind::kFilterUpdate;
+    update.a = b.mid_w;
+    update.b = static_cast<std::int64_t>(j);
+    cluster.net().coord_broadcast(update);
+  }
+  refresh_filters();
+}
+
+void MultiKMonitor::full_reset(Cluster& cluster) {
+  ++mstats_.filter_resets;
+  const std::size_t k_max = boundaries_.back().k;
+  const auto sel = select_extreme(cluster, cluster.all_ids(), k_max + 1, n_,
+                                  Direction::kMax, popts_);
+  mstats_.protocol_runs += sel.winners.size();
+  if (sel.winners.size() != k_max + 1) {
+    throw std::logic_error("MultiKMonitor: reset selection incomplete");
+  }
+
+  // Band of rank r (1-based): number of boundaries with k < r. Non-winners
+  // sit below every boundary.
+  band_.assign(n_, static_cast<std::uint8_t>(boundaries_.size()));
+  std::vector<Value> rank_w(sel.winners.size());
+  for (std::size_t r = 0; r < sel.winners.size(); ++r) {
+    const auto& win = sel.winners[r];
+    rank_w[r] = to_w(win.id, win.value);
+    std::uint8_t bd = 0;
+    for (const auto& b : boundaries_) {
+      if (b.k < r + 1) ++bd;
+    }
+    band_[win.id] = bd;
+  }
+
+  for (auto& b : boundaries_) {
+    b.tplus_w = rank_w[b.k - 1];
+    b.tminus_w = rank_w[b.k];
+    b.mid_w = midpoint(b.tminus_w, b.tplus_w);
+  }
+  refresh_filters();
+}
+
+void MultiKMonitor::refresh_filters() {
+  const auto m = static_cast<std::uint8_t>(boundaries_.size());
+  for (NodeId id = 0; id < n_; ++id) {
+    const std::uint8_t b = band_[id];
+    const Value lo = (b == m) ? kMinusInf : boundaries_[b].mid_w;
+    const Value hi = (b == 0) ? kPlusInf : boundaries_[b - 1].mid_w;
+    filters_w_[id] = Filter{lo, hi};
+  }
+  topk_smallest_.clear();
+  for (NodeId id = 0; id < n_; ++id) {
+    if (band_[id] == 0) topk_smallest_.push_back(id);
+  }
+}
+
+std::vector<NodeId> MultiKMonitor::topk_for(std::size_t k) const {
+  if (k == n_) {
+    std::vector<NodeId> all(n_);
+    for (NodeId id = 0; id < n_; ++id) all[id] = id;
+    return all;
+  }
+  std::size_t j = boundaries_.size();
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    if (boundaries_[i].k == k) {
+      j = i;
+      break;
+    }
+  }
+  if (j == boundaries_.size()) {
+    throw std::invalid_argument("MultiKMonitor: k is not monitored");
+  }
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < n_; ++id) {
+    if (band_[id] <= j) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,79 @@
+// Simultaneous monitoring of several top-k queries (k1 < k2 < ... < km)
+// with shared machinery — an extension beyond the paper (which treats a
+// single k; see DESIGN.md's extension inventory).
+//
+// The node population is partitioned into m+1 "bands" by m boundaries, one
+// per monitored k. Each boundary runs Algorithm 1's logic (violator-side
+// protocol, T+/T- accumulation, midpoint halving) independently, but a
+// reset is *shared*: one repeated-MaximumProtocol selection of the top
+// k_m + 1 nodes rebuilds every boundary at once — whereas m independent
+// TopkFilterMonitor instances would each pay their own (k_i + 1)·M(n)
+// reset. Experiment E13 quantifies the saving.
+//
+// All order bookkeeping runs in the tie-free space w = v*n + (n-1-id)
+// (computable locally from any (id, value) pair), so the monitor is
+// deterministic under ties.
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+class MultiKMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    bool suppress_idle_broadcasts = false;
+  };
+
+  /// `ks` must be non-empty, strictly increasing, with ks.back() <= n at
+  /// initialize() (a trailing ks == n boundary is degenerate and dropped).
+  explicit MultiKMonitor(std::vector<std::size_t> ks);
+  MultiKMonitor(std::vector<std::size_t> ks, Options opts);
+
+  std::string_view name() const override { return "multi_k"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+
+  /// MonitorBase answer: the smallest monitored k (runner validation).
+  const std::vector<NodeId>& topk() const override { return topk_smallest_; }
+
+  /// The monitored k values (after degenerate-boundary dropping this may
+  /// exclude a trailing k == n; query it with topk_for anyway).
+  const std::vector<std::size_t>& ks() const noexcept { return ks_; }
+
+  /// Ids (sorted) of the top-k nodes for any monitored k.
+  std::vector<NodeId> topk_for(std::size_t k) const;
+
+  /// Boundary value (w-space) guarding rank ks()[j] | ks()[j]+1.
+  Value boundary_w(std::size_t j) const { return boundaries_.at(j).mid_w; }
+
+ private:
+  struct Boundary {
+    std::size_t k = 0;       ///< band above holds the k best nodes
+    Value mid_w = 0;         ///< current w-space boundary
+    Value tplus_w = 0;       ///< running min over the above side (w)
+    Value tminus_w = 0;      ///< running max over the below side (w)
+  };
+
+  Value to_w(NodeId id, Value v) const noexcept;
+  void full_reset(Cluster& cluster);
+  void refresh_filters();
+  std::vector<NodeId> side_above(std::size_t j) const;
+  std::vector<NodeId> side_below(std::size_t j) const;
+
+  std::vector<std::size_t> ks_;
+  Options opts_;
+  ProtocolOptions popts_;
+  std::size_t n_ = 0;
+
+  std::vector<Boundary> boundaries_;       ///< ascending in k
+  std::vector<std::uint8_t> band_;         ///< per node: band index 0..m
+  std::vector<Filter> filters_w_;          ///< per node, w-space
+  std::vector<NodeId> topk_smallest_;      ///< cached answer for ks_[0]
+};
+
+}  // namespace topkmon

@@ -1,0 +1,45 @@
+#include "core/naive_monitor.hpp"
+
+#include <stdexcept>
+
+#include "core/ground_truth.hpp"
+
+namespace topkmon {
+
+NaiveMonitor::NaiveMonitor(std::size_t k) : NaiveMonitor(k, Options{}) {}
+
+NaiveMonitor::NaiveMonitor(std::size_t k, Options opts) : k_(k), opts_(opts) {
+  if (k == 0) throw std::invalid_argument("NaiveMonitor: k must be >= 1");
+}
+
+void NaiveMonitor::initialize(Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  if (k_ > n) throw std::invalid_argument("NaiveMonitor: k > n");
+  known_values_.assign(n, 0);
+  last_sent_.assign(n, std::nullopt);
+  step(cluster, 0);
+}
+
+void NaiveMonitor::step(Cluster& cluster, TimeStep) {
+  Network& net = cluster.net();
+  for (NodeId id = 0; id < cluster.size(); ++id) {
+    const Value v = cluster.value(id);
+    if (opts_.send_on_change_only && last_sent_[id] == v) continue;
+    Message report;
+    report.kind = MsgKind::kValueReport;
+    report.a = v;
+    net.node_send(id, report);
+    last_sent_[id] = v;
+  }
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind != MsgKind::kValueReport) continue;
+    known_values_[m.from] = m.a;
+  }
+  recompute_topk();
+}
+
+void NaiveMonitor::recompute_topk() {
+  topk_ids_ = true_topk_set(known_values_, k_);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,40 @@
+// The naive baseline of §2.1: every node forwards its observations to the
+// coordinator, which therefore always has full information and computes
+// the top-k locally. Two variants: `send_on_change_only` skips steps where
+// a node's value did not move (a common practical refinement; the paper's
+// formulation sends every observation).
+#pragma once
+
+#include <optional>
+
+#include "core/monitor.hpp"
+
+namespace topkmon {
+
+class NaiveMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    bool send_on_change_only = false;
+  };
+
+  explicit NaiveMonitor(std::size_t k);
+  NaiveMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override {
+    return opts_.send_on_change_only ? "naive_on_change" : "naive";
+  }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+ private:
+  void recompute_topk();
+
+  std::size_t k_;
+  Options opts_;
+  std::vector<Value> known_values_;          ///< coordinator's replica
+  std::vector<std::optional<Value>> last_sent_;  ///< node-side dedup state
+  std::vector<NodeId> topk_ids_;
+};
+
+}  // namespace topkmon

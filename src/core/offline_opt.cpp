@@ -1,0 +1,106 @@
+#include "core/offline_opt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/ground_truth.hpp"
+
+namespace topkmon {
+
+namespace {
+
+std::vector<Value> row_values(const TraceMatrix& trace, std::size_t t) {
+  std::vector<Value> values(trace.nodes());
+  for (NodeId i = 0; i < trace.nodes(); ++i) values[i] = trace.at(t, i);
+  return values;
+}
+
+}  // namespace
+
+OfflineOptResult compute_offline_opt(const TraceMatrix& trace, std::size_t k) {
+  const std::size_t n = trace.nodes();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("compute_offline_opt: k out of range");
+  }
+  if (trace.steps() == 0) return {};
+
+  OfflineOptResult result;
+  if (k == n) {
+    // No boundary to maintain; one unbounded filter set covers everything.
+    result.epochs = 1;
+    return result;
+  }
+
+  std::vector<char> member(n, 0);
+  std::vector<char> prev_member(n, 0);
+  Value t_plus = 0;
+  Value t_minus = 0;
+  bool in_epoch = false;
+
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    const auto values = row_values(trace, t);
+
+    auto start_epoch = [&]() {
+      const auto ids = true_topk_set(values, k);
+      std::fill(member.begin(), member.end(), char{0});
+      for (const NodeId id : ids) member[id] = 1;
+      t_plus = kPlusInf;
+      t_minus = kMinusInf;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (member[i]) t_plus = std::min(t_plus, values[i]);
+        else t_minus = std::max(t_minus, values[i]);
+      }
+      in_epoch = true;
+    };
+
+    if (!in_epoch) {
+      start_epoch();
+      ++result.epochs;
+      continue;
+    }
+
+    // Extend the running epoch if feasible (Lemma 3.2 condition).
+    Value step_min_in = kPlusInf;
+    Value step_max_out = kMinusInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (member[i]) step_min_in = std::min(step_min_in, values[i]);
+      else step_max_out = std::max(step_max_out, values[i]);
+    }
+    const Value new_t_plus = std::min(t_plus, step_min_in);
+    const Value new_t_minus = std::max(t_minus, step_max_out);
+    if (new_t_plus >= new_t_minus) {
+      t_plus = new_t_plus;
+      t_minus = new_t_minus;
+      continue;
+    }
+
+    // Epoch must end here: OPT updates filters at time t.
+    prev_member = member;
+    start_epoch();
+    ++result.epochs;
+    result.update_times.push_back(static_cast<TimeStep>(t));
+    std::uint64_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (member[i] != prev_member[i]) ++changed;
+    }
+    result.refined_messages += 1 + changed;  // broadcast + per-change unicasts
+  }
+  return result;
+}
+
+Value trace_delta(const TraceMatrix& trace, std::size_t k) {
+  const std::size_t n = trace.nodes();
+  if (k == 0 || k >= n) {
+    throw std::invalid_argument("trace_delta: requires 1 <= k < n");
+  }
+  Value delta = 0;
+  for (std::size_t t = 0; t < trace.steps(); ++t) {
+    const auto values = row_values(trace, t);
+    const Value vk = nth_value(values, k);
+    const Value vk1 = nth_value(values, k + 1);
+    delta = std::max(delta, vk - vk1);
+  }
+  return delta;
+}
+
+}  // namespace topkmon

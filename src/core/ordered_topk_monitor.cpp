@@ -1,0 +1,198 @@
+#include "core/ordered_topk_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/select_topk.hpp"
+
+namespace topkmon {
+
+OrderedTopkMonitor::OrderedTopkMonitor(std::size_t k)
+    : OrderedTopkMonitor(k, Options{}) {}
+
+OrderedTopkMonitor::OrderedTopkMonitor(std::size_t k, Options opts) : k_(k) {
+  if (k == 0) throw std::invalid_argument("OrderedTopkMonitor: k must be >= 1");
+  popts_.suppress_idle_broadcasts = opts.suppress_idle_broadcasts;
+}
+
+Value OrderedTopkMonitor::to_w(NodeId id, Value v) const noexcept {
+  return v * static_cast<Value>(n_) +
+         (static_cast<Value>(n_) - 1 - static_cast<Value>(id));
+}
+
+void OrderedTopkMonitor::initialize(Cluster& cluster) {
+  n_ = cluster.size();
+  if (k_ > n_) throw std::invalid_argument("OrderedTopkMonitor: k > n");
+  filters_w_.assign(n_, Filter{});
+  in_topk_.assign(n_, 0);
+  boundary_active_ = (k_ < n_);
+  full_reset(cluster);
+}
+
+void OrderedTopkMonitor::step(Cluster& cluster, TimeStep) {
+  // Node-local violation checks in w-space.
+  std::vector<NodeId> viol_below;     // members that fell below M_w
+  std::vector<NodeId> viol_internal;  // members outside their slot, >= M_w
+  std::vector<NodeId> viol_out;       // outsiders that rose above M_w
+  for (NodeId id = 0; id < n_; ++id) {
+    const Value w = to_w(id, cluster.value(id));
+    if (filters_w_[id].contains(w)) continue;
+    if (!in_topk_[id]) {
+      viol_out.push_back(id);
+    } else if (boundary_active_ && w < mid_w_) {
+      viol_below.push_back(id);
+    } else {
+      viol_internal.push_back(id);
+    }
+  }
+  if (viol_below.empty() && viol_internal.empty() && viol_out.empty()) return;
+
+  ++mstats_.violation_steps;
+  mstats_.violations +=
+      viol_below.size() + viol_internal.size() + viol_out.size();
+
+  const bool boundary_event = !viol_below.empty() || !viol_out.empty();
+  if (boundary_event) {
+    // Algorithm 1's violation protocol, in w-space.
+    std::optional<Value> min_w;
+    std::optional<Value> max_w;
+    if (!viol_below.empty()) {
+      const auto res = run_min_protocol(cluster, viol_below, k_, popts_);
+      ++mstats_.protocol_runs;
+      min_w = to_w(res.winner, res.extremum);
+    }
+    if (!viol_out.empty()) {
+      const auto res =
+          run_max_protocol(cluster, viol_out, n_ - k_, popts_);
+      ++mstats_.protocol_runs;
+      max_w = to_w(res.winner, res.extremum);
+    }
+
+    ++mstats_.handler_calls;
+    if (!max_w.has_value()) {
+      Message start;
+      start.kind = MsgKind::kProtocolStart;
+      start.a = 0;
+      cluster.net().coord_broadcast(start);
+      const auto res = run_max_protocol(cluster, rest_list_, n_ - k_, popts_);
+      ++mstats_.protocol_runs;
+      max_w = to_w(res.winner, res.extremum);
+    } else {
+      Message start;
+      start.kind = MsgKind::kProtocolStart;
+      start.a = 1;
+      cluster.net().coord_broadcast(start);
+      const auto res = run_min_protocol(cluster, order_, k_, popts_);
+      ++mstats_.protocol_runs;
+      min_w = to_w(res.winner, res.extremum);
+    }
+
+    tplus_w_ = std::min(tplus_w_, *min_w);
+    tminus_w_ = std::max(tminus_w_, *max_w);
+
+    if (tplus_w_ < tminus_w_) {
+      full_reset(cluster);
+      return;
+    }
+
+    // Halve the boundary gap; outsiders and the lowest member adjust their
+    // filters from the broadcast (lowest-member identity is common
+    // knowledge from the last order announcement).
+    ++mstats_.midpoint_updates;
+    mid_w_ = midpoint(tminus_w_, tplus_w_);
+    Message update;
+    update.kind = MsgKind::kFilterUpdate;
+    update.a = mid_w_;
+    cluster.net().coord_broadcast(update);
+    for (NodeId id = 0; id < n_; ++id) {
+      if (!in_topk_[id]) filters_w_[id] = Filter{kMinusInf, mid_w_};
+    }
+    rebuild_slots();  // lowest member slot extends down to the new M_w
+
+    // Members that dropped (but not below the new boundary's feasibility)
+    // still need their internal rank fixed.
+    if (!viol_below.empty() || !viol_internal.empty()) {
+      internal_rebuild(cluster);
+    }
+    return;
+  }
+
+  // Pure internal order churn within the top-k.
+  internal_rebuild(cluster);
+}
+
+void OrderedTopkMonitor::internal_rebuild(Cluster& cluster) {
+  // Repeated MaximumProtocol over the k members; the winner announcements
+  // make the full order common knowledge, so all slot filters are
+  // recomputed locally on both sides without extra messages.
+  const auto sel =
+      select_extreme(cluster, order_, k_, k_, Direction::kMax, popts_);
+  mstats_.protocol_runs += sel.winners.size();
+  if (sel.winners.size() != k_) {
+    throw std::logic_error("OrderedTopkMonitor: member selection incomplete");
+  }
+  order_.clear();
+  known_w_.clear();
+  for (const auto& w : sel.winners) {
+    order_.push_back(w.id);
+    known_w_.push_back(to_w(w.id, w.value));
+  }
+  rebuild_slots();
+}
+
+void OrderedTopkMonitor::full_reset(Cluster& cluster) {
+  ++mstats_.filter_resets;
+  const std::size_t want = boundary_active_ ? k_ + 1 : k_;
+  const auto sel = select_extreme(cluster, cluster.all_ids(), want, n_,
+                                  Direction::kMax, popts_);
+  mstats_.protocol_runs += sel.winners.size();
+  if (sel.winners.size() != want) {
+    throw std::logic_error("OrderedTopkMonitor: reset selection incomplete");
+  }
+
+  std::fill(in_topk_.begin(), in_topk_.end(), char{0});
+  order_.clear();
+  known_w_.clear();
+  for (std::size_t i = 0; i < k_; ++i) {
+    in_topk_[sel.winners[i].id] = 1;
+    order_.push_back(sel.winners[i].id);
+    known_w_.push_back(to_w(sel.winners[i].id, sel.winners[i].value));
+  }
+  rebuild_id_lists();
+
+  if (boundary_active_) {
+    tplus_w_ = known_w_[k_ - 1];
+    tminus_w_ = to_w(sel.winners[k_].id, sel.winners[k_].value);
+    mid_w_ = midpoint(tminus_w_, tplus_w_);
+    for (NodeId id = 0; id < n_; ++id) {
+      if (!in_topk_[id]) filters_w_[id] = Filter{kMinusInf, mid_w_};
+    }
+  } else {
+    mid_w_ = kMinusInf;
+  }
+  rebuild_slots();
+}
+
+void OrderedTopkMonitor::rebuild_slots() {
+  // Member at rank j (0-based) holds [mid(w_j, w_{j+1}), mid(w_{j-1}, w_j)],
+  // the best member is unbounded above, the worst extends down to M_w.
+  for (std::size_t j = 0; j < order_.size(); ++j) {
+    const Value hi =
+        (j == 0) ? kPlusInf : midpoint(known_w_[j], known_w_[j - 1]);
+    const Value lo = (j + 1 == order_.size())
+                         ? mid_w_
+                         : midpoint(known_w_[j + 1], known_w_[j]);
+    filters_w_[order_[j]] = Filter{lo, hi};
+  }
+}
+
+void OrderedTopkMonitor::rebuild_id_lists() {
+  topk_ids_.clear();
+  rest_list_.clear();
+  for (NodeId id = 0; id < n_; ++id) {
+    if (in_topk_[id]) topk_ids_.push_back(id);
+    else rest_list_.push_back(id);
+  }
+}
+
+}  // namespace topkmon

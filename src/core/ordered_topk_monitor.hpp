@@ -1,0 +1,77 @@
+// The §5 future-work variant: monitor not only the top-k *set* but also the
+// *ordering* of the top-k nodes by value. The paper conjectures that
+// combining the Lam et al. midpoint strategy (between consecutive top-k
+// ranks) with its own boundary machinery yields an
+// O(log Δ · log(n-k))-competitive algorithm; this class realizes that
+// combination (experiment E10 measures its overhead against plain
+// Algorithm 1):
+//
+//  * the k/(k+1) boundary M is maintained exactly as in Algorithm 1
+//    (T+/T- accumulation, midpoint halving, reset on crossing);
+//  * inside the top-k, consecutive ranks are separated by midpoint slots
+//    à la Lam et al.; an internal order violation triggers a re-selection
+//    over the k members (repeated MaximumProtocol with winner
+//    announcements, so the full order becomes common knowledge and every
+//    node recomputes its slot locally — no extra unicasts needed).
+//
+// All order bookkeeping runs in the tie-free space w = v*n + (n-1-id),
+// which coordinator and nodes can compute from any (id, value) pair they
+// already exchange; protocols run on raw values (their smaller-id
+// tie-break induces exactly the w order).
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+class OrderedTopkMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    bool suppress_idle_broadcasts = false;
+  };
+
+  explicit OrderedTopkMonitor(std::size_t k);
+  OrderedTopkMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override { return "ordered_topk"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  /// The coordinator's current rank order of the top-k (best first).
+  const std::vector<NodeId>& ordered_topk() const noexcept { return order_; }
+
+  Value boundary_w() const noexcept { return mid_w_; }
+
+ private:
+  Value to_w(NodeId id, Value v) const noexcept;
+  void full_reset(Cluster& cluster);
+  void internal_rebuild(Cluster& cluster);
+  void rebuild_slots();
+  void rebuild_id_lists();
+
+  std::size_t k_;
+  ProtocolOptions popts_;
+  std::size_t n_ = 0;
+  bool boundary_active_ = true;  ///< false iff k == n (no outsiders)
+
+  // Coordinator-side.
+  std::vector<NodeId> topk_ids_;   ///< sorted by id
+  std::vector<NodeId> order_;      ///< rank order, best first
+  std::vector<NodeId> rest_list_;
+  std::vector<Value> known_w_;     ///< per member rank: w at last report
+  Value tplus_w_ = 0;
+  Value tminus_w_ = 0;
+  Value mid_w_ = kMinusInf;
+
+  // Node-side (w-space filters; members hold their slot, outsiders
+  // [-inf, M_w]).
+  std::vector<Filter> filters_w_;
+  std::vector<char> in_topk_;
+};
+
+}  // namespace topkmon

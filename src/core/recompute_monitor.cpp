@@ -1,0 +1,34 @@
+#include "core/recompute_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/select_topk.hpp"
+
+namespace topkmon {
+
+RecomputeMonitor::RecomputeMonitor(std::size_t k)
+    : RecomputeMonitor(k, Options{}) {}
+
+RecomputeMonitor::RecomputeMonitor(std::size_t k, Options opts) : k_(k) {
+  if (k == 0) throw std::invalid_argument("RecomputeMonitor: k must be >= 1");
+  popts_.suppress_idle_broadcasts = opts.suppress_idle_broadcasts;
+}
+
+void RecomputeMonitor::initialize(Cluster& cluster) {
+  if (k_ > cluster.size()) {
+    throw std::invalid_argument("RecomputeMonitor: k > n");
+  }
+  step(cluster, 0);
+}
+
+void RecomputeMonitor::step(Cluster& cluster, TimeStep) {
+  const auto sel = select_extreme(cluster, cluster.all_ids(), k_,
+                                  cluster.size(), Direction::kMax, popts_);
+  mstats_.protocol_runs += sel.winners.size();
+  topk_ids_.clear();
+  for (const auto& w : sel.winners) topk_ids_.push_back(w.id);
+  std::sort(topk_ids_.begin(), topk_ids_.end());
+}
+
+}  // namespace topkmon

@@ -1,0 +1,35 @@
+// The "classical" algorithm of §2.1: no filters — every time step the
+// coordinator recomputes the top-k from scratch by k repeated
+// MAXIMUMPROTOCOL(n) runs, costing O(k log n) messages per step,
+// O(T k log n) over T steps. Optimal up to the factor k on worst-case
+// inputs (rotating maxima) but oblivious to temporal similarity; the
+// filter-based Algorithm 1 exists precisely to beat it on similar inputs
+// (experiments E7/E9).
+#pragma once
+
+#include "core/monitor.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+class RecomputeMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    bool suppress_idle_broadcasts = false;
+  };
+
+  explicit RecomputeMonitor(std::size_t k);
+  RecomputeMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override { return "recompute"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+ private:
+  std::size_t k_;
+  ProtocolOptions popts_;
+  std::vector<NodeId> topk_ids_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,108 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/ground_truth.hpp"
+#include "core/ordered_topk_monitor.hpp"
+#include "util/log.hpp"
+
+namespace topkmon {
+
+namespace {
+
+void check_step(const MonitorBase& monitor, const Cluster& cluster,
+                const RunConfig& cfg, TimeStep t, RunResult* result,
+                bool throw_on_error) {
+  if (cfg.validation == RunConfig::Validation::kOff) return;
+
+  bool ok = true;
+  if (cfg.validation == RunConfig::Validation::kStrict) {
+    const auto expected = true_topk_set(cluster, cfg.k);
+    ok = (monitor.topk() == expected);
+  } else {
+    ok = is_valid_topk(cluster, monitor.topk());
+  }
+
+  if (ok && cfg.validate_order) {
+    if (const auto* ordered = dynamic_cast<const OrderedTopkMonitor*>(&monitor)) {
+      const auto expected = true_topk_ordered(cluster, cfg.k);
+      ok = (ordered->ordered_topk() == expected);
+    }
+  }
+
+  if (!ok) {
+    result->correct = false;
+    if (!result->first_error_step.has_value()) result->first_error_step = t;
+    if (throw_on_error) {
+      std::ostringstream msg;
+      msg << "monitor '" << monitor.name() << "' diverged from ground truth "
+          << "at step " << t;
+      throw std::logic_error(msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
+                      const RunConfig& cfg, bool throw_on_error) {
+  if (streams.size() != cfg.n) {
+    throw std::invalid_argument("run_monitor: stream count != n");
+  }
+  if (cfg.k == 0 || cfg.k > cfg.n) {
+    throw std::invalid_argument("run_monitor: k out of range");
+  }
+
+  Cluster cluster(cfg.n, cfg.seed);
+  if (cfg.record_series) cluster.stats().enable_series();
+
+  RunResult result;
+  result.monitor_name = std::string(monitor.name());
+  if (cfg.record_trace) result.trace.emplace(cfg.n, cfg.steps + 1);
+
+  // Time 0: first observations + initialization.
+  cluster.stats().begin_step(0);
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    const Value v = streams.advance(id);
+    cluster.set_value(id, v);
+    if (result.trace.has_value()) result.trace->at(0, id) = v;
+  }
+  monitor.initialize(cluster);
+  check_step(monitor, cluster, cfg, 0, &result, throw_on_error);
+  ++result.steps_executed;
+
+  // Steps 1..steps.
+  for (TimeStep t = 1; t <= cfg.steps; ++t) {
+    cluster.stats().begin_step(t);
+    for (NodeId id = 0; id < cfg.n; ++id) {
+      const Value v = streams.advance(id);
+      cluster.set_value(id, v);
+      if (result.trace.has_value()) result.trace->at(t, id) = v;
+    }
+    monitor.step(cluster, t);
+    check_step(monitor, cluster, cfg, t, &result, throw_on_error);
+    ++result.steps_executed;
+  }
+
+  result.comm = cluster.stats();
+  result.monitor = monitor.monitor_stats();
+  return result;
+}
+
+double competitive_ratio(const RunResult& result, std::size_t k) {
+  if (!result.trace.has_value()) {
+    throw std::invalid_argument(
+        "competitive_ratio: run was executed without record_trace");
+  }
+  const auto opt = compute_offline_opt(*result.trace, k);
+  // The paper charges OPT at least one message per filter-update epoch;
+  // the initial epoch's setup is charged to both algorithms, so compare
+  // against max(1, updates) to avoid division by zero on silent traces.
+  const auto denom = std::max<std::size_t>(1, opt.updates());
+  return static_cast<double>(result.comm.total()) /
+         static_cast<double>(denom);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,78 @@
+// Experiment runner: drives a monitor over a stream set for T steps,
+// validates the coordinator's answer against the ground truth after every
+// step, and collects message/event statistics (optionally the full value
+// trace, enabling the offline-optimal comparison and competitive ratios).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "core/offline_opt.hpp"
+#include "sim/cluster.hpp"
+#include "streams/stream.hpp"
+#include "streams/trace.hpp"
+
+namespace topkmon {
+
+struct RunConfig {
+  std::size_t n = 16;         ///< number of nodes
+  std::size_t k = 4;          ///< monitored top-k size
+  std::size_t steps = 1'000;  ///< observation steps after initialization
+  std::uint64_t seed = 42;    ///< cluster / protocol randomness seed
+
+  /// Validation mode: `kStrict` requires set equality with the ground
+  /// truth (assumes pairwise-distinct values); `kWeak` accepts any valid
+  /// top-k under ties; `kOff` skips validation (pure benchmarking).
+  enum class Validation { kStrict, kWeak, kOff };
+  Validation validation = Validation::kStrict;
+
+  /// For monitors exposing an order (OrderedTopkMonitor): also check the
+  /// rank order against the ground truth.
+  bool validate_order = false;
+
+  /// Record the full value trace (needed for offline-OPT comparison).
+  bool record_trace = false;
+
+  /// Record the per-step message series.
+  bool record_series = false;
+};
+
+struct RunResult {
+  std::string monitor_name;
+  std::size_t steps_executed = 0;
+
+  // Communication totals (copied from the cluster at the end of the run).
+  CommStats comm;
+  MonitorStats monitor;
+
+  // Validation outcome.
+  bool correct = true;
+  std::optional<TimeStep> first_error_step;
+
+  // Optional artifacts.
+  std::optional<TraceMatrix> trace;
+
+  /// Messages per step (total / steps; initialization included).
+  double messages_per_step() const noexcept {
+    return steps_executed == 0
+               ? 0.0
+               : static_cast<double>(comm.total()) /
+                     static_cast<double>(steps_executed);
+  }
+};
+
+/// Runs `monitor` over `streams` (must have exactly cfg.n streams).
+/// Step 0 initializes; steps 1..cfg.steps call monitor.step(). Throws
+/// std::logic_error on validation failure unless cfg tolerates it — the
+/// failure is also recorded in the result (set `throw_on_error=false`).
+RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
+                      const RunConfig& cfg, bool throw_on_error = true);
+
+/// Computes the empirical competitive ratio of a finished run against the
+/// offline optimum on the recorded trace: total messages / max(1, OPT
+/// updates). Requires cfg.record_trace to have been set.
+double competitive_ratio(const RunResult& result, std::size_t k);
+
+}  // namespace topkmon

@@ -1,0 +1,191 @@
+#include "core/slack_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace topkmon {
+
+SlackMonitor::SlackMonitor(std::size_t k) : SlackMonitor(k, Options{}) {}
+
+SlackMonitor::SlackMonitor(std::size_t k, Options opts) : k_(k), opts_(opts) {
+  if (k == 0) throw std::invalid_argument("SlackMonitor: k must be >= 1");
+  if (!(opts.alpha > 0.0 && opts.alpha < 1.0)) {
+    throw std::invalid_argument("SlackMonitor: alpha must be in (0, 1)");
+  }
+}
+
+void SlackMonitor::initialize(Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  if (k_ > n) throw std::invalid_argument("SlackMonitor: k > n");
+  filters_.assign(n, Filter{});
+  in_topk_.assign(n, 0);
+  degenerate_ = (k_ == n);
+  if (degenerate_) {
+    std::fill(in_topk_.begin(), in_topk_.end(), char{1});
+    rebuild_id_lists();
+    return;
+  }
+  reset(cluster);
+}
+
+std::vector<std::pair<NodeId, Value>> SlackMonitor::poll(
+    Cluster& cluster, const std::vector<NodeId>& side) {
+  Network& net = cluster.net();
+  Message shout;
+  shout.kind = MsgKind::kProtocolStart;
+  net.coord_broadcast(shout);
+  for (const NodeId id : side) {
+    (void)net.drain_node(id);
+    Message report;
+    report.kind = MsgKind::kValueReport;
+    report.a = cluster.value(id);
+    net.node_send(id, report);
+  }
+  mstats_.polls += side.size();
+  std::vector<std::pair<NodeId, Value>> out;
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind != MsgKind::kValueReport) continue;
+    out.emplace_back(m.from, m.a);
+  }
+  return out;
+}
+
+void SlackMonitor::step(Cluster& cluster, TimeStep) {
+  if (degenerate_) return;
+  const std::size_t n = cluster.size();
+
+  std::vector<NodeId> viol_top;
+  std::vector<NodeId> viol_bot;
+  for (NodeId id = 0; id < n; ++id) {
+    if (filters_[id].contains(cluster.value(id))) continue;
+    (in_topk_[id] ? viol_top : viol_bot).push_back(id);
+  }
+  if (viol_top.empty() && viol_bot.empty()) return;
+
+  ++mstats_.violation_steps;
+  mstats_.violations += viol_top.size() + viol_bot.size();
+  top_violations_ += viol_top.size();
+  bot_violations_ += viol_bot.size();
+
+  Network& net = cluster.net();
+  // B&O-style: every violator reports its fresh value directly.
+  for (const NodeId id : viol_top) {
+    Message m;
+    m.kind = MsgKind::kViolation;
+    m.a = cluster.value(id);
+    m.b = -1;
+    net.node_send(id, m);
+  }
+  for (const NodeId id : viol_bot) {
+    Message m;
+    m.kind = MsgKind::kViolation;
+    m.a = cluster.value(id);
+    m.b = +1;
+    net.node_send(id, m);
+  }
+  Value viol_min = kPlusInf;   // min over violating top-k values
+  Value viol_max = kMinusInf;  // max over violating outsider values
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind != MsgKind::kViolation) continue;
+    if (m.b < 0) viol_min = std::min(viol_min, m.a);
+    else viol_max = std::max(viol_max, m.a);
+  }
+
+  ++mstats_.handler_calls;
+  // Resolution: poll the side whose extremum the violations did not
+  // deliver (same information requirement as Algorithm 1's handler, but
+  // satisfied by a full-side poll).
+  std::optional<Value> min_v;
+  std::optional<Value> max_v;
+  if (!viol_top.empty()) min_v = viol_min;
+  if (!viol_bot.empty()) max_v = viol_max;
+  if (!max_v.has_value()) {
+    Value best = kMinusInf;
+    for (const auto& [id, v] : poll(cluster, rest_list_)) best = std::max(best, v);
+    max_v = best;
+  } else {
+    Value best = kPlusInf;
+    for (const auto& [id, v] : poll(cluster, topk_list_)) best = std::min(best, v);
+    min_v = best;
+  }
+
+  tplus_ = std::min(tplus_, *min_v);
+  tminus_ = std::max(tminus_, *max_v);
+
+  if (tplus_ < tminus_) {
+    reset(cluster);
+  } else {
+    ++mstats_.midpoint_updates;
+    const double a = effective_alpha();
+    const auto gap = static_cast<double>(tplus_ - tminus_);
+    Value b = tminus_ + static_cast<Value>(std::floor(a * gap));
+    b = std::clamp(b, tminus_, tplus_);
+    apply_boundary(cluster, b);
+  }
+}
+
+double SlackMonitor::effective_alpha() const noexcept {
+  if (!opts_.adaptive) return opts_.alpha;
+  // Give more head-room to the side violating more often: frequent
+  // outsider (rising) violations push the boundary up, and vice versa.
+  const double bot = static_cast<double>(bot_violations_) + 1.0;
+  const double top = static_cast<double>(top_violations_) + 1.0;
+  return bot / (bot + top);
+}
+
+void SlackMonitor::reset(Cluster& cluster) {
+  ++mstats_.filter_resets;
+  // Poll everyone (B&O's resolution ultimately touches all participating
+  // nodes), rank locally, place the boundary inside the (v_k, v_{k+1}) gap.
+  const auto all = poll(cluster, cluster.all_ids());
+  std::vector<std::pair<Value, NodeId>> order;
+  order.reserve(all.size());
+  for (const auto& [id, v] : all) order.emplace_back(v, id);
+  std::sort(order.begin(), order.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+
+  std::fill(in_topk_.begin(), in_topk_.end(), char{0});
+  for (std::size_t i = 0; i < k_; ++i) in_topk_[order[i].second] = 1;
+  rebuild_id_lists();
+
+  tplus_ = order[k_ - 1].first;
+  tminus_ = order[k_].first;
+  top_violations_ = 0;
+  bot_violations_ = 0;
+
+  const double a = effective_alpha();
+  const auto gap = static_cast<double>(tplus_ - tminus_);
+  Value b = tminus_ + static_cast<Value>(std::floor(a * gap));
+  b = std::clamp(b, tminus_, tplus_);
+  apply_boundary(cluster, b);
+}
+
+void SlackMonitor::apply_boundary(Cluster& cluster, Value b) {
+  bound_ = b;
+  Message update;
+  update.kind = MsgKind::kFilterUpdate;
+  update.a = b;
+  cluster.net().coord_broadcast(update);
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    filters_[i] = in_topk_[i] ? Filter{b, kPlusInf} : Filter{kMinusInf, b};
+  }
+}
+
+void SlackMonitor::rebuild_id_lists() {
+  topk_ids_.clear();
+  topk_list_.clear();
+  rest_list_.clear();
+  for (NodeId id = 0; id < in_topk_.size(); ++id) {
+    if (in_topk_[id]) {
+      topk_ids_.push_back(id);
+      topk_list_.push_back(id);
+    } else {
+      rest_list_.push_back(id);
+    }
+  }
+}
+
+}  // namespace topkmon

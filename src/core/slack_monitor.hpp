@@ -1,0 +1,73 @@
+// Babcock–Olston-inspired baseline ("slack" filter placement + poll-based
+// resolution). B&O's distributed top-k monitoring keeps per-node
+// arithmetic constraints with *adaptive slack* and resolves violations by
+// directly contacting the involved nodes. Mapped onto our single-value-
+// per-node setting this becomes:
+//
+//  * the filter boundary between top-k and the rest is placed at
+//    B = T- + alpha * (T+ - T-) instead of the midpoint; alpha either
+//    fixed or adapted to the observed violation mix (more slack for the
+//    side that violates more often);
+//  * violation resolution polls a whole side with one shout-echo cycle
+//    (1 broadcast + side-size reports) instead of the randomized
+//    O(log n) protocol; a reset polls everyone.
+//
+// This comparator isolates two design choices of Algorithm 1: the
+// randomized extremum protocol (vs polling) and the midpoint placement
+// (vs asymmetric slack) — see experiment E8.
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+
+namespace topkmon {
+
+class SlackMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    /// Boundary position within [T-, T+] (0 = at T-, 1 = at T+).
+    double alpha = 0.5;
+    /// Adapt alpha to the violation mix since the last reset.
+    bool adaptive = false;
+  };
+
+  explicit SlackMonitor(std::size_t k);
+  SlackMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override {
+    return opts_.adaptive ? "slack_adaptive" : "slack_fixed";
+  }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  Value boundary() const noexcept { return bound_; }
+
+ private:
+  /// One shout-echo poll over `side`; returns (id, value) pairs.
+  std::vector<std::pair<NodeId, Value>> poll(Cluster& cluster,
+                                             const std::vector<NodeId>& side);
+  void reset(Cluster& cluster);
+  void apply_boundary(Cluster& cluster, Value b);
+  double effective_alpha() const noexcept;
+  void rebuild_id_lists();
+
+  std::size_t k_;
+  Options opts_;
+  bool degenerate_ = false;
+
+  std::vector<Filter> filters_;
+  std::vector<char> in_topk_;
+  std::vector<NodeId> topk_ids_;
+  std::vector<NodeId> topk_list_;
+  std::vector<NodeId> rest_list_;
+  Value tplus_ = 0;
+  Value tminus_ = 0;
+  Value bound_ = 0;
+  std::uint64_t top_violations_ = 0;  ///< since last reset
+  std::uint64_t bot_violations_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,168 @@
+#include "core/topk_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/select_topk.hpp"
+#include "util/log.hpp"
+
+namespace topkmon {
+
+TopkFilterMonitor::TopkFilterMonitor(std::size_t k)
+    : TopkFilterMonitor(k, Options{}) {}
+
+TopkFilterMonitor::TopkFilterMonitor(std::size_t k, Options opts)
+    : k_(k), opts_(opts) {
+  if (k == 0) {
+    throw std::invalid_argument("TopkFilterMonitor: k must be >= 1");
+  }
+  popts_.suppress_idle_broadcasts = opts_.suppress_idle_broadcasts;
+}
+
+void TopkFilterMonitor::initialize(Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  if (k_ > n) {
+    throw std::invalid_argument("TopkFilterMonitor: k > n");
+  }
+  filters_.assign(n, Filter{});
+  in_topk_.assign(n, 0);
+  degenerate_ = (k_ == n);
+  if (degenerate_) {
+    // All nodes are the answer forever; unbounded filters, zero messages.
+    std::fill(in_topk_.begin(), in_topk_.end(), char{1});
+    rebuild_id_lists();
+    return;
+  }
+  filter_reset(cluster);
+}
+
+void TopkFilterMonitor::step(Cluster& cluster, TimeStep) {
+  if (degenerate_) return;
+  const std::size_t n = cluster.size();
+
+  // Node-local violation checks (Algorithm 1, lines 2-9).
+  std::vector<NodeId> viol_top;
+  std::vector<NodeId> viol_bot;
+  for (NodeId id = 0; id < n; ++id) {
+    const Value v = cluster.value(id);
+    if (filters_[id].contains(v)) continue;
+    (in_topk_[id] ? viol_top : viol_bot).push_back(id);
+  }
+  if (viol_top.empty() && viol_bot.empty()) return;
+
+  ++mstats_.violation_steps;
+  mstats_.violations += viol_top.size() + viol_bot.size();
+
+  // Violating former top-k members run MINIMUMPROTOCOL(k) (line 5);
+  // violating outsiders run MAXIMUMPROTOCOL(n-k) (line 7).
+  std::optional<Value> min_v;
+  std::optional<Value> max_v;
+  if (!viol_top.empty()) {
+    const auto res = run_min_protocol(cluster, viol_top, k_, popts_);
+    ++mstats_.protocol_runs;
+    min_v = res.extremum;
+  }
+  if (!viol_bot.empty()) {
+    const auto res = run_max_protocol(cluster, viol_bot, n - k_, popts_);
+    ++mstats_.protocol_runs;
+    max_v = res.extremum;
+  }
+  violation_handler(cluster, min_v, max_v);
+}
+
+void TopkFilterMonitor::violation_handler(Cluster& cluster,
+                                          std::optional<Value> min_v,
+                                          std::optional<Value> max_v) {
+  ++mstats_.handler_calls;
+  const std::size_t n = cluster.size();
+
+  // Lines 22-26: obtain the side extremum the violations did not deliver.
+  // Violator-side extrema already equal the side-wide extrema (violators
+  // are exactly the nodes beyond the shared boundary M), so after this
+  // block both values are the *current* side extrema.
+  if (!max_v.has_value()) {
+    Message start;
+    start.kind = MsgKind::kProtocolStart;
+    start.a = 0;  // side: non-top-k
+    cluster.net().coord_broadcast(start);
+    const auto res = run_max_protocol(cluster, rest_list_, n - k_, popts_);
+    ++mstats_.protocol_runs;
+    max_v = res.extremum;
+  } else {
+    Message start;
+    start.kind = MsgKind::kProtocolStart;
+    start.a = 1;  // side: top-k
+    cluster.net().coord_broadcast(start);
+    const auto res = run_min_protocol(cluster, topk_list_, k_, popts_);
+    ++mstats_.protocol_runs;
+    min_v = res.extremum;
+  }
+
+  // Lines 27-28: accumulate T+ and T- since the last reset.
+  tplus_ = std::min(tplus_, *min_v);
+  tminus_ = std::max(tminus_, *max_v);
+
+  if (tplus_ < tminus_) {
+    // Line 30: the top-k set may have changed; recompute from scratch.
+    filter_reset(cluster);
+  } else {
+    // Lines 32-33: halve the gap; at most log Δ times between resets.
+    ++mstats_.midpoint_updates;
+    apply_boundary(cluster, midpoint(tminus_, tplus_));
+  }
+}
+
+void TopkFilterMonitor::filter_reset(Cluster& cluster) {
+  ++mstats_.filter_resets;
+  const std::size_t n = cluster.size();
+
+  // Lines 37-39: k+1 repeated MAXIMUMPROTOCOL(n) runs over the remaining
+  // candidates; each winner announcement doubles as the membership
+  // notification for the nodes.
+  const auto sel = select_extreme(cluster, cluster.all_ids(), k_ + 1, n,
+                                  Direction::kMax, popts_);
+  mstats_.protocol_runs += k_ + 1;
+  if (sel.winners.size() != k_ + 1) {
+    throw std::logic_error("filter_reset: selection returned too few winners");
+  }
+
+  std::fill(in_topk_.begin(), in_topk_.end(), char{0});
+  for (std::size_t i = 0; i < k_; ++i) in_topk_[sel.winners[i].id] = 1;
+  rebuild_id_lists();
+
+  // Restart the T+/T- accumulation epoch at the fresh k-th/(k+1)-st values.
+  tplus_ = sel.winners[k_ - 1].value;
+  tminus_ = sel.winners[k_].value;
+
+  // Lines 40-41.
+  apply_boundary(cluster, midpoint(tminus_, tplus_));
+}
+
+void TopkFilterMonitor::apply_boundary(Cluster& cluster, Value m) {
+  mid_ = m;
+  Message update;
+  update.kind = MsgKind::kFilterUpdate;
+  update.a = m;
+  cluster.net().coord_broadcast(update);
+  // Node-side effect of the broadcast: each node rebuilds its filter from
+  // (M, own membership flag).
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    filters_[i] = in_topk_[i] ? Filter{m, kPlusInf} : Filter{kMinusInf, m};
+  }
+}
+
+void TopkFilterMonitor::rebuild_id_lists() {
+  topk_ids_.clear();
+  topk_list_.clear();
+  rest_list_.clear();
+  for (NodeId id = 0; id < in_topk_.size(); ++id) {
+    if (in_topk_[id]) {
+      topk_ids_.push_back(id);
+      topk_list_.push_back(id);
+    } else {
+      rest_list_.push_back(id);
+    }
+  }
+}
+
+}  // namespace topkmon

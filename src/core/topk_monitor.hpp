@@ -1,0 +1,81 @@
+// Algorithm 1 of the paper: the randomized filter-based online algorithm
+// for Top-k-Position Monitoring.
+//
+// Invariants maintained between steps (checked by the test suite):
+//  * filters form a valid set of filters (Lemma 2.2): top-k nodes hold
+//    [M, +inf], the rest hold [-inf, M] for the current boundary M;
+//  * the coordinator's top-k set equals the ground truth.
+//
+// Per time step: nodes with filter violations run MINIMUMPROTOCOL(k)
+// (former top-k members whose value fell below M) and MAXIMUMPROTOCOL(n-k)
+// (outsiders whose value rose above M). FILTERVIOLATIONHANDLER then obtains
+// the missing side's extremum over the *whole* side, accumulates
+// T+ (lowest top-k value seen since the last reset) and T- (highest
+// outsider value), and either halves the filter gap by broadcasting the
+// midpoint of [T-, T+] — possible at most log Δ times — or, if T+ < T-,
+// rebuilds everything via FILTERRESET (k+1 repeated MAXIMUMPROTOCOL runs).
+// This yields the paper's O((log Δ + k) · M(n)) competitiveness
+// (Theorem 3.3; with Algorithm 2 as the protocol, Theorem 4.4).
+#pragma once
+
+#include <optional>
+
+#include "core/filter.hpp"
+#include "core/monitor.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+class TopkFilterMonitor final : public MonitorBase {
+ public:
+  struct Options {
+    /// Forwarded to every protocol execution (beacon-suppression ablation).
+    bool suppress_idle_broadcasts = false;
+  };
+
+  /// Monitors the k largest values. Requires 1 <= k <= n at initialize().
+  explicit TopkFilterMonitor(std::size_t k);
+  TopkFilterMonitor(std::size_t k, Options opts);
+
+  std::string_view name() const override { return "topk_filter"; }
+  void initialize(Cluster& cluster) override;
+  void step(Cluster& cluster, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  // -- introspection for tests ------------------------------------------------
+  /// Current common filter boundary M.
+  Value boundary() const noexcept { return mid_; }
+  /// Current node filters (node-side state).
+  const std::vector<Filter>& filters() const noexcept { return filters_; }
+  /// Current membership flags.
+  const std::vector<char>& membership() const noexcept { return in_topk_; }
+  /// Accumulated T+ / T- since the last reset.
+  Value t_plus() const noexcept { return tplus_; }
+  Value t_minus() const noexcept { return tminus_; }
+
+ private:
+  void filter_reset(Cluster& cluster);
+  void violation_handler(Cluster& cluster, std::optional<Value> min_v,
+                         std::optional<Value> max_v);
+  void apply_boundary(Cluster& cluster, Value m);
+  void rebuild_id_lists();
+
+  std::size_t k_;
+  Options opts_;
+  ProtocolOptions popts_;
+  bool degenerate_ = false;  ///< k == n: the answer can never change
+
+  // Node-side state (one entry per node).
+  std::vector<Filter> filters_;
+  std::vector<char> in_topk_;
+
+  // Coordinator-side state.
+  std::vector<NodeId> topk_ids_;   ///< sorted by id (canonical answer)
+  std::vector<NodeId> topk_list_;  ///< membership lists for protocol runs
+  std::vector<NodeId> rest_list_;
+  Value tplus_ = 0;
+  Value tminus_ = 0;
+  Value mid_ = 0;
+};
+
+}  // namespace topkmon

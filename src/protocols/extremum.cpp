@@ -1,0 +1,166 @@
+#include "protocols/extremum.hpp"
+
+#include <stdexcept>
+
+namespace topkmon {
+
+namespace {
+
+/// Beacon payload packing: a = value, b = (epoch << 32) | holder.
+std::int64_t pack_beacon_b(std::uint32_t epoch, NodeId holder) noexcept {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(epoch) << 32) |
+      static_cast<std::uint64_t>(holder));
+}
+
+struct UnpackedBeacon {
+  std::uint32_t epoch;
+  NodeId holder;
+};
+
+UnpackedBeacon unpack_beacon_b(std::int64_t b) noexcept {
+  const auto raw = static_cast<std::uint64_t>(b);
+  return {static_cast<std::uint32_t>(raw >> 32),
+          static_cast<NodeId>(raw & 0xFFFFFFFFull)};
+}
+
+}  // namespace
+
+ProtocolResult run_extremum_protocol(Cluster& cluster,
+                                     std::span<const NodeId> participants,
+                                     std::uint64_t n_upper, Direction dir,
+                                     const ProtocolOptions& opts) {
+  ProtocolResult result;
+  if (participants.empty()) return result;
+  if (n_upper < participants.size()) {
+    throw std::invalid_argument(
+        "run_extremum_protocol: N must upper-bound the participant count");
+  }
+
+  const std::uint32_t epoch = cluster.next_protocol_epoch();
+  const std::uint64_t n_pow2 = next_pow2(n_upper);
+  const std::uint32_t log_n = floor_log2(n_pow2);
+
+  Network& net = cluster.net();
+
+  // Node-side per-participant view of the latest beacon of *this* epoch.
+  // Indexed like `participants`; knowledge arrives only via drained
+  // broadcasts.
+  struct NodeView {
+    bool has_beacon = false;
+    Value beacon_value = 0;
+    NodeId beacon_holder = kNoHolder;
+  };
+  std::vector<NodeView> views(participants.size());
+
+  for (const NodeId id : participants) cluster.node(id).active = true;
+
+  // Coordinator-side running extremum, fed exclusively by received reports.
+  bool have_best = false;
+  Value best_value = 0;
+  NodeId best_holder = kNoHolder;
+
+  for (std::uint32_t r = 0; r <= log_n; ++r) {
+    ++result.rounds;
+
+    // --- node phase -------------------------------------------------------
+    for (std::size_t idx = 0; idx < participants.size(); ++idx) {
+      const NodeId id = participants[idx];
+      NodeRuntime& node = cluster.node(id);
+      if (!node.active) continue;
+
+      // Receive pending broadcasts; keep only beacons of this epoch.
+      for (const Message& m : net.drain_node(id)) {
+        if (m.kind != MsgKind::kRoundBeacon) continue;
+        const auto beacon = unpack_beacon_b(m.b);
+        if (beacon.epoch != epoch) continue;
+        // A beacon without a holder means "no report seen yet" and carries
+        // no deactivation power (matters for the minimum direction, where
+        // any sentinel value would wrongly beat real values).
+        if (beacon.holder == kNoHolder) continue;
+        views[idx].has_beacon = true;
+        views[idx].beacon_value = m.a;
+        views[idx].beacon_holder = beacon.holder;
+      }
+
+      // Line 8: a node beaten by the broadcast extremum deactivates.
+      if (views[idx].has_beacon &&
+          !beats(dir, node.value, id, views[idx].beacon_value,
+                 views[idx].beacon_holder)) {
+        node.active = false;
+        continue;
+      }
+
+      // Line 11: Bernoulli(2^r / N) coin flip.
+      if (node.rng.bernoulli_pow2(r, log_n)) {
+        Message report;
+        report.kind = MsgKind::kValueReport;
+        report.a = node.value;
+        net.node_send(id, report);
+        ++result.reports;
+        node.active = false;
+      }
+    }
+
+    // --- coordinator phase --------------------------------------------------
+    bool improved = false;
+    for (const Message& m : net.drain_coordinator()) {
+      if (m.kind != MsgKind::kValueReport) continue;
+      if (!have_best || beats(dir, m.a, m.from, best_value, best_holder)) {
+        have_best = true;
+        best_value = m.a;
+        best_holder = m.from;
+        improved = true;
+      }
+    }
+
+    // Line 18: broadcast the running extremum (optionally only on change).
+    const bool is_last_round = (r == log_n);
+    if (!opts.suppress_idle_broadcasts || (improved && !is_last_round)) {
+      if (!is_last_round) {  // a beacon after the final round informs nobody
+        Message beacon;
+        beacon.kind = MsgKind::kRoundBeacon;
+        beacon.a = have_best ? best_value : kMinusInf;
+        beacon.b = pack_beacon_b(epoch, have_best ? best_holder : kNoHolder);
+        net.coord_broadcast(beacon);
+        ++result.beacons;
+      }
+    }
+  }
+
+  // The final round has success probability 1, so every node that was still
+  // active reported; with >= 1 participant the coordinator saw >= 1 report.
+  result.found = have_best;
+  result.winner = best_holder;
+  result.extremum = best_value;
+
+  if (opts.announce_winner && result.found) {
+    Message announce;
+    announce.kind = MsgKind::kWinnerAnnounce;
+    announce.a = result.extremum;
+    announce.b = pack_beacon_b(epoch, result.winner);
+    net.coord_broadcast(announce);
+    ++result.announces;
+  }
+
+  for (const NodeId id : participants) cluster.node(id).active = false;
+  return result;
+}
+
+ProtocolResult run_max_protocol(Cluster& cluster,
+                                std::span<const NodeId> participants,
+                                std::uint64_t n_upper,
+                                const ProtocolOptions& opts) {
+  return run_extremum_protocol(cluster, participants, n_upper, Direction::kMax,
+                               opts);
+}
+
+ProtocolResult run_min_protocol(Cluster& cluster,
+                                std::span<const NodeId> participants,
+                                std::uint64_t n_upper,
+                                const ProtocolOptions& opts) {
+  return run_extremum_protocol(cluster, participants, n_upper, Direction::kMin,
+                               opts);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,32 @@
+#include "protocols/select_topk.hpp"
+
+#include <algorithm>
+
+namespace topkmon {
+
+SelectTopkResult select_extreme(Cluster& cluster,
+                                std::span<const NodeId> candidates,
+                                std::size_t m, std::uint64_t n_upper,
+                                Direction dir,
+                                const ProtocolOptions& base_opts) {
+  SelectTopkResult result;
+  std::vector<NodeId> remaining(candidates.begin(), candidates.end());
+
+  ProtocolOptions opts = base_opts;
+  opts.announce_winner = true;  // winners must become common knowledge
+
+  for (std::size_t i = 0; i < m && !remaining.empty(); ++i) {
+    const ProtocolResult round =
+        run_extremum_protocol(cluster, remaining, n_upper, dir, opts);
+    result.reports += round.reports;
+    result.beacons += round.beacons;
+    result.announces += round.announces;
+    if (!round.found) break;  // defensive; cannot happen with participants
+    result.winners.push_back(SelectionEntry{round.winner, round.extremum});
+    remaining.erase(std::remove(remaining.begin(), remaining.end(), round.winner),
+                    remaining.end());
+  }
+  return result;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,44 @@
+// Repeated-extremum selection: determines the m largest (or smallest)
+// values and their holders by running Algorithm 2 m times, excluding the
+// winner after each run (the paper's FILTERRESET, lines 37-39, uses exactly
+// this with m = k+1). Expected cost O(m log N); each iteration's
+// kWinnerAnnounce broadcast lets every node track the winner set, which
+// FILTERRESET reuses as the top-k membership notification.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocols/extremum.hpp"
+#include "sim/cluster.hpp"
+
+namespace topkmon {
+
+struct SelectionEntry {
+  NodeId id = kNoHolder;
+  Value value = 0;
+};
+
+struct SelectTopkResult {
+  /// Winners in selection order (best first). May be shorter than m if the
+  /// candidate set was smaller.
+  std::vector<SelectionEntry> winners;
+  std::uint64_t reports = 0;
+  std::uint64_t beacons = 0;
+  std::uint64_t announces = 0;
+
+  std::uint64_t messages() const noexcept {
+    return reports + beacons + announces;
+  }
+};
+
+/// Selects the m extremal nodes among `candidates` (direction `dir`),
+/// best-first. `n_upper` is the protocol bound N used for every iteration,
+/// as in FILTERRESET ("apply MAXIMUMPROTOCOL(n)").
+SelectTopkResult select_extreme(Cluster& cluster,
+                                std::span<const NodeId> candidates,
+                                std::size_t m, std::uint64_t n_upper,
+                                Direction dir = Direction::kMax,
+                                const ProtocolOptions& base_opts = {});
+
+}  // namespace topkmon

@@ -1,0 +1,48 @@
+#include "protocols/sequential_probe.hpp"
+
+namespace topkmon {
+
+SequentialProbeResult run_sequential_probe_max(Cluster& cluster,
+                                               std::span<const NodeId> order) {
+  SequentialProbeResult result;
+  Network& net = cluster.net();
+
+  for (const NodeId id : order) {
+    // The node reads the best-so-far broadcasts before deciding to speak.
+    Value best_known = kMinusInf;
+    bool has_best = false;
+    for (const Message& m : net.drain_node(id)) {
+      if (m.kind != MsgKind::kRoundBeacon) continue;
+      best_known = m.a;
+      has_best = true;
+    }
+    const Value v = cluster.value(id);
+    const bool should_report = !has_best || v > best_known;
+    if (!should_report) continue;
+
+    Message report;
+    report.kind = MsgKind::kValueReport;
+    report.a = v;
+    net.node_send(id, report);
+    ++result.reports;
+
+    for (const Message& m : net.drain_coordinator()) {
+      if (m.kind != MsgKind::kValueReport) continue;
+      if (!result.found || m.a > result.maximum ||
+          (m.a == result.maximum && m.from < result.winner)) {
+        result.found = true;
+        result.winner = m.from;
+        result.maximum = m.a;
+      }
+    }
+
+    Message beacon;
+    beacon.kind = MsgKind::kRoundBeacon;
+    beacon.a = result.maximum;
+    net.coord_broadcast(beacon);
+    ++result.broadcasts;
+  }
+  return result;
+}
+
+}  // namespace topkmon

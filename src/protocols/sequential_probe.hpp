@@ -1,0 +1,35 @@
+// The deterministic probing scheme from the Theorem 4.3 lower-bound proof:
+// the coordinator works through a fixed sequence of nodes; a node reports
+// only if its value beats the best broadcast so far, and every report
+// triggers a broadcast of the new best. On a uniformly random permutation
+// of distinct values the number of reports equals the number of
+// left-to-right maxima, whose expectation is the harmonic number
+// H_n = Θ(log n) — the experiment E3 checks exactly this.
+//
+// Sequencing note: the model's lock-step rounds give each node its slot;
+// "silence" in a slot is information-free and costs no message (standard
+// in this literature).
+#pragma once
+
+#include <span>
+
+#include "sim/cluster.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+struct SequentialProbeResult {
+  bool found = false;
+  NodeId winner = kNoHolder;
+  Value maximum = 0;
+  std::uint64_t reports = 0;     ///< nodes that beat the running maximum
+  std::uint64_t broadcasts = 0;  ///< best-so-far broadcasts (== reports)
+
+  std::uint64_t messages() const noexcept { return reports + broadcasts; }
+};
+
+/// Probes `order` front to back and returns the maximum.
+SequentialProbeResult run_sequential_probe_max(Cluster& cluster,
+                                               std::span<const NodeId> order);
+
+}  // namespace topkmon

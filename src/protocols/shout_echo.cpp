@@ -1,0 +1,75 @@
+#include "protocols/shout_echo.hpp"
+
+#include <algorithm>
+
+namespace topkmon {
+
+namespace {
+
+/// Shouts a probe and collects every participant's (id, value) echo.
+std::vector<SelectionEntry> shout_collect(Cluster& cluster,
+                                          std::span<const NodeId> participants,
+                                          std::uint64_t* shouts,
+                                          std::uint64_t* echoes) {
+  Network& net = cluster.net();
+
+  Message shout;
+  shout.kind = MsgKind::kProtocolStart;
+  net.coord_broadcast(shout);
+  ++*shouts;
+
+  for (const NodeId id : participants) {
+    // The node consumes its mailbox (the shout) and echoes its value.
+    (void)net.drain_node(id);
+    Message echo;
+    echo.kind = MsgKind::kValueReport;
+    echo.a = cluster.value(id);
+    net.node_send(id, echo);
+    ++*echoes;
+  }
+
+  std::vector<SelectionEntry> received;
+  for (const Message& m : net.drain_coordinator()) {
+    if (m.kind != MsgKind::kValueReport) continue;
+    received.push_back(SelectionEntry{m.from, m.a});
+  }
+  return received;
+}
+
+}  // namespace
+
+ShoutEchoResult run_shout_echo_extremum(Cluster& cluster,
+                                        std::span<const NodeId> participants,
+                                        Direction dir) {
+  ShoutEchoResult result;
+  if (participants.empty()) return result;
+  const auto received =
+      shout_collect(cluster, participants, &result.shouts, &result.echoes);
+  for (const auto& entry : received) {
+    if (!result.found || beats(dir, entry.value, entry.id, result.extremum,
+                               result.winner)) {
+      result.found = true;
+      result.winner = entry.id;
+      result.extremum = entry.value;
+    }
+  }
+  return result;
+}
+
+ShoutEchoTopkResult run_shout_echo_topk(Cluster& cluster,
+                                        std::span<const NodeId> participants,
+                                        std::size_t m, Direction dir) {
+  ShoutEchoTopkResult result;
+  if (participants.empty() || m == 0) return result;
+  auto received =
+      shout_collect(cluster, participants, &result.shouts, &result.echoes);
+  std::sort(received.begin(), received.end(),
+            [dir](const SelectionEntry& x, const SelectionEntry& y) {
+              return beats(dir, x.value, x.id, y.value, y.id);
+            });
+  if (received.size() > m) received.resize(m);
+  result.winners = std::move(received);
+  return result;
+}
+
+}  // namespace topkmon

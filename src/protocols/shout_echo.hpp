@@ -1,0 +1,49 @@
+// Shout-echo selection (related work [13,14]): the coordinator "shouts" a
+// query on the broadcast channel and *all* addressed nodes "echo" a reply.
+// This line of work minimizes the number of communication cycles, not the
+// number of messages — a single cycle already finds the maximum but costs
+// |participants| + 1 messages. Included as the message-heavy/round-light
+// counterpoint to Algorithm 2 in the ablation experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocols/select_topk.hpp"
+#include "sim/cluster.hpp"
+
+namespace topkmon {
+
+struct ShoutEchoResult {
+  bool found = false;
+  NodeId winner = kNoHolder;
+  Value extremum = 0;
+  std::uint64_t shouts = 0;   ///< coordinator broadcasts
+  std::uint64_t echoes = 0;   ///< node replies
+
+  std::uint64_t messages() const noexcept { return shouts + echoes; }
+};
+
+/// One shout-echo cycle computing the extremum: 1 broadcast, p echoes.
+ShoutEchoResult run_shout_echo_extremum(Cluster& cluster,
+                                        std::span<const NodeId> participants,
+                                        Direction dir = Direction::kMax);
+
+/// One shout-echo cycle retrieving *all* participant values; the
+/// coordinator sorts locally and returns the m best. Message cost is
+/// independent of m (p + 1): with full information the coordinator can
+/// select any statistic.
+struct ShoutEchoTopkResult {
+  std::vector<SelectionEntry> winners;  ///< best-first, length min(m, p)
+  std::uint64_t shouts = 0;
+  std::uint64_t echoes = 0;
+
+  std::uint64_t messages() const noexcept { return shouts + echoes; }
+};
+
+ShoutEchoTopkResult run_shout_echo_topk(Cluster& cluster,
+                                        std::span<const NodeId> participants,
+                                        std::size_t m,
+                                        Direction dir = Direction::kMax);
+
+}  // namespace topkmon

@@ -1,0 +1,19 @@
+#include "sim/cluster.hpp"
+
+namespace topkmon {
+
+Cluster::Cluster(std::size_t n, std::uint64_t seed)
+    : net_(n, &stats_), coord_rng_(Rng(seed).derive(0xC00Dull)) {
+  const Rng root(seed);
+  nodes_.reserve(n);
+  all_ids_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeRuntime nr;
+    nr.id = static_cast<NodeId>(i);
+    nr.rng = root.derive(i + 1);
+    nodes_.push_back(nr);
+    all_ids_.push_back(static_cast<NodeId>(i));
+  }
+}
+
+}  // namespace topkmon

@@ -1,0 +1,75 @@
+// The simulated distributed system: n node runtimes + coordinator + network.
+//
+// A Cluster owns the per-node state that belongs to the *machine* (current
+// observed value, the node's private RNG for protocol coin flips, protocol
+// scratch flags). Algorithm-specific node state (filters, membership flags)
+// lives in the algorithm implementations, mirroring what a node would store
+// on behalf of the currently deployed monitoring algorithm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Machine-level state of one distributed node.
+struct NodeRuntime {
+  NodeId id = 0;
+  /// Value currently observed on the node's private stream.
+  Value value = 0;
+  /// The node's private randomness source (Bernoulli(2^r/N) coin flips).
+  Rng rng;
+  /// Scratch flag used by protocol executions ("active" in Algorithm 2).
+  bool active = false;
+};
+
+/// A coordinator-plus-n-nodes system with unified message accounting.
+class Cluster {
+ public:
+  /// Builds a cluster of `n` nodes; all per-node RNGs and the coordinator
+  /// RNG derive deterministically from `seed`.
+  Cluster(std::size_t n, std::uint64_t seed);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  NodeRuntime& node(NodeId id) { return nodes_.at(id); }
+  const NodeRuntime& node(NodeId id) const { return nodes_.at(id); }
+
+  Value value(NodeId id) const { return nodes_.at(id).value; }
+  void set_value(NodeId id, Value v) { nodes_.at(id).value = v; }
+
+  /// Randomness available to the coordinator (e.g. for baseline sampling).
+  Rng& coordinator_rng() noexcept { return coord_rng_; }
+
+  Network& net() noexcept { return net_; }
+  const Network& net() const noexcept { return net_; }
+
+  CommStats& stats() noexcept { return stats_; }
+  const CommStats& stats() const noexcept { return stats_; }
+
+  /// All node ids 0..n-1 (convenience for "run protocol over everyone").
+  const std::vector<NodeId>& all_ids() const noexcept { return all_ids_; }
+
+  /// Issues a fresh protocol epoch. Round beacons are tagged with the epoch
+  /// of the protocol execution that produced them so that a node joining a
+  /// later execution ignores stale beacons still sitting in its mailbox.
+  std::uint32_t next_protocol_epoch() noexcept { return ++protocol_epoch_; }
+
+  /// Epoch of the most recently started protocol execution.
+  std::uint32_t current_protocol_epoch() const noexcept { return protocol_epoch_; }
+
+ private:
+  CommStats stats_;
+  Network net_;
+  std::vector<NodeRuntime> nodes_;
+  std::vector<NodeId> all_ids_;
+  Rng coord_rng_;
+  std::uint32_t protocol_epoch_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,81 @@
+#include "sim/event_log.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace topkmon {
+
+std::string_view msg_direction_name(MsgDirection d) noexcept {
+  switch (d) {
+    case MsgDirection::kUpstream: return "upstream";
+    case MsgDirection::kUnicast: return "unicast";
+    case MsgDirection::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+void EventLog::record(MsgDirection direction, const Message& message) {
+  events_.push_back(MessageEvent{current_step_, direction, message});
+}
+
+std::size_t EventLog::count_kind(MsgKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const MessageEvent& e) {
+                      return e.message.kind == kind;
+                    }));
+}
+
+std::size_t EventLog::count_kind_at(MsgKind kind, TimeStep step) const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(), [kind, step](const MessageEvent& e) {
+        return e.message.kind == kind && e.step == step;
+      }));
+}
+
+std::size_t EventLog::count_direction(MsgDirection d) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [d](const MessageEvent& e) { return e.direction == d; }));
+}
+
+std::vector<MessageEvent> EventLog::at_step(TimeStep step) const {
+  std::vector<MessageEvent> out;
+  for (const auto& e : events_) {
+    if (e.step == step) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TimeStep> EventLog::active_steps() const {
+  std::vector<TimeStep> steps;
+  for (const auto& e : events_) steps.push_back(e.step);
+  std::sort(steps.begin(), steps.end());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  return steps;
+}
+
+std::string EventLog::dump(std::size_t limit) const {
+  std::ostringstream out;
+  std::size_t emitted = 0;
+  for (const auto& e : events_) {
+    if (limit != 0 && emitted >= limit) {
+      out << "... (" << events_.size() - emitted << " more)\n";
+      break;
+    }
+    out << "t=" << e.step << " " << msg_direction_name(e.direction) << " "
+        << msg_kind_name(e.message.kind);
+    if (e.direction == MsgDirection::kUpstream) {
+      out << " from=" << e.message.from;
+    }
+    out << " a=" << e.message.a << " b=" << e.message.b << "\n";
+    ++emitted;
+  }
+  return out.str();
+}
+
+std::function<void(MsgDirection, const Message&)> EventLog::tap() {
+  return [this](MsgDirection d, const Message& m) { record(d, m); };
+}
+
+}  // namespace topkmon

@@ -1,0 +1,78 @@
+// Structured message tracing. An EventLog attaches to a Network as a tap
+// and records every message with its direction and the time step it was
+// charged to — the auditable counterpart of CommStats' aggregate counters.
+// Tests use it to assert fine-grained protocol behaviour ("exactly one
+// filter update was broadcast this step"); the examples use it for
+// post-mortem inspection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Direction of a recorded message.
+enum class MsgDirection : std::uint8_t {
+  kUpstream,   ///< node -> coordinator
+  kUnicast,    ///< coordinator -> one node
+  kBroadcast,  ///< coordinator -> all nodes
+};
+
+std::string_view msg_direction_name(MsgDirection d) noexcept;
+
+/// One recorded message event.
+struct MessageEvent {
+  TimeStep step = 0;
+  MsgDirection direction = MsgDirection::kUpstream;
+  Message message;
+};
+
+/// Append-only message trace with simple queries.
+class EventLog {
+ public:
+  /// Marks the beginning of time step `t`; later events are stamped with it.
+  void begin_step(TimeStep t) noexcept { current_step_ = t; }
+
+  /// Records one event (called by the Network tap).
+  void record(MsgDirection direction, const Message& message);
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  const std::vector<MessageEvent>& events() const noexcept { return events_; }
+
+  /// Number of recorded events of `kind` (optionally restricted to one step).
+  std::size_t count_kind(MsgKind kind) const;
+  std::size_t count_kind_at(MsgKind kind, TimeStep step) const;
+
+  /// Number of events in direction `d`.
+  std::size_t count_direction(MsgDirection d) const;
+
+  /// All events charged to time step `step`, in order.
+  std::vector<MessageEvent> at_step(TimeStep step) const;
+
+  /// Steps that carry at least one event, ascending, deduplicated.
+  std::vector<TimeStep> active_steps() const;
+
+  /// Human-readable dump ("t=3 broadcast filter_update a=512"), one event
+  /// per line; `limit` == 0 dumps everything.
+  std::string dump(std::size_t limit = 0) const;
+
+  void clear() noexcept {
+    events_.clear();
+    current_step_ = 0;
+  }
+
+  /// Builds a tap function bound to this log, suitable for Network::set_tap.
+  std::function<void(MsgDirection, const Message&)> tap();
+
+ private:
+  std::vector<MessageEvent> events_;
+  TimeStep current_step_ = 0;
+};
+
+}  // namespace topkmon

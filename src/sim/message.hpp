@@ -1,0 +1,83 @@
+// Message types exchanged between nodes and the coordinator.
+//
+// The paper's model allows messages of size O(log n + log max_i v_i) bits,
+// i.e. a constant number of ids/values. Every message in this library
+// carries at most two 64-bit payload words; anything larger would violate
+// the model and is rejected by construction (there is simply no wider
+// message type).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Wire-level message kinds. The `a`/`b` payload semantics are listed per
+/// kind; unused words are zero.
+enum class MsgKind : std::uint8_t {
+  /// node -> coordinator. A node reports its current value during a
+  /// max/min protocol run or a naive update. a = value, b = unused.
+  kValueReport = 0,
+  /// node -> coordinator. A node announces a filter violation together
+  /// with its current value (used by baselines that poll on violation).
+  /// a = value, b = side (0 = fell below, 1 = rose above).
+  kViolation,
+  /// coordinator broadcast. Per-round beacon of Algorithm 2 carrying the
+  /// running extremum. a = value, b = holder id (or kNoHolder).
+  kRoundBeacon,
+  /// coordinator broadcast. Announces the winner of one repeated-extremum
+  /// iteration (doubles as top-k membership notification during
+  /// FILTERRESET). a = value, b = winner id.
+  kWinnerAnnounce,
+  /// coordinator broadcast. New filter midpoint M (Algorithm 1 line 33/41).
+  /// a = M, b = generation counter.
+  kFilterUpdate,
+  /// coordinator broadcast. Starts a coordinator-initiated protocol run
+  /// over one side (Algorithm 1 lines 23/25). a = side, b = unused.
+  kProtocolStart,
+  /// coordinator -> node unicast. Direct filter assignment [a, b] (used by
+  /// baseline monitors that assign asymmetric per-node filters).
+  kFilterAssign,
+  /// coordinator -> node unicast. Probe request ("report your value");
+  /// used by the sequential-probe lower-bound algorithm and pollers.
+  kProbe,
+  kKindCount,
+};
+
+/// Number of distinct message kinds (for counter arrays).
+inline constexpr std::size_t kNumMsgKinds =
+    static_cast<std::size_t>(MsgKind::kKindCount);
+
+/// Sentinel "no node" id used in beacons before any report arrived.
+inline constexpr NodeId kNoHolder = static_cast<NodeId>(-1);
+
+/// Human-readable kind name for logs and per-kind accounting tables.
+std::string_view msg_kind_name(MsgKind kind) noexcept;
+
+/// A single message. `from` is the sending node for upstream messages and
+/// ignored for coordinator-originated ones.
+struct Message {
+  MsgKind kind = MsgKind::kValueReport;
+  NodeId from = kNoHolder;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+inline std::string_view msg_kind_name(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kValueReport: return "value_report";
+    case MsgKind::kViolation: return "violation";
+    case MsgKind::kRoundBeacon: return "round_beacon";
+    case MsgKind::kWinnerAnnounce: return "winner_announce";
+    case MsgKind::kFilterUpdate: return "filter_update";
+    case MsgKind::kProtocolStart: return "protocol_start";
+    case MsgKind::kFilterAssign: return "filter_assign";
+    case MsgKind::kProbe: return "probe";
+    case MsgKind::kKindCount: break;
+  }
+  return "?";
+}
+
+}  // namespace topkmon

@@ -1,0 +1,64 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topkmon {
+
+Network::Network(std::size_t n, CommStats* stats)
+    : stats_(stats), unicasts_(n), cursors_(n, 0) {
+  if (stats_ == nullptr) {
+    throw std::invalid_argument("Network requires a CommStats sink");
+  }
+}
+
+void Network::node_send(NodeId from, Message m) {
+  if (from >= num_nodes()) {
+    throw std::out_of_range("Network::node_send: bad node id");
+  }
+  m.from = from;
+  stats_->record_upstream(m.kind);
+  if (tap_) tap_(MsgDirection::kUpstream, m);
+  coord_inbox_.push_back(m);
+}
+
+void Network::coord_unicast(NodeId to, Message m) {
+  if (to >= num_nodes()) {
+    throw std::out_of_range("Network::coord_unicast: bad node id");
+  }
+  stats_->record_unicast(m.kind);
+  if (tap_) tap_(MsgDirection::kUnicast, m);
+  unicasts_[to].push_back(Stamped{seq_++, m});
+}
+
+void Network::coord_broadcast(Message m) {
+  stats_->record_broadcast(m.kind);
+  if (tap_) tap_(MsgDirection::kBroadcast, m);
+  broadcast_log_.push_back(Stamped{seq_++, m});
+}
+
+std::vector<Message> Network::drain_coordinator() {
+  std::vector<Message> out;
+  out.swap(coord_inbox_);
+  return out;
+}
+
+std::vector<Message> Network::drain_node(NodeId id) {
+  if (id >= num_nodes()) {
+    throw std::out_of_range("Network::drain_node: bad node id");
+  }
+  std::vector<Stamped> pending;
+  pending.swap(unicasts_[id]);
+  for (std::size_t c = cursors_[id]; c < broadcast_log_.size(); ++c) {
+    pending.push_back(broadcast_log_[c]);
+  }
+  cursors_[id] = broadcast_log_.size();
+  std::sort(pending.begin(), pending.end(),
+            [](const Stamped& x, const Stamped& y) { return x.seq < y.seq; });
+  std::vector<Message> out;
+  out.reserve(pending.size());
+  for (const auto& s : pending) out.push_back(s.msg);
+  return out;
+}
+
+}  // namespace topkmon

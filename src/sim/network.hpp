@@ -1,0 +1,92 @@
+// Message transport between n nodes and the coordinator.
+//
+// Topology per the paper's model: nodes can send to the coordinator only
+// (no node-to-node links); the coordinator can unicast to a single node
+// and has a broadcast channel delivering one message to all nodes
+// simultaneously. Delivery is instantaneous; protocols run in lock-step
+// rounds between consecutive stream observations.
+//
+// Broadcasts are stored once in a shared log with a per-node read cursor,
+// so a broadcast costs O(1) regardless of n.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "sim/event_log.hpp"
+#include "sim/message.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// The star network with broadcast channel. All sends are recorded in the
+/// attached CommStats; the transport itself performs no protocol logic.
+class Network {
+ public:
+  /// Creates a network for `n` nodes charging messages to `stats`.
+  /// `stats` must outlive the network.
+  Network(std::size_t n, CommStats* stats);
+
+  std::size_t num_nodes() const noexcept { return cursors_.size(); }
+
+  // -- sending --------------------------------------------------------------
+  /// Node `from` sends `m` to the coordinator (cost 1).
+  void node_send(NodeId from, Message m);
+
+  /// Coordinator sends `m` to node `to` (cost 1).
+  void coord_unicast(NodeId to, Message m);
+
+  /// Coordinator broadcasts `m` to all nodes (cost 1 in the paper's model).
+  void coord_broadcast(Message m);
+
+  // -- receiving ------------------------------------------------------------
+  /// Drains and returns everything in the coordinator's inbox, in arrival
+  /// order.
+  std::vector<Message> drain_coordinator();
+
+  /// True if the coordinator has pending messages.
+  bool coordinator_has_mail() const noexcept { return !coord_inbox_.empty(); }
+
+  /// Drains and returns node `id`'s pending messages: unicasts addressed to
+  /// it plus all broadcasts issued since its last drain, in send order
+  /// (broadcasts and unicasts interleaved by issue time).
+  std::vector<Message> drain_node(NodeId id);
+
+  /// Total broadcasts ever issued (== shared log length).
+  std::size_t broadcast_log_size() const noexcept { return broadcast_log_.size(); }
+
+  /// Installs (or clears, with nullptr semantics via empty function) a tap
+  /// invoked once per sent message with its direction — e.g.
+  /// `net.set_tap(event_log.tap())`. The tap observes; it cannot alter
+  /// delivery or accounting.
+  void set_tap(std::function<void(MsgDirection, const Message&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  /// Copy of the broadcast log messages in issue order (tests / tracing).
+  std::vector<Message> broadcast_log() const {
+    std::vector<Message> out;
+    out.reserve(broadcast_log_.size());
+    for (const auto& s : broadcast_log_) out.push_back(s.msg);
+    return out;
+  }
+
+ private:
+  struct Stamped {
+    std::uint64_t seq;
+    Message msg;
+  };
+
+  CommStats* stats_;
+  std::function<void(MsgDirection, const Message&)> tap_;
+  std::uint64_t seq_ = 0;  // global send-order stamp
+
+  std::vector<Message> coord_inbox_;
+  std::vector<Stamped> broadcast_log_;          // stamped for interleaving
+  std::vector<std::vector<Stamped>> unicasts_;  // per-node pending unicasts
+  std::vector<std::size_t> cursors_;            // per-node broadcast cursor
+};
+
+}  // namespace topkmon

@@ -1,0 +1,106 @@
+#include "streams/factory.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace topkmon {
+
+std::string_view family_name(StreamFamily family) noexcept {
+  switch (family) {
+    case StreamFamily::kRandomWalk: return "random_walk";
+    case StreamFamily::kIidUniform: return "iid_uniform";
+    case StreamFamily::kIidGaussian: return "iid_gaussian";
+    case StreamFamily::kZipf: return "zipf";
+    case StreamFamily::kPareto: return "pareto";
+    case StreamFamily::kSinusoidal: return "sinusoidal";
+    case StreamFamily::kBursty: return "bursty";
+    case StreamFamily::kRotatingMax: return "rotating_max";
+    case StreamFamily::kCrossingPairs: return "crossing_pairs";
+    case StreamFamily::kSensor: return "sensor";
+  }
+  return "?";
+}
+
+std::vector<StreamFamily> all_families() {
+  return {StreamFamily::kRandomWalk,    StreamFamily::kIidUniform,
+          StreamFamily::kIidGaussian,   StreamFamily::kZipf,
+          StreamFamily::kPareto,        StreamFamily::kSinusoidal,
+          StreamFamily::kBursty,        StreamFamily::kRotatingMax,
+          StreamFamily::kCrossingPairs, StreamFamily::kSensor};
+}
+
+namespace {
+
+std::unique_ptr<Stream> make_one(const StreamSpec& spec, NodeId id,
+                                 std::size_t n, const Rng& root) {
+  const Rng rng = root.derive(0x57AEull + id);
+  const double frac =
+      static_cast<double>(id + 1) / static_cast<double>(n + 1);
+  switch (spec.family) {
+    case StreamFamily::kRandomWalk: {
+      RandomWalkParams p = spec.walk;
+      p.start = p.lo + static_cast<Value>(
+                           static_cast<double>(p.hi - p.lo) * frac);
+      return std::make_unique<RandomWalkStream>(p, rng);
+    }
+    case StreamFamily::kIidUniform:
+      return std::make_unique<IidUniformStream>(spec.iid_lo, spec.iid_hi, rng);
+    case StreamFamily::kIidGaussian:
+      return std::make_unique<IidGaussianStream>(
+          spec.gauss_mean, spec.gauss_sigma, spec.iid_lo, spec.iid_hi, rng);
+    case StreamFamily::kZipf:
+      return std::make_unique<ZipfStream>(spec.zipf_ranks, spec.zipf_s,
+                                          spec.zipf_peak, rng);
+    case StreamFamily::kPareto:
+      return std::make_unique<ParetoStream>(spec.pareto_xm, spec.pareto_alpha,
+                                            spec.pareto_cap, rng);
+    case StreamFamily::kSinusoidal: {
+      SinusoidalParams p = spec.sinus;
+      p.phase = p.period * static_cast<double>(id) / static_cast<double>(n);
+      return std::make_unique<SinusoidalStream>(p, rng);
+    }
+    case StreamFamily::kBursty: {
+      BurstyParams p = spec.bursty;
+      p.start = p.lo + static_cast<Value>(
+                           static_cast<double>(p.hi - p.lo) * frac);
+      return std::make_unique<BurstyStream>(p, rng);
+    }
+    case StreamFamily::kRotatingMax: {
+      RotatingMaxParams p = spec.rotating;
+      p.n = n;
+      return std::make_unique<RotatingMaxStream>(p, id);
+    }
+    case StreamFamily::kCrossingPairs: {
+      CrossingPairsParams p = spec.crossing;
+      p.n = n;
+      return std::make_unique<CrossingPairsStream>(p, id);
+    }
+    case StreamFamily::kSensor: {
+      SensorParams p = spec.sensor;
+      p.phase = p.diurnal_period * static_cast<double>(id) /
+                static_cast<double>(n);
+      return std::make_unique<SensorStream>(p, rng);
+    }
+  }
+  throw std::invalid_argument("make_stream_set: unknown family");
+}
+
+}  // namespace
+
+StreamSet make_stream_set(const StreamSpec& spec, std::size_t n,
+                          std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_stream_set: n == 0");
+  const Rng root(seed);
+  std::vector<std::unique_ptr<Stream>> streams;
+  streams.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    auto s = make_one(spec, id, n, root);
+    if (spec.enforce_distinct) {
+      s = std::make_unique<DistinctStream>(std::move(s), id, n);
+    }
+    streams.push_back(std::move(s));
+  }
+  return StreamSet(std::move(streams));
+}
+
+}  // namespace topkmon

@@ -1,0 +1,90 @@
+// One-stop construction of n-node stream sets from a declarative spec.
+// The factory spreads per-node parameters (walk starting points, wave
+// phases) so that the n streams interleave realistically, and derives all
+// per-stream RNGs from a single seed for reproducibility.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "streams/adversarial.hpp"
+#include "streams/bursty.hpp"
+#include "streams/iid.hpp"
+#include "streams/random_walk.hpp"
+#include "streams/sensor.hpp"
+#include "streams/sinusoidal.hpp"
+#include "streams/stream.hpp"
+#include "streams/zipf.hpp"
+
+namespace topkmon {
+
+enum class StreamFamily {
+  kRandomWalk,
+  kIidUniform,
+  kIidGaussian,
+  kZipf,
+  kPareto,
+  kSinusoidal,
+  kBursty,
+  kRotatingMax,
+  kCrossingPairs,
+  kSensor,
+};
+
+/// Display name ("random_walk", ...).
+std::string_view family_name(StreamFamily family) noexcept;
+
+/// All families, for sweeps over workloads.
+std::vector<StreamFamily> all_families();
+
+/// Declarative stream-set description. Only the sub-struct matching
+/// `family` is consulted. `n` fields inside adversarial params are filled
+/// by the factory.
+struct StreamSpec {
+  StreamFamily family = StreamFamily::kRandomWalk;
+
+  /// Wrap every stream in the order-preserving distinctness transform
+  /// (paper's pairwise-distinct assumption). Scales values and Δ by n.
+  bool enforce_distinct = true;
+
+  /// kRandomWalk: starts are spread evenly across [lo, hi] per node.
+  RandomWalkParams walk{};
+
+  /// kIidUniform
+  Value iid_lo = 0;
+  Value iid_hi = 1'000'000;
+
+  /// kIidGaussian
+  double gauss_mean = 500'000.0;
+  double gauss_sigma = 50'000.0;
+
+  /// kZipf
+  std::size_t zipf_ranks = 1'000;
+  double zipf_s = 1.2;
+  Value zipf_peak = 1'000'000;
+
+  /// kPareto
+  Value pareto_xm = 1'000;
+  double pareto_alpha = 1.5;
+  Value pareto_cap = 100'000'000;
+
+  /// kSinusoidal: phases are spread evenly over one period per node.
+  SinusoidalParams sinus{};
+
+  /// kBursty: starts are spread evenly across [lo, hi] per node.
+  BurstyParams bursty{};
+
+  /// kRotatingMax / kCrossingPairs
+  RotatingMaxParams rotating{};
+  CrossingPairsParams crossing{};
+
+  /// kSensor: diurnal phases spread evenly per node.
+  SensorParams sensor{};
+};
+
+/// Builds the n per-node streams described by `spec`, deterministically
+/// from `seed`.
+StreamSet make_stream_set(const StreamSpec& spec, std::size_t n,
+                          std::uint64_t seed);
+
+}  // namespace topkmon

@@ -1,0 +1,29 @@
+#include "streams/random_walk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topkmon {
+
+RandomWalkStream::RandomWalkStream(RandomWalkParams params, Rng rng)
+    : p_(params), rng_(rng), current_(std::clamp(params.start, params.lo, params.hi)) {
+  if (p_.lo > p_.hi || p_.max_step < 0) {
+    throw std::invalid_argument("RandomWalkStream: invalid bounds");
+  }
+}
+
+Value RandomWalkStream::next() {
+  current_ += rng_.uniform_int(-p_.max_step, p_.max_step);
+  // Reflect into [lo, hi]; a single reflection suffices because the step is
+  // clamped to the interval width below.
+  const Value width = p_.hi - p_.lo;
+  if (width == 0) {
+    current_ = p_.lo;
+  } else {
+    if (current_ < p_.lo) current_ = std::min(p_.lo + (p_.lo - current_), p_.hi);
+    if (current_ > p_.hi) current_ = std::max(p_.hi - (current_ - p_.hi), p_.lo);
+  }
+  return current_;
+}
+
+}  // namespace topkmon

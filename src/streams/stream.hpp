@@ -1,0 +1,61 @@
+// Data-stream generator interface.
+//
+// Each distributed node observes a private online stream (v^1, v^2, ...).
+// A Stream produces that sequence one value per call; the runner calls
+// `next()` exactly once per node per time step, so generators that model
+// global time (adversarial rotations, sinusoids) may keep an internal step
+// counter and stay synchronized across nodes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// One node's private data stream.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Advances the stream by one observation and returns the new value.
+  virtual Value next() = 0;
+};
+
+/// Order-preserving distinctness transform (the paper assumes pairwise
+/// distinct values): v' = v*n + (n-1-id). Raw-value order is preserved;
+/// raw ties are broken toward smaller node ids; Δ scales by n.
+class DistinctStream final : public Stream {
+ public:
+  DistinctStream(std::unique_ptr<Stream> inner, NodeId id, std::size_t n)
+      : inner_(std::move(inner)), id_(id), n_(static_cast<Value>(n)) {}
+
+  Value next() override {
+    return inner_->next() * n_ + (n_ - 1 - static_cast<Value>(id_));
+  }
+
+ private:
+  std::unique_ptr<Stream> inner_;
+  NodeId id_;
+  Value n_;
+};
+
+/// A collection of n per-node streams (one per node id).
+class StreamSet {
+ public:
+  explicit StreamSet(std::vector<std::unique_ptr<Stream>> streams)
+      : streams_(std::move(streams)) {}
+
+  std::size_t size() const noexcept { return streams_.size(); }
+
+  /// Advances node `id`'s stream and returns the new observation.
+  Value advance(NodeId id) { return streams_.at(id)->next(); }
+
+ private:
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+}  // namespace topkmon

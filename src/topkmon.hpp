@@ -1,0 +1,43 @@
+// Umbrella header: the full public API of the topkmon library.
+//
+//   #include <topkmon.hpp>
+//
+// pulls in the simulation substrate, stream generators, the distributed
+// max/min protocols (Algorithm 2) and every Top-k-Position monitoring
+// algorithm (Algorithm 1 and the baselines), plus the experiment runner.
+#pragma once
+
+#include "util/types.hpp"      // IWYU pragma: export
+#include "util/rng.hpp"        // IWYU pragma: export
+#include "util/statistics.hpp" // IWYU pragma: export
+#include "util/table.hpp"      // IWYU pragma: export
+#include "util/log.hpp"        // IWYU pragma: export
+
+#include "sim/message.hpp"     // IWYU pragma: export
+#include "sim/comm_stats.hpp"  // IWYU pragma: export
+#include "sim/network.hpp"     // IWYU pragma: export
+#include "sim/cluster.hpp"     // IWYU pragma: export
+#include "sim/event_log.hpp"   // IWYU pragma: export
+
+#include "streams/stream.hpp"      // IWYU pragma: export
+#include "streams/factory.hpp"     // IWYU pragma: export
+#include "streams/trace.hpp"       // IWYU pragma: export
+
+#include "protocols/extremum.hpp"          // IWYU pragma: export
+#include "protocols/select_topk.hpp"       // IWYU pragma: export
+#include "protocols/shout_echo.hpp"        // IWYU pragma: export
+#include "protocols/sequential_probe.hpp"  // IWYU pragma: export
+
+#include "core/filter.hpp"               // IWYU pragma: export
+#include "core/ground_truth.hpp"         // IWYU pragma: export
+#include "core/monitor.hpp"              // IWYU pragma: export
+#include "core/topk_monitor.hpp"         // IWYU pragma: export
+#include "core/approx_monitor.hpp"       // IWYU pragma: export
+#include "core/multik_monitor.hpp"       // IWYU pragma: export
+#include "core/naive_monitor.hpp"        // IWYU pragma: export
+#include "core/recompute_monitor.hpp"    // IWYU pragma: export
+#include "core/dominance_monitor.hpp"    // IWYU pragma: export
+#include "core/slack_monitor.hpp"        // IWYU pragma: export
+#include "core/ordered_topk_monitor.hpp" // IWYU pragma: export
+#include "core/offline_opt.hpp"          // IWYU pragma: export
+#include "core/runner.hpp"               // IWYU pragma: export

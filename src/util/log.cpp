@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace topkmon {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_level(LogLevel lvl) noexcept { g_level = lvl; }
+void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+
+const char* Log::level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::Off: return "OFF";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::ostream& out = g_sink ? *g_sink : std::clog;
+  out << "[" << level_name(lvl) << "] " << msg << "\n";
+}
+
+}  // namespace topkmon

@@ -1,0 +1,52 @@
+// Minimal leveled logger. The simulator and monitors use TOPKMON_LOG for
+// trace-level diagnostics that are compiled in but disabled by default;
+// tests flip the level to Debug when diagnosing a failure.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace topkmon {
+
+enum class LogLevel : int { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Global log configuration (process-wide; the library is single-threaded
+/// per simulation, so no synchronization is needed).
+class Log {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel lvl) noexcept;
+
+  /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink) noexcept;
+
+  static void write(LogLevel lvl, const std::string& msg);
+  static const char* level_name(LogLevel lvl) noexcept;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace topkmon
+
+/// Streams a log line if `lvl` is enabled, e.g.
+///   TOPKMON_LOG(Info) << "reset at t=" << t;
+#define TOPKMON_LOG(lvl)                                             \
+  if (::topkmon::Log::level() < ::topkmon::LogLevel::lvl) {          \
+  } else                                                             \
+    ::topkmon::detail::LogLine(::topkmon::LogLevel::lvl)

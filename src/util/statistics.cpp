@@ -1,0 +1,131 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace topkmon {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Quantiles::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+const std::vector<double>& Quantiles::sorted_samples() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+double Quantiles::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Quantiles::quantile on empty sample set");
+  }
+  const auto& s = sorted_samples();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(pos);
+  const std::size_t hi_idx = std::min(lo_idx + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo_idx);
+  return s[lo_idx] + frac * (s[hi_idx] - s[lo_idx]);
+}
+
+double Quantiles::tail_fraction_above(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  const auto& s = sorted_samples();
+  const auto it = std::upper_bound(s.begin(), s.end(), threshold);
+  return static_cast<double>(s.end() - it) / static_cast<double>(s.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || !(lo < hi)) {
+    throw std::invalid_argument("Histogram requires lo < hi and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx_signed = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  idx_signed = std::clamp<std::int64_t>(
+      idx_signed, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx_signed)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i + 1);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = peak == 0
+                         ? std::size_t{0}
+                         : static_cast<std::size_t>(
+                               static_cast<double>(counts_[i]) /
+                               static_cast<double>(peak) *
+                               static_cast<double>(max_width));
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+double harmonic(std::uint64_t n) noexcept {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace topkmon

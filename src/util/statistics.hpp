@@ -1,0 +1,92 @@
+// Online and batch statistics used by the test suite and the benchmark
+// harness: Welford accumulators (numerically stable mean/variance),
+// empirical quantiles, and log-bucketed histograms for message-count
+// concentration experiments (E2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topkmon {
+
+/// Numerically stable single-pass accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction friendly; Chan et al.).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples and answers quantile queries; O(n log n) on first
+/// query after inserts (lazy sort), O(1) afterwards.
+class Quantiles {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Empirical q-quantile, q in [0,1], by linear interpolation between
+  /// closest ranks. Requires at least one sample.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+  /// Fraction of samples strictly greater than `threshold`.
+  double tail_fraction_above(double threshold) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi); values outside are clamped into
+/// the first/last bucket. Used to visualize message-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders a compact ASCII bar chart (one line per non-empty bucket).
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// N-th harmonic number H_n = sum_{i=1..n} 1/i; the expected number of
+/// left-to-right maxima of a random permutation (lower-bound experiment E3).
+double harmonic(std::uint64_t n) noexcept;
+
+}  // namespace topkmon

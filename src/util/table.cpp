@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace topkmon {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << std::right << r[c];
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(r[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return static_cast<bool>(out);
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(prec) << v;
+  return out.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  const std::string digits = std::to_string(v);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    const std::size_t remaining = digits.size() - i;
+    if (i != 0 && remaining % 3 == 0) grouped += '\'';
+    grouped += digits[i];
+  }
+  return grouped;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,50 @@
+// Console table / CSV emission for the benchmark harness. Every experiment
+// binary prints a human-readable fixed-width table and can mirror the same
+// rows into a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topkmon {
+
+/// A simple column-aligned table builder.
+///
+/// Usage:
+///   Table t({"n", "E[msgs]", "bound"});
+///   t.add_row({"1024", "18.3", "21"});
+///   t.print(std::cout);
+///   t.write_csv("e1.csv");
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+
+  /// Prints the table with aligned columns and a separator rule.
+  void print(std::ostream& out) const;
+
+  /// Writes header + rows as RFC-4180-ish CSV (cells with commas/quotes are
+  /// quoted). Returns false if the file could not be opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimal places.
+std::string fmt(double v, int prec = 2);
+
+/// Formats an integral count with thousands separators (e.g. 1'234'567).
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace topkmon

@@ -1,0 +1,102 @@
+// Tests for the Filter type and the Lemma 2.2 validity characterization.
+#include "core/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TEST(Filter, DefaultIsUnbounded) {
+  Filter f;
+  EXPECT_TRUE(f.contains(0));
+  EXPECT_TRUE(f.contains(kMinusInf));
+  EXPECT_TRUE(f.contains(kPlusInf));
+}
+
+TEST(Filter, ClosedIntervalSemantics) {
+  Filter f{10, 20};
+  EXPECT_TRUE(f.contains(10));
+  EXPECT_TRUE(f.contains(20));
+  EXPECT_TRUE(f.contains(15));
+  EXPECT_FALSE(f.contains(9));
+  EXPECT_FALSE(f.contains(21));
+}
+
+TEST(Filter, ViolationSide) {
+  Filter f{10, 20};
+  EXPECT_EQ(f.violation_side(5), -1);
+  EXPECT_EQ(f.violation_side(25), +1);
+  EXPECT_EQ(f.violation_side(10), 0);
+  EXPECT_EQ(f.violation_side(20), 0);
+}
+
+TEST(Filter, Equality) {
+  EXPECT_EQ((Filter{1, 2}), (Filter{1, 2}));
+  EXPECT_NE((Filter{1, 2}), (Filter{1, 3}));
+}
+
+TEST(FilterSet, ValidMidpointAssignment) {
+  // values: 100, 90 | 10, 5 with boundary at 50 (k = 2).
+  const std::vector<Value> values{100, 90, 10, 5};
+  const std::vector<Filter> filters{{50, kPlusInf},
+                                    {50, kPlusInf},
+                                    {kMinusInf, 50},
+                                    {kMinusInf, 50}};
+  const std::vector<char> in_topk{1, 1, 0, 0};
+  EXPECT_TRUE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, SharedBoundaryPointAllowed) {
+  // Lemma 2.2 allows intervals to share exactly one point.
+  const std::vector<Value> values{50, 50};
+  const std::vector<Filter> filters{{50, kPlusInf}, {kMinusInf, 50}};
+  const std::vector<char> in_topk{1, 0};
+  EXPECT_TRUE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, ValueOutsideFilterInvalid) {
+  const std::vector<Value> values{40, 10};  // 40 < lo = 50
+  const std::vector<Filter> filters{{50, kPlusInf}, {kMinusInf, 50}};
+  const std::vector<char> in_topk{1, 0};
+  EXPECT_FALSE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, OverlappingAcrossBoundaryInvalid) {
+  // Top-k lower bound (40) below an outsider's upper bound (60): a
+  // crossing could happen silently.
+  const std::vector<Value> values{100, 10};
+  const std::vector<Filter> filters{{40, kPlusInf}, {kMinusInf, 60}};
+  const std::vector<char> in_topk{1, 0};
+  EXPECT_FALSE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, PerPairBoundariesValid) {
+  // Non-uniform boundaries are fine as long as min top lo >= max rest hi.
+  const std::vector<Value> values{100, 80, 20, 10};
+  const std::vector<Filter> filters{{70, kPlusInf},
+                                    {60, kPlusInf},
+                                    {kMinusInf, 55},
+                                    {kMinusInf, 30}};
+  const std::vector<char> in_topk{1, 1, 0, 0};
+  EXPECT_TRUE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, AllTopKIsTriviallyValid) {
+  const std::vector<Value> values{3, 1};
+  const std::vector<Filter> filters{{kMinusInf, kPlusInf},
+                                    {kMinusInf, kPlusInf}};
+  const std::vector<char> in_topk{1, 1};
+  EXPECT_TRUE(is_valid_filter_set(values, filters, in_topk));
+}
+
+TEST(FilterSet, SizeMismatchInvalid) {
+  const std::vector<Value> values{1};
+  const std::vector<Filter> filters{{0, 2}, {0, 2}};
+  const std::vector<char> in_topk{1};
+  EXPECT_FALSE(is_valid_filter_set(values, filters, in_topk));
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,104 @@
+// Tests for the omniscient ground-truth helpers.
+#include "core/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TEST(TrueTopk, OrderedByRank) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  const auto top3 = true_topk_ordered(values, 3);
+  EXPECT_EQ(top3, (std::vector<NodeId>{2, 4, 0}));
+}
+
+TEST(TrueTopk, SetSortedById) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  const auto top3 = true_topk_set(values, 3);
+  EXPECT_EQ(top3, (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(TrueTopk, KZero) {
+  const std::vector<Value> values{1, 2};
+  EXPECT_TRUE(true_topk_set(values, 0).empty());
+}
+
+TEST(TrueTopk, KEqualsN) {
+  const std::vector<Value> values{5, 1, 3};
+  const auto all = true_topk_set(values, 3);
+  EXPECT_EQ(all, (std::vector<NodeId>{0, 1, 2}));
+  const auto ordered = true_topk_ordered(values, 3);
+  EXPECT_EQ(ordered, (std::vector<NodeId>{0, 2, 1}));
+}
+
+TEST(TrueTopk, ThrowsOnKTooLarge) {
+  const std::vector<Value> values{1};
+  EXPECT_THROW(true_topk_set(values, 2), std::invalid_argument);
+}
+
+TEST(TrueTopk, TiesBrokenTowardSmallerId) {
+  const std::vector<Value> values{7, 7, 7};
+  EXPECT_EQ(true_topk_ordered(values, 2), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TrueTopk, FromCluster) {
+  Cluster c(4, 1);
+  c.set_value(0, 1);
+  c.set_value(1, 100);
+  c.set_value(2, 50);
+  c.set_value(3, 75);
+  EXPECT_EQ(true_topk_set(c, 2), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(true_topk_ordered(c, 2), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(NthValue, Ranks) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  EXPECT_EQ(nth_value(values, 1), 50);
+  EXPECT_EQ(nth_value(values, 3), 30);
+  EXPECT_EQ(nth_value(values, 5), 10);
+  EXPECT_THROW(nth_value(values, 0), std::invalid_argument);
+  EXPECT_THROW(nth_value(values, 6), std::invalid_argument);
+}
+
+TEST(NthValue, WithDuplicates) {
+  const std::vector<Value> values{5, 5, 3};
+  EXPECT_EQ(nth_value(values, 1), 5);
+  EXPECT_EQ(nth_value(values, 2), 5);
+  EXPECT_EQ(nth_value(values, 3), 3);
+}
+
+TEST(IsValidTopk, AcceptsTrueAnswer) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  const std::vector<NodeId> good{2, 4, 0};
+  EXPECT_TRUE(is_valid_topk(values, good));
+}
+
+TEST(IsValidTopk, RejectsWrongMember) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  const std::vector<NodeId> bad{2, 4, 1};  // node 1 (10) below node 0 (30)
+  EXPECT_FALSE(is_valid_topk(values, bad));
+}
+
+TEST(IsValidTopk, AcceptsAnyTieBreak) {
+  const std::vector<Value> values{9, 9, 1};
+  EXPECT_TRUE(is_valid_topk(values, std::vector<NodeId>{0}));
+  EXPECT_TRUE(is_valid_topk(values, std::vector<NodeId>{1}));
+  EXPECT_FALSE(is_valid_topk(values, std::vector<NodeId>{2}));
+}
+
+TEST(IsValidTopk, RejectsDuplicatesAndBadIds) {
+  const std::vector<Value> values{1, 2, 3};
+  EXPECT_FALSE(is_valid_topk(values, std::vector<NodeId>{2, 2}));
+  EXPECT_FALSE(is_valid_topk(values, std::vector<NodeId>{5}));
+}
+
+TEST(IsValidTopk, EmptyAndFullCandidates) {
+  const std::vector<Value> values{1, 2};
+  EXPECT_TRUE(is_valid_topk(values, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_valid_topk(values, std::vector<NodeId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace topkmon

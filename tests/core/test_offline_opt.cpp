@@ -1,0 +1,133 @@
+// Tests for the offline-optimal epoch computation (Lemma 3.2 feasibility +
+// greedy optimality).
+#include "core/offline_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TraceMatrix from_rows(const std::vector<std::vector<Value>>& rows) {
+  TraceMatrix m(rows.at(0).size(), rows.size());
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (NodeId i = 0; i < rows[t].size(); ++i) m.at(t, i) = rows[t][i];
+  }
+  return m;
+}
+
+TEST(OfflineOpt, RejectsBadK) {
+  const auto m = from_rows({{1, 2}});
+  EXPECT_THROW(compute_offline_opt(m, 0), std::invalid_argument);
+  EXPECT_THROW(compute_offline_opt(m, 3), std::invalid_argument);
+}
+
+TEST(OfflineOpt, EmptyTrace) {
+  TraceMatrix m(2, 0);
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 0u);
+  EXPECT_EQ(r.updates(), 0u);
+}
+
+TEST(OfflineOpt, StaticTraceNeedsOneEpoch) {
+  const auto m = from_rows({{10, 5}, {10, 5}, {10, 5}});
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 1u);
+  EXPECT_EQ(r.updates(), 0u);
+  EXPECT_TRUE(r.update_times.empty());
+}
+
+TEST(OfflineOpt, DriftWithoutCrossingNeedsOneEpoch) {
+  // Top node stays above the outsider's historical maximum: feasible with
+  // one filter set even though both move.
+  const auto m = from_rows({{100, 10}, {90, 20}, {80, 30}, {70, 40}});
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(OfflineOpt, TouchingBoundaryIsStillFeasible) {
+  // T+ == T- is allowed (shared filter point, Lemma 2.2).
+  const auto m = from_rows({{100, 10}, {50, 50}});
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(OfflineOpt, SwapForcesUpdate) {
+  const auto m = from_rows({{100, 10}, {10, 100}});
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 2u);
+  ASSERT_EQ(r.update_times.size(), 1u);
+  EXPECT_EQ(r.update_times[0], 1u);
+}
+
+TEST(OfflineOpt, CrossingWithoutSetChangeStillCostsIfHistoryCrosses) {
+  // Node A sinks to 40 after node B already peaked at 60: even though at
+  // every single instant the set {A} is the answer... actually B peaks
+  // above A's later minimum, so one static filter cannot cover both
+  // instants (T+ = 40 < 60 = T-).
+  const auto m = from_rows({{100, 60}, {80, 20}, {40, 20}});
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 2u);
+}
+
+TEST(OfflineOpt, GreedyExtendsMaximally) {
+  // Feasible prefix of length 3, then a swap, then feasible suffix: exactly
+  // two epochs, update at the swap time.
+  const auto m = from_rows({
+      {100, 10},  // t0
+      {95, 15},
+      {90, 20},
+      {10, 100},  // swap at t=3
+      {12, 95},
+  });
+  const auto r = compute_offline_opt(m, 1);
+  EXPECT_EQ(r.epochs, 2u);
+  ASSERT_EQ(r.update_times.size(), 1u);
+  EXPECT_EQ(r.update_times[0], 3u);
+}
+
+TEST(OfflineOpt, RepeatedSwapsCostLinearEpochs) {
+  std::vector<std::vector<Value>> rows;
+  for (int t = 0; t < 10; ++t) {
+    rows.push_back(t % 2 == 0 ? std::vector<Value>{100, 10}
+                              : std::vector<Value>{10, 100});
+  }
+  const auto r = compute_offline_opt(from_rows(rows), 1);
+  EXPECT_EQ(r.epochs, 10u);  // every step swaps
+}
+
+TEST(OfflineOpt, KEqualsNIsFree) {
+  const auto m = from_rows({{1, 2}, {2, 1}, {5, 0}});
+  const auto r = compute_offline_opt(m, 2);
+  EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(OfflineOpt, K2BoundaryOnlyMatters) {
+  // Churn inside the top-2 and inside the bottom-2 is free; only the
+  // boundary between ranks 2 and 3 forces updates.
+  const auto m = from_rows({
+      {100, 90, 10, 5},
+      {90, 100, 5, 10},   // swaps within each side: free
+      {100, 90, 10, 5},
+  });
+  const auto r = compute_offline_opt(m, 2);
+  EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(OfflineOpt, RefinedMessagesCountMembershipChanges) {
+  const auto m = from_rows({{100, 10}, {10, 100}});
+  const auto r = compute_offline_opt(m, 1);
+  // One update; both nodes change membership: 1 broadcast + 2 unicasts.
+  EXPECT_EQ(r.refined_messages, 3u);
+}
+
+TEST(TraceDelta, ComputesMaxGap) {
+  const auto m = from_rows({{100, 10}, {50, 45}, {70, 10}});
+  EXPECT_EQ(trace_delta(m, 1), 90);
+  EXPECT_THROW(trace_delta(m, 2), std::invalid_argument);
+  EXPECT_THROW(trace_delta(m, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,126 @@
+// Optimality oracle for the offline-OPT computation: on small random
+// traces, an exhaustive dynamic program over all feasible epoch intervals
+// must agree with the greedy partition's epoch count — the exchange
+// argument (greedy furthest extension is optimal) verified by brute force.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ground_truth.hpp"
+#include "core/offline_opt.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+/// True iff one static filter set can cover trace steps [s, e] (inclusive)
+/// for the top-k problem: the top-k set of step s must satisfy
+/// T+(s, e) >= T-(s, e)  (Lemma 3.2 and its converse).
+bool interval_feasible(const TraceMatrix& trace, std::size_t k,
+                       std::size_t s, std::size_t e) {
+  const std::size_t n = trace.nodes();
+  std::vector<Value> first(n);
+  for (NodeId i = 0; i < n; ++i) first[i] = trace.at(s, i);
+  const auto members = true_topk_set(first, k);
+  std::vector<char> in_set(n, 0);
+  for (const NodeId id : members) in_set[id] = 1;
+  Value t_plus = kPlusInf;
+  Value t_minus = kMinusInf;
+  for (std::size_t t = s; t <= e; ++t) {
+    for (NodeId i = 0; i < n; ++i) {
+      const Value v = trace.at(t, i);
+      if (in_set[i]) t_plus = std::min(t_plus, v);
+      else t_minus = std::max(t_minus, v);
+    }
+  }
+  return t_plus >= t_minus;
+}
+
+/// Minimal number of epochs by exhaustive DP: dp[t] = min epochs covering
+/// steps [0, t).
+std::size_t brute_force_epochs(const TraceMatrix& trace, std::size_t k) {
+  const std::size_t steps = trace.steps();
+  if (steps == 0) return 0;
+  constexpr std::size_t kInf = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> dp(steps + 1, kInf);
+  dp[0] = 0;
+  for (std::size_t end = 1; end <= steps; ++end) {
+    for (std::size_t start = 0; start < end; ++start) {
+      if (dp[start] == kInf) continue;
+      // Epochs must begin with the ground-truth top-k of their first step
+      // (any valid filter set fixes F's value, which must be correct), so
+      // checking that canonical set suffices.
+      if (interval_feasible(trace, k, start, end - 1)) {
+        dp[end] = std::min(dp[end], dp[start] + 1);
+      }
+    }
+  }
+  return dp[steps];
+}
+
+TraceMatrix random_trace(std::size_t n, std::size_t steps, Rng& rng,
+                         Value span) {
+  TraceMatrix trace(n, steps);
+  std::vector<Value> current(n);
+  for (auto& v : current) v = rng.uniform_int(0, span);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (NodeId i = 0; i < n; ++i) {
+      current[i] += rng.uniform_int(-span / 4, span / 4);
+      // Distinct by construction.
+      trace.at(t, i) =
+          current[i] * static_cast<Value>(n) + static_cast<Value>(i);
+    }
+  }
+  return trace;
+}
+
+class OptOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptOracle, GreedyMatchesBruteForce) {
+  Rng rng(GetParam() * 2654435761u + 3);
+  const std::size_t n = 2 + rng.uniform_below(3);   // 2..4 nodes
+  const std::size_t steps = 4 + rng.uniform_below(9);  // 4..12 steps
+  const std::size_t k = 1 + rng.uniform_below(n - 1);
+  const Value span = 20 + static_cast<Value>(rng.uniform_below(60));
+  const auto trace = random_trace(n, steps, rng, span);
+
+  const auto greedy = compute_offline_opt(trace, k);
+  const auto brute = brute_force_epochs(trace, k);
+  EXPECT_EQ(greedy.epochs, brute)
+      << "n=" << n << " steps=" << steps << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptOracle,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(OptOracle, HandCraftedMultiEpoch) {
+  // Three forced epochs: two swaps with recovery in between.
+  TraceMatrix trace(2, 6);
+  const Value rows[6][2] = {{100, 10}, {90, 20},   // epoch 1
+                            {10, 100}, {20, 90},   // epoch 2 (swap)
+                            {100, 10}, {95, 15}};  // epoch 3 (swap back)
+  for (std::size_t t = 0; t < 6; ++t) {
+    trace.at(t, 0) = rows[t][0];
+    trace.at(t, 1) = rows[t][1];
+  }
+  EXPECT_EQ(compute_offline_opt(trace, 1).epochs, 3u);
+  EXPECT_EQ(brute_force_epochs(trace, 1), 3u);
+}
+
+TEST(OptOracle, FeasibilityHelperAgreesWithComputation) {
+  // Cross-check the local feasibility helper on a trace where exactly the
+  // prefix [0,2] is feasible.
+  TraceMatrix trace(2, 4);
+  const Value rows[4][2] = {{50, 10}, {40, 20}, {35, 30}, {20, 45}};
+  for (std::size_t t = 0; t < 4; ++t) {
+    trace.at(t, 0) = rows[t][0];
+    trace.at(t, 1) = rows[t][1];
+  }
+  EXPECT_TRUE(interval_feasible(trace, 1, 0, 2));
+  EXPECT_FALSE(interval_feasible(trace, 1, 0, 3));
+  EXPECT_TRUE(interval_feasible(trace, 1, 3, 3));
+  EXPECT_EQ(compute_offline_opt(trace, 1).epochs, 2u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,185 @@
+// Tests for the experiment runner and competitive-ratio helper.
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_monitor.hpp"
+#include "core/topk_monitor.hpp"
+#include "streams/factory.hpp"
+#include "streams/trace.hpp"
+
+namespace topkmon {
+namespace {
+
+/// A deliberately wrong monitor: always claims {0, .., k-1}.
+class ConstantMonitor final : public MonitorBase {
+ public:
+  explicit ConstantMonitor(std::size_t k) {
+    for (NodeId i = 0; i < k; ++i) ids_.push_back(i);
+  }
+  std::string_view name() const override { return "constant"; }
+  void initialize(Cluster&) override {}
+  void step(Cluster&, TimeStep) override {}
+  const std::vector<NodeId>& topk() const override { return ids_; }
+
+ private:
+  std::vector<NodeId> ids_;
+};
+
+TEST(Runner, RejectsMismatchedStreamCount) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 4, 1);
+  TopkFilterMonitor m(2);
+  RunConfig cfg;
+  cfg.n = 8;  // != 4 streams
+  cfg.k = 2;
+  EXPECT_THROW(run_monitor(m, streams, cfg), std::invalid_argument);
+}
+
+TEST(Runner, RejectsBadK) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 4, 1);
+  TopkFilterMonitor m(2);
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 0;
+  EXPECT_THROW(run_monitor(m, streams, cfg), std::invalid_argument);
+  cfg.k = 5;
+  EXPECT_THROW(run_monitor(m, streams, cfg), std::invalid_argument);
+}
+
+TEST(Runner, ExecutesConfiguredSteps) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 4, 2);
+  TopkFilterMonitor m(2);
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.steps = 77;
+  cfg.seed = 2;
+  const auto r = run_monitor(m, streams, cfg);
+  EXPECT_EQ(r.steps_executed, 78u);  // init + 77 steps
+  EXPECT_EQ(r.monitor_name, "topk_filter");
+}
+
+TEST(Runner, ThrowsOnDivergenceByDefault) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 50'000;
+  auto streams = make_stream_set(spec, 6, 3);
+  ConstantMonitor wrong(2);
+  RunConfig cfg;
+  cfg.n = 6;
+  cfg.k = 2;
+  cfg.steps = 100;
+  cfg.seed = 3;
+  EXPECT_THROW(run_monitor(wrong, streams, cfg), std::logic_error);
+}
+
+TEST(Runner, RecordsDivergenceWhenNotThrowing) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 50'000;
+  auto streams = make_stream_set(spec, 6, 3);
+  ConstantMonitor wrong(2);
+  RunConfig cfg;
+  cfg.n = 6;
+  cfg.k = 2;
+  cfg.steps = 100;
+  cfg.seed = 3;
+  const auto r = run_monitor(wrong, streams, cfg, /*throw_on_error=*/false);
+  EXPECT_FALSE(r.correct);
+  EXPECT_TRUE(r.first_error_step.has_value());
+}
+
+TEST(Runner, ValidationOffAcceptsAnything) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 50'000;
+  auto streams = make_stream_set(spec, 6, 3);
+  ConstantMonitor wrong(2);
+  RunConfig cfg;
+  cfg.n = 6;
+  cfg.k = 2;
+  cfg.steps = 50;
+  cfg.seed = 3;
+  cfg.validation = RunConfig::Validation::kOff;
+  const auto r = run_monitor(wrong, streams, cfg);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(Runner, TraceRecordingMatchesStreams) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 3, 5);
+  auto replay = make_stream_set(spec, 3, 5);
+  TopkFilterMonitor m(1);
+  RunConfig cfg;
+  cfg.n = 3;
+  cfg.k = 1;
+  cfg.steps = 20;
+  cfg.seed = 5;
+  cfg.record_trace = true;
+  const auto r = run_monitor(m, streams, cfg);
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_EQ(r.trace->steps(), 21u);
+  for (std::size_t t = 0; t <= 20; ++t) {
+    for (NodeId i = 0; i < 3; ++i) {
+      EXPECT_EQ(r.trace->at(t, i), replay.advance(i));
+    }
+  }
+}
+
+TEST(Runner, SeriesRecordingWorks) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 4, 7);
+  NaiveMonitor m(2);
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.steps = 10;
+  cfg.seed = 7;
+  cfg.record_series = true;
+  const auto r = run_monitor(m, streams, cfg);
+  ASSERT_EQ(r.comm.series().size(), 11u);
+  for (const auto per_step : r.comm.series()) {
+    EXPECT_EQ(per_step, 4u);  // naive: n messages every step
+  }
+}
+
+TEST(Runner, CompetitiveRatioRequiresTrace) {
+  RunResult r;
+  EXPECT_THROW(competitive_ratio(r, 2), std::invalid_argument);
+}
+
+TEST(Runner, CompetitiveRatioFiniteOnSilentTrace) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.walk.max_step = 0;  // frozen values: OPT needs zero updates
+  auto streams = make_stream_set(spec, 4, 9);
+  TopkFilterMonitor m(2);
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.steps = 50;
+  cfg.seed = 9;
+  cfg.record_trace = true;
+  const auto r = run_monitor(m, streams, cfg);
+  const double ratio = competitive_ratio(r, 2);
+  EXPECT_GT(ratio, 0.0);  // algorithm paid initialization, OPT epsilon
+}
+
+TEST(Runner, MessagesPerStep) {
+  StreamSpec spec;
+  auto streams = make_stream_set(spec, 4, 11);
+  NaiveMonitor m(1);
+  RunConfig cfg;
+  cfg.n = 4;
+  cfg.k = 1;
+  cfg.steps = 9;
+  cfg.seed = 11;
+  const auto r = run_monitor(m, streams, cfg);
+  EXPECT_DOUBLE_EQ(r.messages_per_step(), 4.0);
+}
+
+}  // namespace
+}  // namespace topkmon

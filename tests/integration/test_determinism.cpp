@@ -1,0 +1,98 @@
+// Reproducibility: identical seeds must reproduce identical traces,
+// message counts and answers across independent executions — the property
+// every experiment in EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include "core/dominance_monitor.hpp"
+#include "core/ordered_topk_monitor.hpp"
+#include "core/recompute_monitor.hpp"
+#include "core/runner.hpp"
+#include "core/slack_monitor.hpp"
+#include "core/topk_monitor.hpp"
+#include "streams/factory.hpp"
+
+namespace topkmon {
+namespace {
+
+template <typename MonitorT>
+std::pair<std::uint64_t, std::vector<std::uint64_t>> run_once(
+    StreamFamily family, std::uint64_t seed) {
+  StreamSpec spec;
+  spec.family = family;
+  auto streams = make_stream_set(spec, 10, seed);
+  MonitorT m(3);
+  RunConfig cfg;
+  cfg.n = 10;
+  cfg.k = 3;
+  cfg.steps = 400;
+  cfg.seed = seed;
+  cfg.record_series = true;
+  const auto r = run_monitor(m, streams, cfg);
+  return {r.comm.total(), r.comm.series()};
+}
+
+TEST(Determinism, TopkFilterIdenticalRuns) {
+  const auto a = run_once<TopkFilterMonitor>(StreamFamily::kRandomWalk, 31);
+  const auto b = run_once<TopkFilterMonitor>(StreamFamily::kRandomWalk, 31);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, TopkFilterDifferentSeedsDiffer) {
+  const auto a = run_once<TopkFilterMonitor>(StreamFamily::kRandomWalk, 31);
+  const auto b = run_once<TopkFilterMonitor>(StreamFamily::kRandomWalk, 32);
+  EXPECT_NE(a.second, b.second);
+}
+
+TEST(Determinism, RecomputeIdenticalRuns) {
+  const auto a = run_once<RecomputeMonitor>(StreamFamily::kBursty, 33);
+  const auto b = run_once<RecomputeMonitor>(StreamFamily::kBursty, 33);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, DominanceIdenticalRuns) {
+  const auto a = run_once<DominanceMonitor>(StreamFamily::kSinusoidal, 35);
+  const auto b = run_once<DominanceMonitor>(StreamFamily::kSinusoidal, 35);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, SlackIdenticalRuns) {
+  const auto a = run_once<SlackMonitor>(StreamFamily::kRandomWalk, 37);
+  const auto b = run_once<SlackMonitor>(StreamFamily::kRandomWalk, 37);
+  EXPECT_EQ(a.first, b.first);
+}
+
+TEST(Determinism, OrderedIdenticalRuns) {
+  const auto a = run_once<OrderedTopkMonitor>(StreamFamily::kRandomWalk, 39);
+  const auto b = run_once<OrderedTopkMonitor>(StreamFamily::kRandomWalk, 39);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, TraceRecordingIsStable) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kPareto;
+  auto s1 = make_stream_set(spec, 6, 41);
+  auto s2 = make_stream_set(spec, 6, 41);
+  TopkFilterMonitor m1(2);
+  TopkFilterMonitor m2(2);
+  RunConfig cfg;
+  cfg.n = 6;
+  cfg.k = 2;
+  cfg.steps = 100;
+  cfg.seed = 41;
+  cfg.record_trace = true;
+  const auto r1 = run_monitor(m1, s1, cfg);
+  const auto r2 = run_monitor(m2, s2, cfg);
+  ASSERT_TRUE(r1.trace.has_value() && r2.trace.has_value());
+  for (std::size_t t = 0; t < r1.trace->steps(); ++t) {
+    for (NodeId i = 0; i < 6; ++i) {
+      ASSERT_EQ(r1.trace->at(t, i), r2.trace->at(t, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,123 @@
+// Tests for repeated-extremum selection (the FILTERRESET work-horse).
+#include "protocols/select_topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+Cluster make_cluster(const std::vector<Value>& values, std::uint64_t seed = 1) {
+  Cluster c(values.size(), seed);
+  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
+  return c;
+}
+
+TEST(SelectExtreme, EmptyCandidates) {
+  auto c = make_cluster({1, 2});
+  const auto r = select_extreme(c, {}, 2, 2);
+  EXPECT_TRUE(r.winners.empty());
+  EXPECT_EQ(r.messages(), 0u);
+}
+
+TEST(SelectExtreme, ZeroM) {
+  auto c = make_cluster({1, 2});
+  const auto r = select_extreme(c, c.all_ids(), 0, 2);
+  EXPECT_TRUE(r.winners.empty());
+}
+
+TEST(SelectExtreme, FullDescendingOrder) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    auto c = make_cluster(values, seed);
+    const auto r = select_extreme(c, c.all_ids(), 5, 5);
+    ASSERT_EQ(r.winners.size(), 5u);
+    const std::vector<NodeId> expect_ids{2, 4, 0, 3, 1};
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(r.winners[i].id, expect_ids[i]) << "seed " << seed;
+    }
+    EXPECT_EQ(r.winners[0].value, 50);
+    EXPECT_EQ(r.winners[4].value, 10);
+  }
+}
+
+TEST(SelectExtreme, TopMOnly) {
+  const std::vector<Value> values{5, 25, 15, 35, 45};
+  auto c = make_cluster(values, 3);
+  const auto r = select_extreme(c, c.all_ids(), 2, 5);
+  ASSERT_EQ(r.winners.size(), 2u);
+  EXPECT_EQ(r.winners[0].id, 4u);
+  EXPECT_EQ(r.winners[1].id, 3u);
+}
+
+TEST(SelectExtreme, MinDirection) {
+  const std::vector<Value> values{5, 25, 15, 35, 45};
+  auto c = make_cluster(values, 5);
+  const auto r = select_extreme(c, c.all_ids(), 2, 5, Direction::kMin);
+  ASSERT_EQ(r.winners.size(), 2u);
+  EXPECT_EQ(r.winners[0].id, 0u);
+  EXPECT_EQ(r.winners[0].value, 5);
+  EXPECT_EQ(r.winners[1].id, 2u);
+}
+
+TEST(SelectExtreme, MLargerThanCandidates) {
+  auto c = make_cluster({7, 3});
+  const auto r = select_extreme(c, c.all_ids(), 10, 2);
+  ASSERT_EQ(r.winners.size(), 2u);
+  EXPECT_EQ(r.winners[0].value, 7);
+  EXPECT_EQ(r.winners[1].value, 3);
+}
+
+TEST(SelectExtreme, AnnouncesEveryWinner) {
+  const std::vector<Value> values{1, 2, 3, 4};
+  auto c = make_cluster(values, 7);
+  const auto r = select_extreme(c, c.all_ids(), 3, 4);
+  EXPECT_EQ(r.announces, 3u);
+  std::size_t announce_count = 0;
+  for (const auto& m : c.net().broadcast_log()) {
+    if (m.kind == MsgKind::kWinnerAnnounce) ++announce_count;
+  }
+  EXPECT_EQ(announce_count, 3u);
+}
+
+TEST(SelectExtreme, MessageTotalsMatchNetwork) {
+  const std::vector<Value> values{9, 8, 7, 6, 5, 4, 3, 2};
+  auto c = make_cluster(values, 9);
+  const auto r = select_extreme(c, c.all_ids(), 4, 8);
+  EXPECT_EQ(c.stats().total(), r.messages());
+}
+
+TEST(SelectExtreme, CostScalesLinearlyInM) {
+  std::vector<Value> values(64);
+  for (std::size_t i = 0; i < 64; ++i) values[i] = static_cast<Value>(i);
+  double cost1 = 0;
+  double cost8 = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    auto c1 = make_cluster(values, seed);
+    cost1 += static_cast<double>(select_extreme(c1, c1.all_ids(), 1, 64).messages());
+    auto c8 = make_cluster(values, seed);
+    cost8 += static_cast<double>(select_extreme(c8, c8.all_ids(), 8, 64).messages());
+  }
+  // 8 iterations should cost roughly 8x one iteration (within 2x slack).
+  EXPECT_GT(cost8, 4.0 * cost1);
+  EXPECT_LT(cost8, 16.0 * cost1);
+}
+
+TEST(SelectExtreme, WinnersAreDistinct) {
+  const std::vector<Value> values{4, 4, 4, 4};  // ties everywhere
+  auto c = make_cluster(values, 11);
+  const auto r = select_extreme(c, c.all_ids(), 4, 4);
+  ASSERT_EQ(r.winners.size(), 4u);
+  std::vector<NodeId> ids;
+  for (const auto& w : r.winners) ids.push_back(w.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<NodeId>{0, 1, 2, 3}));
+  // Tie-break order: smaller ids first.
+  EXPECT_EQ(r.winners[0].id, 0u);
+  EXPECT_EQ(r.winners[3].id, 3u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,102 @@
+// Tests for the deterministic sequential-probe scheme (Theorem 4.3's
+// lower-bound construction): correctness and the H_n left-to-right-maxima
+// behaviour on random permutations.
+#include "protocols/sequential_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace topkmon {
+namespace {
+
+Cluster make_cluster(const std::vector<Value>& values) {
+  Cluster c(values.size(), 1);
+  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
+  return c;
+}
+
+TEST(SequentialProbe, EmptyOrder) {
+  auto c = make_cluster({1});
+  const auto r = run_sequential_probe_max(c, {});
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.messages(), 0u);
+}
+
+TEST(SequentialProbe, FindsMaximum) {
+  const std::vector<Value> values{3, 9, 1, 7};
+  auto c = make_cluster(values);
+  const auto r = run_sequential_probe_max(c, c.all_ids());
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.maximum, 9);
+}
+
+TEST(SequentialProbe, AscendingOrderIsWorstCase) {
+  // Every node is a new left-to-right maximum: n reports.
+  std::vector<Value> values(16);
+  std::iota(values.begin(), values.end(), 0);
+  auto c = make_cluster(values);
+  const auto r = run_sequential_probe_max(c, c.all_ids());
+  EXPECT_EQ(r.reports, 16u);
+  EXPECT_EQ(r.broadcasts, 16u);
+}
+
+TEST(SequentialProbe, DescendingOrderIsBestCase) {
+  std::vector<Value> values(16);
+  for (std::size_t i = 0; i < 16; ++i) values[i] = 100 - static_cast<Value>(i);
+  auto c = make_cluster(values);
+  const auto r = run_sequential_probe_max(c, c.all_ids());
+  EXPECT_EQ(r.reports, 1u);  // only the first node speaks
+  EXPECT_EQ(r.maximum, 100);
+}
+
+TEST(SequentialProbe, CustomOrderRespected) {
+  const std::vector<Value> values{5, 50, 500};
+  auto c = make_cluster(values);
+  const std::vector<NodeId> order{2, 1, 0};  // descending values
+  const auto r = run_sequential_probe_max(c, order);
+  EXPECT_EQ(r.reports, 1u);
+  EXPECT_EQ(r.winner, 2u);
+}
+
+TEST(SequentialProbe, ReportsEqualLeftToRightMaxima) {
+  const std::vector<Value> values{4, 7, 2, 9, 1, 8};
+  // LTR maxima at positions 0 (4), 1 (7), 3 (9): three reports.
+  auto c = make_cluster(values);
+  const auto r = run_sequential_probe_max(c, c.all_ids());
+  EXPECT_EQ(r.reports, 3u);
+}
+
+TEST(SequentialProbe, ExpectedReportsNearHarmonicNumber) {
+  // Theorem 4.3 / classical fact: on a uniform random permutation the
+  // number of left-to-right maxima has expectation H_n.
+  constexpr std::size_t kN = 256;
+  constexpr int kTrials = 1'500;
+  Rng rng(123);
+  OnlineStats reports;
+  std::vector<Value> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  for (int t = 0; t < kTrials; ++t) {
+    rng.shuffle(values.begin(), values.end());
+    auto c = make_cluster(values);
+    reports.add(static_cast<double>(
+        run_sequential_probe_max(c, c.all_ids()).reports));
+  }
+  const double hn = harmonic(kN);  // ~6.12
+  EXPECT_NEAR(reports.mean(), hn, 0.35);
+}
+
+TEST(SequentialProbe, MessagesMatchNetworkAccounting) {
+  const std::vector<Value> values{1, 3, 2, 4};
+  auto c = make_cluster(values);
+  const auto r = run_sequential_probe_max(c, c.all_ids());
+  EXPECT_EQ(c.stats().upstream(), r.reports);
+  EXPECT_EQ(c.stats().broadcast(), r.broadcasts);
+}
+
+}  // namespace
+}  // namespace topkmon

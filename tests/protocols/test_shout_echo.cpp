@@ -1,0 +1,98 @@
+// Tests for the shout-echo selection baseline.
+#include "protocols/shout_echo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+Cluster make_cluster(const std::vector<Value>& values) {
+  Cluster c(values.size(), 1);
+  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
+  return c;
+}
+
+TEST(ShoutEcho, EmptyParticipants) {
+  auto c = make_cluster({1});
+  const auto r = run_shout_echo_extremum(c, {});
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.messages(), 0u);
+}
+
+TEST(ShoutEcho, FindsMaximum) {
+  const std::vector<Value> values{4, 99, 7, 23};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_extremum(c, c.all_ids());
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.extremum, 99);
+}
+
+TEST(ShoutEcho, FindsMinimum) {
+  const std::vector<Value> values{4, 99, -7, 23};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_extremum(c, c.all_ids(), Direction::kMin);
+  EXPECT_EQ(r.winner, 2u);
+  EXPECT_EQ(r.extremum, -7);
+}
+
+TEST(ShoutEcho, CostIsParticipantsPlusOne) {
+  const std::vector<Value> values{1, 2, 3, 4, 5, 6};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_extremum(c, c.all_ids());
+  EXPECT_EQ(r.shouts, 1u);
+  EXPECT_EQ(r.echoes, 6u);
+  EXPECT_EQ(c.stats().total(), 7u);
+}
+
+TEST(ShoutEcho, SubsetOnly) {
+  const std::vector<Value> values{1000, 1, 2, 3};
+  auto c = make_cluster(values);
+  const std::vector<NodeId> who{1, 2, 3};
+  const auto r = run_shout_echo_extremum(c, who);
+  EXPECT_EQ(r.winner, 3u);
+  EXPECT_EQ(r.echoes, 3u);
+}
+
+TEST(ShoutEcho, TieBreaksTowardSmallerId) {
+  const std::vector<Value> values{5, 5, 5};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_extremum(c, c.all_ids());
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(ShoutEchoTopk, ReturnsOrderedPrefix) {
+  const std::vector<Value> values{30, 10, 50, 20, 40};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_topk(c, c.all_ids(), 3);
+  ASSERT_EQ(r.winners.size(), 3u);
+  EXPECT_EQ(r.winners[0].id, 2u);
+  EXPECT_EQ(r.winners[1].id, 4u);
+  EXPECT_EQ(r.winners[2].id, 0u);
+}
+
+TEST(ShoutEchoTopk, CostIndependentOfM) {
+  const std::vector<Value> values{9, 8, 7, 6, 5};
+  auto c1 = make_cluster(values);
+  (void)run_shout_echo_topk(c1, c1.all_ids(), 1);
+  auto c2 = make_cluster(values);
+  (void)run_shout_echo_topk(c2, c2.all_ids(), 5);
+  EXPECT_EQ(c1.stats().total(), c2.stats().total());
+}
+
+TEST(ShoutEchoTopk, MLargerThanParticipants) {
+  const std::vector<Value> values{2, 1};
+  auto c = make_cluster(values);
+  const auto r = run_shout_echo_topk(c, c.all_ids(), 10);
+  EXPECT_EQ(r.winners.size(), 2u);
+}
+
+TEST(ShoutEchoTopk, ZeroM) {
+  auto c = make_cluster({1, 2});
+  const auto r = run_shout_echo_topk(c, c.all_ids(), 0);
+  EXPECT_TRUE(r.winners.empty());
+  EXPECT_EQ(r.messages(), 0u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,77 @@
+// Unit tests for the cluster (node runtimes + coordinator + network).
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(Cluster, SizeAndIds) {
+  Cluster c(5, 1);
+  EXPECT_EQ(c.size(), 5u);
+  ASSERT_EQ(c.all_ids().size(), 5u);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.all_ids()[i], i);
+    EXPECT_EQ(c.node(i).id, i);
+  }
+}
+
+TEST(Cluster, ValuesReadWrite) {
+  Cluster c(3, 1);
+  c.set_value(0, 10);
+  c.set_value(2, -7);
+  EXPECT_EQ(c.value(0), 10);
+  EXPECT_EQ(c.value(1), 0);
+  EXPECT_EQ(c.value(2), -7);
+}
+
+TEST(Cluster, PerNodeRngsDifferAcrossNodes) {
+  Cluster c(2, 7);
+  const auto a = c.node(0).rng.next_u64();
+  const auto b = c.node(1).rng.next_u64();
+  EXPECT_NE(a, b);
+}
+
+TEST(Cluster, SameSeedSameRngStreams) {
+  Cluster c1(4, 99);
+  Cluster c2(4, 99);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(c1.node(i).rng.next_u64(), c2.node(i).rng.next_u64());
+    }
+  }
+  EXPECT_EQ(c1.coordinator_rng().next_u64(), c2.coordinator_rng().next_u64());
+}
+
+TEST(Cluster, DifferentSeedsDifferentStreams) {
+  Cluster c1(1, 1);
+  Cluster c2(1, 2);
+  EXPECT_NE(c1.node(0).rng.next_u64(), c2.node(0).rng.next_u64());
+}
+
+TEST(Cluster, NetworkChargesOwnStats) {
+  Cluster c(2, 1);
+  Message m;
+  m.kind = MsgKind::kValueReport;
+  c.net().node_send(0, m);
+  EXPECT_EQ(c.stats().total(), 1u);
+  EXPECT_EQ(c.stats().upstream(), 1u);
+}
+
+TEST(Cluster, ProtocolEpochsMonotone) {
+  Cluster c(1, 1);
+  const auto e1 = c.next_protocol_epoch();
+  const auto e2 = c.next_protocol_epoch();
+  EXPECT_LT(e1, e2);
+  EXPECT_EQ(c.current_protocol_epoch(), e2);
+}
+
+TEST(Cluster, BoundsChecked) {
+  Cluster c(2, 1);
+  EXPECT_THROW(c.value(2), std::out_of_range);
+  EXPECT_THROW(c.set_value(5, 1), std::out_of_range);
+  EXPECT_THROW(c.node(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,113 @@
+// Unit tests for message accounting.
+#include "sim/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(CommStats, StartsAtZero) {
+  CommStats s;
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.upstream(), 0u);
+  EXPECT_EQ(s.unicast(), 0u);
+  EXPECT_EQ(s.broadcast(), 0u);
+}
+
+TEST(CommStats, CountsByDirection) {
+  CommStats s;
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_upstream(MsgKind::kViolation);
+  s.record_unicast(MsgKind::kProbe);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  s.record_broadcast(MsgKind::kFilterUpdate);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  EXPECT_EQ(s.upstream(), 2u);
+  EXPECT_EQ(s.unicast(), 1u);
+  EXPECT_EQ(s.broadcast(), 3u);
+  EXPECT_EQ(s.total(), 6u);
+}
+
+TEST(CommStats, CountsByKind) {
+  CommStats s;
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  EXPECT_EQ(s.by_kind(MsgKind::kValueReport), 1u);
+  EXPECT_EQ(s.by_kind(MsgKind::kRoundBeacon), 2u);
+  EXPECT_EQ(s.by_kind(MsgKind::kFilterUpdate), 0u);
+}
+
+TEST(CommStats, WeightedTotal) {
+  CommStats s;
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  EXPECT_DOUBLE_EQ(s.weighted_total(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.weighted_total(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(s.weighted_total(0.0), 1.0);
+}
+
+TEST(CommStats, SeriesDisabledByDefault) {
+  CommStats s;
+  s.begin_step(0);
+  s.record_upstream(MsgKind::kValueReport);
+  EXPECT_TRUE(s.series().empty());
+}
+
+TEST(CommStats, SeriesChargesCurrentStep) {
+  CommStats s;
+  s.enable_series();
+  s.begin_step(0);
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  s.begin_step(1);
+  s.begin_step(2);
+  s.record_unicast(MsgKind::kProbe);
+  ASSERT_EQ(s.series().size(), 3u);
+  EXPECT_EQ(s.series()[0], 2u);
+  EXPECT_EQ(s.series()[1], 0u);
+  EXPECT_EQ(s.series()[2], 1u);
+}
+
+TEST(CommStats, CumulativeSeries) {
+  CommStats s;
+  s.enable_series();
+  s.begin_step(0);
+  s.record_upstream(MsgKind::kValueReport);
+  s.begin_step(1);
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_upstream(MsgKind::kValueReport);
+  const auto cum = s.cumulative_series();
+  ASSERT_EQ(cum.size(), 2u);
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[1], 3u);
+}
+
+TEST(CommStats, ResetClearsEverything) {
+  CommStats s;
+  s.enable_series();
+  s.begin_step(0);
+  s.record_upstream(MsgKind::kValueReport);
+  s.reset();
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.by_kind(MsgKind::kValueReport), 0u);
+  EXPECT_TRUE(s.series().empty());
+}
+
+TEST(CommStats, SummaryMentionsCounts) {
+  CommStats s;
+  s.record_upstream(MsgKind::kValueReport);
+  s.record_broadcast(MsgKind::kRoundBeacon);
+  const auto text = s.summary();
+  EXPECT_NE(text.find("total=2"), std::string::npos);
+  EXPECT_NE(text.find("bcast=1"), std::string::npos);
+}
+
+TEST(MsgKindName, AllKindsNamed) {
+  for (std::size_t i = 0; i < kNumMsgKinds; ++i) {
+    EXPECT_NE(msg_kind_name(static_cast<MsgKind>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,132 @@
+// Tests for the adversarial worst-case stream constructions.
+#include "streams/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TEST(RotatingMax, RejectsBadParams) {
+  RotatingMaxParams p;
+  p.n = 4;
+  EXPECT_THROW(RotatingMaxStream(p, 4), std::invalid_argument);  // id >= n
+  RotatingMaxParams hold0;
+  hold0.hold = 0;
+  EXPECT_THROW(RotatingMaxStream(hold0, 0), std::invalid_argument);
+  RotatingMaxParams low_peak;
+  low_peak.n = 8;
+  low_peak.base = 100;
+  low_peak.peak = 105;  // must clear base + n
+  EXPECT_THROW(RotatingMaxStream(low_peak, 0), std::invalid_argument);
+}
+
+TEST(RotatingMax, ExactlyOnePeakPerStep) {
+  constexpr std::size_t kN = 5;
+  RotatingMaxParams p;
+  p.n = kN;
+  std::vector<std::unique_ptr<RotatingMaxStream>> streams;
+  for (NodeId id = 0; id < kN; ++id) {
+    streams.push_back(std::make_unique<RotatingMaxStream>(p, id));
+  }
+  for (int t = 0; t < 20; ++t) {
+    int peaks = 0;
+    NodeId holder = 0;
+    for (NodeId id = 0; id < kN; ++id) {
+      if (streams[id]->next() == p.peak) {
+        ++peaks;
+        holder = id;
+      }
+    }
+    EXPECT_EQ(peaks, 1) << "t=" << t;
+    EXPECT_EQ(holder, static_cast<NodeId>(t % kN));
+  }
+}
+
+TEST(RotatingMax, HoldKeepsMaximumInPlace) {
+  RotatingMaxParams p;
+  p.n = 3;
+  p.hold = 4;
+  RotatingMaxStream s(p, 0);
+  // Node 0 holds the maximum for the first `hold` steps.
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(s.next(), p.peak);
+  for (int t = 4; t < 12; ++t) EXPECT_EQ(s.next(), p.base + 0);
+  EXPECT_EQ(s.next(), p.peak);  // wraps around at t = 12
+}
+
+TEST(RotatingMax, BaseValuesDistinctPerNode) {
+  RotatingMaxParams p;
+  p.n = 4;
+  RotatingMaxStream s1(p, 1);
+  RotatingMaxStream s2(p, 2);
+  (void)s1.next();
+  (void)s2.next();  // t=0: node 0 holds the peak; 1 and 2 are at base
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(CrossingPairs, RejectsBadParams) {
+  CrossingPairsParams p;
+  p.n = 4;
+  EXPECT_THROW(CrossingPairsStream(p, 4), std::invalid_argument);
+  CrossingPairsParams tight;
+  tight.pair_gap = 100;
+  tight.amplitude = 60;  // 2*amplitude >= pair_gap
+  EXPECT_THROW(CrossingPairsStream(tight, 0), std::invalid_argument);
+  CrossingPairsParams short_period;
+  short_period.period = 2;
+  EXPECT_THROW(CrossingPairsStream(short_period, 0), std::invalid_argument);
+}
+
+TEST(CrossingPairs, PartnersCrossTwicePerPeriod) {
+  CrossingPairsParams p;
+  p.n = 2;
+  p.period = 16;
+  CrossingPairsStream a(p, 0);
+  CrossingPairsStream b(p, 1);
+  int sign_changes = 0;
+  int prev_sign = 0;
+  for (int t = 0; t < 32; ++t) {
+    const Value va = a.next();
+    const Value vb = b.next();
+    const int sign = (va > vb) ? 1 : (va < vb ? -1 : 0);
+    if (sign != 0 && prev_sign != 0 && sign != prev_sign) ++sign_changes;
+    if (sign != 0) prev_sign = sign;
+  }
+  EXPECT_GE(sign_changes, 3);  // two crossings per period over two periods
+}
+
+TEST(CrossingPairs, PairsNeverOverlapAcrossCenters) {
+  CrossingPairsParams p;
+  p.n = 6;
+  p.pair_gap = 10'000;
+  p.amplitude = 2'000;
+  std::vector<std::unique_ptr<CrossingPairsStream>> streams;
+  for (NodeId id = 0; id < 6; ++id) {
+    streams.push_back(std::make_unique<CrossingPairsStream>(p, id));
+  }
+  for (int t = 0; t < 200; ++t) {
+    std::vector<Value> v;
+    for (auto& s : streams) v.push_back(s->next());
+    // Pair i occupies (i+1)*gap +- amplitude; higher pairs always beat
+    // lower pairs.
+    for (std::size_t pair = 0; pair + 1 < 3; ++pair) {
+      const Value hi_of_low = std::max(v[2 * pair], v[2 * pair + 1]);
+      const Value lo_of_high = std::min(v[2 * pair + 2], v[2 * pair + 3]);
+      EXPECT_LT(hi_of_low, lo_of_high) << "t=" << t;
+    }
+  }
+}
+
+TEST(CrossingPairs, OddLeftoverNodeIsFlat) {
+  CrossingPairsParams p;
+  p.n = 3;
+  CrossingPairsStream s(p, 2);
+  const Value first = s.next();
+  for (int t = 0; t < 50; ++t) EXPECT_EQ(s.next(), first);
+}
+
+}  // namespace
+}  // namespace topkmon

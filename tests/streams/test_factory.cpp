@@ -1,0 +1,100 @@
+// Tests for the stream-set factory.
+#include "streams/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace topkmon {
+namespace {
+
+TEST(Factory, RejectsZeroNodes) {
+  EXPECT_THROW(make_stream_set(StreamSpec{}, 0, 1), std::invalid_argument);
+}
+
+TEST(Factory, FamilyNamesUniqueAndComplete) {
+  std::set<std::string_view> names;
+  for (const auto f : all_families()) names.insert(family_name(f));
+  EXPECT_EQ(names.size(), all_families().size());
+  EXPECT_EQ(names.count("random_walk"), 1u);
+  EXPECT_EQ(names.count("rotating_max"), 1u);
+  EXPECT_EQ(names.count("?"), 0u);
+}
+
+TEST(Factory, BuildsEveryFamily) {
+  for (const auto f : all_families()) {
+    StreamSpec spec;
+    spec.family = f;
+    auto set = make_stream_set(spec, 8, 42);
+    EXPECT_EQ(set.size(), 8u) << family_name(f);
+    for (NodeId id = 0; id < 8; ++id) {
+      (void)set.advance(id);  // must not throw
+    }
+  }
+}
+
+TEST(Factory, DeterministicForSeed) {
+  for (const auto f : all_families()) {
+    StreamSpec spec;
+    spec.family = f;
+    auto a = make_stream_set(spec, 4, 7);
+    auto b = make_stream_set(spec, 4, 7);
+    for (int t = 0; t < 50; ++t) {
+      for (NodeId id = 0; id < 4; ++id) {
+        ASSERT_EQ(a.advance(id), b.advance(id))
+            << family_name(f) << " node " << id << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(Factory, SeedsChangeRandomFamilies) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  auto a = make_stream_set(spec, 2, 1);
+  auto b = make_stream_set(spec, 2, 2);
+  bool differs = false;
+  for (int t = 0; t < 50 && !differs; ++t) {
+    if (a.advance(0) != b.advance(0)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Factory, DistinctnessEnforcedByDefault) {
+  for (const auto f : all_families()) {
+    StreamSpec spec;
+    spec.family = f;
+    auto set = make_stream_set(spec, 16, 3);
+    for (int t = 0; t < 20; ++t) {
+      std::set<Value> seen;
+      for (NodeId id = 0; id < 16; ++id) seen.insert(set.advance(id));
+      EXPECT_EQ(seen.size(), 16u)
+          << family_name(f) << ": values must be pairwise distinct at t=" << t;
+    }
+  }
+}
+
+TEST(Factory, WalkStartsSpreadAcrossRange) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.enforce_distinct = false;
+  spec.walk.max_step = 0;  // freeze the walks at their starting points
+  auto set = make_stream_set(spec, 4, 5);
+  std::set<Value> starts;
+  for (NodeId id = 0; id < 4; ++id) starts.insert(set.advance(id));
+  EXPECT_EQ(starts.size(), 4u);  // distinct starting points
+}
+
+TEST(Factory, SinusoidPhasesSpread) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kSinusoidal;
+  spec.enforce_distinct = false;
+  spec.sinus.noise_sigma = 0.0;
+  auto set = make_stream_set(spec, 4, 5);
+  std::set<Value> first;
+  for (NodeId id = 0; id < 4; ++id) first.insert(set.advance(id));
+  EXPECT_GE(first.size(), 3u);  // phase-shifted waves start apart
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,70 @@
+// Unit tests for the iid stream generators.
+#include "streams/iid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(IidUniform, RejectsInvertedBounds) {
+  EXPECT_THROW(IidUniformStream(5, 4, Rng(1)), std::invalid_argument);
+}
+
+TEST(IidUniform, RespectsBounds) {
+  IidUniformStream s(-50, 50, Rng(3));
+  for (int i = 0; i < 10'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, -50);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(IidUniform, MeanNearCenter) {
+  IidUniformStream s(0, 1000, Rng(5));
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(static_cast<double>(s.next()));
+  EXPECT_NEAR(stats.mean(), 500.0, 10.0);
+}
+
+TEST(IidUniform, NoTemporalCorrelationSignature) {
+  // Successive differences of an iid uniform stream should frequently be
+  // large — unlike a random walk.
+  IidUniformStream s(0, 1'000'000, Rng(7));
+  Value prev = s.next();
+  int big_jumps = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    const Value v = s.next();
+    if (std::llabs(v - prev) > 100'000) ++big_jumps;
+    prev = v;
+  }
+  EXPECT_GT(big_jumps, 500);
+}
+
+TEST(IidGaussian, RejectsBadParams) {
+  EXPECT_THROW(IidGaussianStream(0, -1.0, 0, 10, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(IidGaussianStream(0, 1.0, 10, 0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(IidGaussian, ClampsToBounds) {
+  IidGaussianStream s(0.0, 1000.0, -10, 10, Rng(9));
+  for (int i = 0; i < 5'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(IidGaussian, MomentsMatch) {
+  IidGaussianStream s(500.0, 25.0, -10'000, 10'000, Rng(11));
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(static_cast<double>(s.next()));
+  EXPECT_NEAR(stats.mean(), 500.0, 1.0);
+  EXPECT_NEAR(stats.stddev(), 25.0, 1.5);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,147 @@
+// Distributional/structural checks across stream families: temporal
+// similarity ordering (the property that separates the filter-friendly
+// regimes from the adversarial ones), stationarity of bounded walks, and
+// periodicity of the deterministic adversaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/ground_truth.hpp"
+#include "streams/factory.hpp"
+#include "util/statistics.hpp"
+
+namespace topkmon {
+namespace {
+
+/// Mean absolute one-step change of node 0's stream over `steps`.
+double mean_step(StreamFamily family, std::size_t steps, Value walk_step) {
+  StreamSpec spec;
+  spec.family = family;
+  spec.enforce_distinct = false;
+  spec.walk.max_step = walk_step;
+  auto set = make_stream_set(spec, 4, 77);
+  OnlineStats jumps;
+  Value prev = set.advance(0);
+  for (NodeId i = 1; i < 4; ++i) (void)set.advance(i);
+  for (std::size_t t = 1; t < steps; ++t) {
+    const Value v = set.advance(0);
+    for (NodeId i = 1; i < 4; ++i) (void)set.advance(i);
+    jumps.add(static_cast<double>(std::llabs(v - prev)));
+    prev = v;
+  }
+  return jumps.mean();
+}
+
+TEST(StreamStatistics, TemporalSimilarityOrdering) {
+  // Slow walks must change far less per step than iid redraws — this is
+  // the axis the whole paper exploits.
+  const double walk = mean_step(StreamFamily::kRandomWalk, 2'000, 10);
+  const double iid = mean_step(StreamFamily::kIidUniform, 2'000, 10);
+  EXPECT_LT(walk * 100, iid);
+}
+
+TEST(StreamStatistics, SensorCalmerThanBursty) {
+  const double sensor = mean_step(StreamFamily::kSensor, 4'000, 0);
+  StreamSpec spec;
+  spec.family = StreamFamily::kBursty;
+  spec.enforce_distinct = false;
+  spec.bursty.p_enter_burst = 0.05;
+  auto set = make_stream_set(spec, 1, 3);
+  OnlineStats jumps;
+  Value prev = set.advance(0);
+  for (int t = 1; t < 4'000; ++t) {
+    const Value v = set.advance(0);
+    jumps.add(static_cast<double>(std::llabs(v - prev)));
+    prev = v;
+  }
+  EXPECT_LT(sensor, jumps.mean());
+}
+
+TEST(StreamStatistics, WalkIsStationaryWithinBounds) {
+  // Long-run mean of a reflected symmetric walk sits near the band center
+  // (loose check; guards against reflection bias bugs).
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  spec.enforce_distinct = false;
+  spec.walk.lo = 0;
+  spec.walk.hi = 10'000;
+  spec.walk.max_step = 500;
+  auto set = make_stream_set(spec, 1, 5);
+  OnlineStats values;
+  for (int t = 0; t < 200'000; ++t) {
+    values.add(static_cast<double>(set.advance(0)));
+  }
+  EXPECT_NEAR(values.mean(), 5'000.0, 1'200.0);
+  EXPECT_GE(values.min(), 0.0);
+  EXPECT_LE(values.max(), 10'000.0);
+}
+
+TEST(StreamStatistics, RotatingMaxGroundTruthPeriod) {
+  // The argmax sequence of the rotating adversary is exactly periodic.
+  StreamSpec spec;
+  spec.family = StreamFamily::kRotatingMax;
+  spec.enforce_distinct = false;
+  constexpr std::size_t kN = 6;
+  auto set = make_stream_set(spec, kN, 9);
+  for (int t = 0; t < 30; ++t) {
+    Value best = kMinusInf;
+    NodeId argmax = 0;
+    for (NodeId i = 0; i < kN; ++i) {
+      const Value v = set.advance(i);
+      if (v > best) {
+        best = v;
+        argmax = i;
+      }
+    }
+    EXPECT_EQ(argmax, static_cast<NodeId>(static_cast<std::size_t>(t) % kN)) << "t=" << t;
+  }
+}
+
+TEST(StreamStatistics, CrossingPairsBoundaryChurnsOnlyWithinPairs) {
+  // With k cutting a pair in half, the ground-truth top-k set oscillates
+  // with the pair period; with k aligned to pair boundaries it is static.
+  StreamSpec spec;
+  spec.family = StreamFamily::kCrossingPairs;
+  spec.crossing.period = 16;
+  spec.enforce_distinct = false;
+  constexpr std::size_t kN = 8;
+  auto set = make_stream_set(spec, kN, 11);
+  int aligned_changes = 0;   // k = 2: top pair as a whole
+  int split_changes = 0;     // k = 1: cuts the top pair
+  std::vector<Value> v(kN);
+  std::vector<NodeId> prev_aligned, prev_split;
+  for (int t = 0; t < 64; ++t) {
+    for (NodeId i = 0; i < kN; ++i) v[i] = set.advance(i);
+    auto top2 = true_topk_set(v, 2);
+    auto top1 = true_topk_set(v, 1);
+    if (t > 0 && top2 != prev_aligned) ++aligned_changes;
+    if (t > 0 && top1 != prev_split) ++split_changes;
+    prev_aligned = std::move(top2);
+    prev_split = std::move(top1);
+  }
+  EXPECT_EQ(aligned_changes, 0);
+  EXPECT_GE(split_changes, 4);  // two swaps per 16-step period over 64 steps
+}
+
+TEST(StreamStatistics, ZipfTopHeavinessAcrossNodes) {
+  // At any instant most nodes draw small values and few draw huge ones:
+  // the max/median ratio across nodes should be large on average.
+  StreamSpec spec;
+  spec.family = StreamFamily::kZipf;
+  spec.enforce_distinct = false;
+  constexpr std::size_t kN = 32;
+  auto set = make_stream_set(spec, kN, 13);
+  OnlineStats ratio;
+  for (int t = 0; t < 500; ++t) {
+    Quantiles q;
+    for (NodeId i = 0; i < kN; ++i) {
+      q.add(static_cast<double>(set.advance(i)));
+    }
+    ratio.add(q.quantile(1.0) / std::max(1.0, q.median()));
+  }
+  EXPECT_GT(ratio.mean(), 5.0);  // a uniform spread would sit near 2
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,175 @@
+// Tests for sinusoidal, bursty and sensor streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "streams/bursty.hpp"
+#include "streams/sensor.hpp"
+#include "streams/sinusoidal.hpp"
+#include "util/statistics.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(Sinusoidal, RejectsNonPositivePeriod) {
+  SinusoidalParams p;
+  p.period = 0.0;
+  EXPECT_THROW(SinusoidalStream(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(Sinusoidal, NoiselessRangeAndPeriodicity) {
+  SinusoidalParams p;
+  p.offset = 100.0;
+  p.amplitude = 50.0;
+  p.period = 40.0;
+  p.noise_sigma = 0.0;
+  SinusoidalStream s(p, Rng(3));
+  std::vector<Value> one_period;
+  for (int i = 0; i < 40; ++i) one_period.push_back(s.next());
+  for (const Value v : one_period) {
+    EXPECT_GE(v, 50);
+    EXPECT_LE(v, 150);
+  }
+  // Next period repeats exactly (noiseless integer-rounded wave).
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(s.next(), one_period[static_cast<std::size_t>(i)]);
+}
+
+TEST(Sinusoidal, PhaseShiftsWave) {
+  SinusoidalParams a;
+  a.phase = 0.0;
+  SinusoidalParams b = a;
+  b.phase = a.period / 2.0;
+  SinusoidalStream sa(a, Rng(5));
+  SinusoidalStream sb(b, Rng(5));
+  // Half-period phase shift mirrors the wave around the offset.
+  for (int i = 0; i < 100; ++i) {
+    const Value va = sa.next();
+    const Value vb = sb.next();
+    EXPECT_NEAR(static_cast<double>(va + vb), 2 * a.offset, 3.0);
+  }
+}
+
+TEST(Sinusoidal, MeanNearOffset) {
+  SinusoidalParams p;
+  p.offset = 777.0;
+  p.amplitude = 200.0;
+  p.period = 100.0;
+  p.noise_sigma = 5.0;
+  SinusoidalStream s(p, Rng(7));
+  OnlineStats stats;
+  for (int i = 0; i < 10'000; ++i) stats.add(static_cast<double>(s.next()));
+  EXPECT_NEAR(stats.mean(), 777.0, 5.0);
+}
+
+TEST(Bursty, RejectsBadParams) {
+  BurstyParams p;
+  p.lo = 10;
+  p.hi = 0;
+  EXPECT_THROW(BurstyStream(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(Bursty, StaysWithinBounds) {
+  BurstyParams p;
+  p.lo = 0;
+  p.hi = 1'000;
+  p.start = 500;
+  p.burst_step = 5'000;  // bursts would jump out without the clamp
+  p.p_enter_burst = 0.2;
+  BurstyStream s(p, Rng(9));
+  for (int i = 0; i < 5'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 1'000);
+  }
+}
+
+TEST(Bursty, EntersAndExitsBursts) {
+  BurstyParams p;
+  p.p_enter_burst = 0.05;
+  p.p_exit_burst = 0.2;
+  BurstyStream s(p, Rng(11));
+  bool saw_burst = false;
+  bool saw_calm_after_burst = false;
+  for (int i = 0; i < 5'000; ++i) {
+    (void)s.next();
+    if (s.in_burst()) saw_burst = true;
+    else if (saw_burst) saw_calm_after_burst = true;
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_calm_after_burst);
+}
+
+TEST(Bursty, BurstsIncreaseVolatility) {
+  BurstyParams p;
+  p.calm_step = 1;
+  p.burst_step = 1'000;
+  p.p_enter_burst = 0.01;
+  p.p_exit_burst = 0.05;
+  BurstyStream s(p, Rng(13));
+  OnlineStats calm_steps;
+  OnlineStats burst_steps;
+  Value prev = s.next();
+  for (int i = 0; i < 20'000; ++i) {
+    const Value v = s.next();
+    const auto jump = static_cast<double>(std::llabs(v - prev));
+    (s.in_burst() ? burst_steps : calm_steps).add(jump);
+    prev = v;
+  }
+  ASSERT_GT(calm_steps.count(), 0u);
+  ASSERT_GT(burst_steps.count(), 0u);
+  EXPECT_GT(burst_steps.mean(), 10 * calm_steps.mean());
+}
+
+TEST(Sensor, RejectsBadParams) {
+  SensorParams p;
+  p.diurnal_period = 0.0;
+  EXPECT_THROW(SensorStream(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(Sensor, StaysWithinBounds) {
+  SensorParams p;
+  SensorStream s(p, Rng(15));
+  for (int i = 0; i < 20'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, p.lo);
+    EXPECT_LE(v, p.hi);
+  }
+}
+
+TEST(Sensor, DiurnalCycleVisible) {
+  SensorParams p;
+  p.base = 0.0;
+  p.diurnal_amplitude = 100.0;
+  p.diurnal_period = 200.0;
+  p.walk_step = 0;
+  p.spike_prob = 0.0;
+  p.lo = -1'000;
+  p.hi = 1'000;
+  SensorStream s(p, Rng(17));
+  Value peak = kMinusInf;
+  Value trough = kPlusInf;
+  for (int i = 0; i < 200; ++i) {
+    const Value v = s.next();
+    peak = std::max(peak, v);
+    trough = std::min(trough, v);
+  }
+  EXPECT_GT(peak, 90);
+  EXPECT_LT(trough, -90);
+}
+
+TEST(Sensor, SpikesOccur) {
+  SensorParams p;
+  p.spike_prob = 0.01;
+  p.spike_magnitude = 500;
+  p.walk_step = 0;
+  p.diurnal_amplitude = 0.0;
+  p.hi = 10'000;
+  SensorStream s(p, Rng(19));
+  Value peak = kMinusInf;
+  for (int i = 0; i < 5'000; ++i) peak = std::max(peak, s.next());
+  EXPECT_GT(peak, static_cast<Value>(p.base) + 400);
+}
+
+}  // namespace
+}  // namespace topkmon

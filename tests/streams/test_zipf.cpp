@@ -1,0 +1,103 @@
+// Unit + distribution tests for Zipf / Pareto generators.
+#include "streams/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace topkmon {
+namespace {
+
+TEST(ZipfSampler, RejectsBadParams) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, RanksInRange) {
+  ZipfSampler z(100, 1.1);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto r = z.sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler z(4, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 1; r <= 4; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]), kN / 4.0, kN / 4.0 * 0.08);
+  }
+}
+
+TEST(ZipfSampler, FrequenciesFollowPowerLaw) {
+  constexpr double kS = 1.0;
+  ZipfSampler z(8, kS);
+  Rng rng(7);
+  std::vector<int> counts(9, 0);
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  // P(1)/P(2) should be ~2 for s = 1.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[4], 4.0, 0.5);
+  // Monotone decreasing.
+  for (std::size_t r = 1; r < 8; ++r) EXPECT_GE(counts[r], counts[r + 1]);
+}
+
+TEST(ZipfSampler, SingleRankAlwaysOne) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(9);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(ZipfStream, RejectsNonPositivePeak) {
+  EXPECT_THROW(ZipfStream(10, 1.0, 0, Rng(1)), std::invalid_argument);
+}
+
+TEST(ZipfStream, ValuesPositiveBoundedByPeak) {
+  ZipfStream s(100, 1.2, 1'000'000, Rng(11));
+  for (int i = 0; i < 5'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1'000'000);
+  }
+}
+
+TEST(ZipfStream, PeakValueAppears) {
+  ZipfStream s(100, 1.0, 10'000, Rng(13));
+  bool saw_peak = false;
+  for (int i = 0; i < 2'000 && !saw_peak; ++i) saw_peak = (s.next() == 10'000);
+  EXPECT_TRUE(saw_peak);  // rank 1 has probability ~0.19 at s=1, M=100
+}
+
+TEST(Pareto, RejectsBadParams) {
+  EXPECT_THROW(ParetoStream(0, 1.0, 10, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ParetoStream(10, 0.0, 100, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(ParetoStream(10, 1.0, 5, Rng(1)), std::invalid_argument);
+}
+
+TEST(Pareto, ValuesAtLeastXm) {
+  ParetoStream s(1'000, 1.5, 1'000'000, Rng(15));
+  for (int i = 0; i < 5'000; ++i) {
+    const Value v = s.next();
+    EXPECT_GE(v, 1'000);
+    EXPECT_LE(v, 1'000'000);
+  }
+}
+
+TEST(Pareto, TailHeavierThanExponential) {
+  // For Pareto(alpha=1.5), P(V > 10*xm) = 10^-1.5 ~ 3.16%.
+  ParetoStream s(1'000, 1.5, 1'000'000'000, Rng(17));
+  int tail = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) tail += (s.next() > 10'000) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(tail) / kN, 0.0316, 0.006);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,61 @@
+// Unit tests for the leveled logger.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace topkmon {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Log::level();
+    Log::set_sink(&sink_);
+  }
+  void TearDown() override {
+    Log::set_level(saved_level_);
+    Log::set_sink(nullptr);
+  }
+  std::ostringstream sink_;
+  LogLevel saved_level_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, RespectsLevelThreshold) {
+  Log::set_level(LogLevel::Warn);
+  TOPKMON_LOG(Debug) << "hidden";
+  TOPKMON_LOG(Info) << "hidden too";
+  EXPECT_TRUE(sink_.str().empty());
+  TOPKMON_LOG(Warn) << "visible";
+  EXPECT_NE(sink_.str().find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveWarn) {
+  Log::set_level(LogLevel::Error);
+  TOPKMON_LOG(Warn) << "suppressed";
+  EXPECT_TRUE(sink_.str().empty());
+  TOPKMON_LOG(Error) << "boom";
+  EXPECT_NE(sink_.str().find("[ERROR] boom"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::Off);
+  TOPKMON_LOG(Error) << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, StreamsMixedTypes) {
+  Log::set_level(LogLevel::Debug);
+  TOPKMON_LOG(Debug) << "x=" << 42 << " y=" << 1.5;
+  EXPECT_NE(sink_.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST(LogLevelName, Names) {
+  EXPECT_STREQ(Log::level_name(LogLevel::Error), "ERROR");
+  EXPECT_STREQ(Log::level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(Log::level_name(LogLevel::Off), "OFF");
+}
+
+}  // namespace
+}  // namespace topkmon

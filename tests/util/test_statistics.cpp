@@ -1,0 +1,207 @@
+// Unit tests for OnlineStats / Quantiles / Histogram / harmonic.
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(3);
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.next_double() * 100.0 - 50.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Quantiles, ThrowsOnEmpty) {
+  Quantiles q;
+  EXPECT_THROW(q.quantile(0.5), std::logic_error);
+}
+
+TEST(Quantiles, SingleSample) {
+  Quantiles q;
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+}
+
+TEST(Quantiles, MedianOfOddSet) {
+  Quantiles q;
+  for (const double x : {9.0, 1.0, 5.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.median(), 5.0);
+}
+
+TEST(Quantiles, InterpolatesBetweenRanks) {
+  Quantiles q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.5);
+}
+
+TEST(Quantiles, ExtremesAreMinMax) {
+  Quantiles q;
+  Rng rng(5);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double() * 7.0;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    q.add(x);
+  }
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), hi);
+}
+
+TEST(Quantiles, ClampsOutOfRangeQ) {
+  Quantiles q;
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.5), 2.0);
+}
+
+TEST(Quantiles, TailFraction) {
+  Quantiles q;
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.tail_fraction_above(90.0), 0.10);
+  EXPECT_DOUBLE_EQ(q.tail_fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.tail_fraction_above(100.0), 0.0);
+}
+
+TEST(Quantiles, AddAfterQueryResorts) {
+  Quantiles q;
+  q.add(1.0);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.median(), 2.0);
+  q.add(100.0);
+  EXPECT_DOUBLE_EQ(q.median(), 3.0);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.5);    // bucket 4
+  h.add(-3.0);   // clamped to bucket 0
+  h.add(42.0);   // clamped to bucket 4
+  h.add(5.0);    // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, AsciiRendersNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  const auto art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(Harmonic, LogApproximation) {
+  // H_n ~ ln n + gamma.
+  constexpr double kGamma = 0.5772156649;
+  for (const std::uint64_t n : {100ull, 10'000ull}) {
+    EXPECT_NEAR(harmonic(n), std::log(static_cast<double>(n)) + kGamma, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,95 @@
+// Unit tests for the Table / CSV / formatting helpers.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace topkmon {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, StoresRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.row(1)[0], "3");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1000"});
+  t.add_row({"longer", "2"});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Every line should have the same length (alignment).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, CsvRoundTrip) {
+  const std::string path = "/tmp/topkmon_test_table.csv";
+  Table t({"a", "b"});
+  t.add_row({"1", "hello"});
+  t.add_row({"2", "with,comma"});
+  t.add_row({"3", "with\"quote"});
+  ASSERT_TRUE(t.write_csv(path));
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,hello");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_xyz/file.csv"));
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(2.5, 1), "2.5");
+  EXPECT_EQ(fmt(-1.005, 2), "-1.00");
+}
+
+TEST(FmtCount, GroupsThousands) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1'000");
+  EXPECT_EQ(fmt_count(1234567), "1'234'567");
+  EXPECT_EQ(fmt_count(1000000000ull), "1'000'000'000");
+}
+
+}  // namespace
+}  // namespace topkmon
