@@ -1,66 +1,23 @@
-// Shared helpers for the experiment binaries: a tiny flag parser
-// (--trials/--steps/--seed/--csv-dir overrides) and run wrappers.
+// Shared helpers for the experiment suites registered in topkmon_bench.
+//
+// Each bench_e*.cpp defines one TOPKMON_SUITE(...) body; the SuiteContext
+// carries the parsed CLI options (--trials/--steps/--seed/--jobs/--out-dir),
+// the parallel SweepRunner, and ctx.emit() for table output (console +
+// CSV + JSON). run_once stays as the single-trial convenience wrapper.
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
-#include <iostream>
 #include <string>
 
 #include "topkmon.hpp"
 
 namespace topkmon::bench {
 
-/// Command-line knobs common to every experiment binary.
-struct BenchArgs {
-  std::uint64_t trials = 0;   ///< 0: keep the experiment's default
-  std::uint64_t steps = 0;    ///< 0: keep the experiment's default
-  std::uint64_t seed = 1;     ///< base seed
-  std::string csv_dir;        ///< empty: don't write CSVs
-
-  static BenchArgs parse(int argc, char** argv) {
-    BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-      const std::string flag = argv[i];
-      auto next = [&]() -> std::string {
-        if (i + 1 >= argc) {
-          std::cerr << "missing value for " << flag << "\n";
-          std::exit(2);
-        }
-        return argv[++i];
-      };
-      if (flag == "--trials") args.trials = std::stoull(next());
-      else if (flag == "--steps") args.steps = std::stoull(next());
-      else if (flag == "--seed") args.seed = std::stoull(next());
-      else if (flag == "--csv-dir") args.csv_dir = next();
-      else if (flag == "--help" || flag == "-h") {
-        std::cout << "flags: --trials N  --steps N  --seed N  --csv-dir DIR\n";
-        std::exit(0);
-      } else {
-        std::cerr << "unknown flag " << flag << "\n";
-        std::exit(2);
-      }
-    }
-    return args;
-  }
-
-  std::uint64_t trials_or(std::uint64_t dflt) const {
-    return trials ? trials : dflt;
-  }
-  std::uint64_t steps_or(std::uint64_t dflt) const { return steps ? steps : dflt; }
-};
-
-/// Writes the table as CSV into args.csv_dir/name.csv when requested.
-inline void maybe_csv(const Table& table, const BenchArgs& args,
-                      const std::string& name) {
-  if (args.csv_dir.empty()) return;
-  const std::string path = args.csv_dir + "/" + name + ".csv";
-  if (table.write_csv(path)) {
-    std::cout << "[csv] " << path << "\n";
-  } else {
-    std::cerr << "[csv] failed to write " << path << "\n";
-  }
-}
+using exp::SuiteContext;
+using exp::SuiteOptions;
+using exp::SweepGrid;
+using exp::SweepRunner;
+using exp::TrialSpec;
 
 /// Convenience: run one monitor over a freshly built stream set.
 inline RunResult run_once(MonitorBase& monitor, const StreamSpec& spec,

@@ -5,59 +5,79 @@
 // Regenerates: overhead of OrderedTopkMonitor over plain Algorithm 1
 // across k and across workloads, plus the share of messages spent on
 // internal reordering vs boundary maintenance.
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e10, "ordered top-k overhead (§5 conjecture variant)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(1'000);
   constexpr std::size_t kN = 32;
 
-  std::cout << "E10: ordered top-k (the §5 conjecture variant)\n"
+  ctx.out() << "E10: ordered top-k (the §5 conjecture variant)\n"
             << "n = " << kN << ", steps = " << steps
             << " (order validated against ground truth every step)\n\n";
 
-  Table t({"workload", "k", "set-only msgs", "ordered msgs", "overhead",
-           "ordered resets", "internal rebuilds"});
-
+  struct Cell {
+    StreamFamily fam;
+    std::size_t k;
+  };
+  std::vector<Cell> cells;
   for (const auto fam : {StreamFamily::kRandomWalk, StreamFamily::kSinusoidal,
                          StreamFamily::kBursty}) {
-    for (const std::size_t k : {2u, 4u, 8u}) {
-      StreamSpec spec;
-      spec.family = fam;
-      spec.walk.max_step = 2'000;
-      RunConfig cfg;
-      cfg.n = kN;
-      cfg.k = k;
-      cfg.steps = steps;
-      cfg.seed = args.seed + k;
-      TopkFilterMonitor plain(k);
-      const auto rp = run_once(plain, spec, cfg);
-      cfg.validate_order = true;
-      OrderedTopkMonitor ordered(k);
-      const auto ro = run_once(ordered, spec, cfg);
-      // handler_calls counts boundary events; protocol_runs - boundary
-      // contributions approximate the internal-order work.
-      t.add_row({std::string(family_name(fam)), std::to_string(k),
-                 fmt_count(rp.comm.total()), fmt_count(ro.comm.total()),
-                 fmt(static_cast<double>(ro.comm.total()) /
-                         static_cast<double>(
-                             std::max<std::uint64_t>(1, rp.comm.total())),
-                     2),
-                 fmt_count(ro.monitor.filter_resets),
-                 fmt_count(ro.monitor.protocol_runs)});
-    }
+    for (const std::size_t k : {2u, 4u, 8u}) cells.push_back({fam, k});
   }
 
-  t.print(std::cout);
-  maybe_csv(t, args, "e10_ordered");
-  std::cout << "\nshape check: the ordered variant costs a bounded factor "
+  struct CellResult {
+    RunResult plain, ordered;
+  };
+  const auto rows = ctx.runner().map<CellResult>(
+      cells.size(), [&](std::size_t ci) {
+        const auto [fam, k] = cells[ci];
+        StreamSpec spec;
+        spec.family = fam;
+        spec.walk.max_step = 2'000;
+        RunConfig cfg;
+        cfg.n = kN;
+        cfg.k = k;
+        cfg.steps = steps;
+        cfg.seed = args.seed + k;
+        CellResult out;
+        TopkFilterMonitor plain(k);
+        out.plain = run_once(plain, spec, cfg);
+        cfg.validate_order = true;
+        OrderedTopkMonitor ordered(k);
+        out.ordered = run_once(ordered, spec, cfg);
+        return out;
+      });
+
+  Table t({"workload", "k", "set-only msgs", "ordered msgs", "overhead",
+           "ordered resets", "internal rebuilds"});
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const auto [fam, k] = cells[ci];
+    const auto& rp = rows[ci].plain;
+    const auto& ro = rows[ci].ordered;
+    // handler_calls counts boundary events; protocol_runs - boundary
+    // contributions approximate the internal-order work.
+    t.add_row({std::string(family_name(fam)), std::to_string(k),
+               fmt_count(rp.comm.total()), fmt_count(ro.comm.total()),
+               fmt(static_cast<double>(ro.comm.total()) /
+                       static_cast<double>(
+                           std::max<std::uint64_t>(1, rp.comm.total())),
+                   2),
+               fmt_count(ro.monitor.filter_resets),
+               fmt_count(ro.monitor.protocol_runs)});
+  }
+
+  ctx.emit(t, "e10_ordered");
+  ctx.out() << "\nshape check: the ordered variant costs a bounded factor "
                "over the set-only monitor, growing with k (more internal "
                "adjacencies to maintain) — consistent with the conjectured "
                "extra log(n-k)-type machinery rather than a blow-up.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -6,69 +6,83 @@
 // Regenerates: messages, violation steps and worst observed regret as a
 // function of ε on a confined random-walk workload, with the exact
 // Algorithm 1 as the ε = 0 anchor.
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e12, "epsilon-approximate monitoring trade-off (extension)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(3'000);
   constexpr std::size_t kN = 24;
   constexpr std::size_t kK = 4;
 
-  std::cout << "E12: epsilon-approximate monitoring trade-off (extension)\n"
+  ctx.out() << "E12: epsilon-approximate monitoring trade-off (extension)\n"
             << "n = " << kN << ", k = " << kK << ", steps = " << steps
             << ", confined random walk (value range ~80k)\n\n";
 
-  Table t({"epsilon", "msgs", "msgs/step", "violation steps", "resets",
-           "worst regret", "eps-valid"});
+  const std::vector<Value> epsilons{0, 64, 512, 4'096, 16'384, 65'536};
 
-  for (const Value eps : {Value{0}, Value{64}, Value{512}, Value{4'096},
-                          Value{16'384}, Value{65'536}}) {
-    StreamSpec spec;
-    spec.family = StreamFamily::kRandomWalk;
-    spec.walk.max_step = 1'500;
-    spec.walk.lo = 0;
-    spec.walk.hi = 80'000;
-    spec.enforce_distinct = false;  // keep eps on the raw value scale
-    auto streams = make_stream_set(spec, kN, args.seed);
-
-    ApproxTopkMonitor::Options o;
-    o.epsilon = eps;
-    ApproxTopkMonitor m(kK, o);
-    Cluster c(kN, args.seed);
-    for (NodeId i = 0; i < kN; ++i) c.set_value(i, streams.advance(i));
-    m.initialize(c);
-
+  struct EpsResult {
+    std::uint64_t msgs = 0, violation_steps = 0, resets = 0;
     Value worst_regret = 0;
     bool always_valid = true;
-    std::vector<Value> values(kN);
-    for (TimeStep step = 1; step <= steps; ++step) {
-      for (NodeId i = 0; i < kN; ++i) {
-        values[i] = streams.advance(i);
-        c.set_value(i, values[i]);
-      }
-      m.step(c, step);
-      worst_regret = std::max(worst_regret, topk_regret(values, m.topk()));
-      always_valid = always_valid && is_valid_topk_eps(values, m.topk(), eps);
-    }
+  };
+  const auto rows = ctx.runner().map<EpsResult>(
+      epsilons.size(), [&](std::size_t ei) {
+        const Value eps = epsilons[ei];
+        StreamSpec spec;
+        spec.family = StreamFamily::kRandomWalk;
+        spec.walk.max_step = 1'500;
+        spec.walk.lo = 0;
+        spec.walk.hi = 80'000;
+        spec.enforce_distinct = false;  // keep eps on the raw value scale
+        auto streams = make_stream_set(spec, kN, args.seed);
 
-    t.add_row({std::to_string(eps), fmt_count(c.stats().total()),
-               fmt(static_cast<double>(c.stats().total()) /
-                       static_cast<double>(steps),
+        ApproxTopkMonitor::Options o;
+        o.epsilon = eps;
+        ApproxTopkMonitor m(kK, o);
+        Cluster c(kN, args.seed);
+        for (NodeId i = 0; i < kN; ++i) c.set_value(i, streams.advance(i));
+        m.initialize(c);
+
+        EpsResult out;
+        std::vector<Value> values(kN);
+        for (TimeStep step = 1; step <= steps; ++step) {
+          for (NodeId i = 0; i < kN; ++i) {
+            values[i] = streams.advance(i);
+            c.set_value(i, values[i]);
+          }
+          m.step(c, step);
+          out.worst_regret =
+              std::max(out.worst_regret, topk_regret(values, m.topk()));
+          out.always_valid =
+              out.always_valid && is_valid_topk_eps(values, m.topk(), eps);
+        }
+        out.msgs = c.stats().total();
+        out.violation_steps = m.monitor_stats().violation_steps;
+        out.resets = m.monitor_stats().filter_resets;
+        return out;
+      });
+
+  Table t({"epsilon", "msgs", "msgs/step", "violation steps", "resets",
+           "worst regret", "eps-valid"});
+  for (std::size_t ei = 0; ei < epsilons.size(); ++ei) {
+    const auto& r = rows[ei];
+    t.add_row({std::to_string(epsilons[ei]), fmt_count(r.msgs),
+               fmt(static_cast<double>(r.msgs) / static_cast<double>(steps),
                    2),
-               fmt_count(m.monitor_stats().violation_steps),
-               fmt_count(m.monitor_stats().filter_resets),
-               std::to_string(worst_regret), always_valid ? "yes" : "NO"});
+               fmt_count(r.violation_steps), fmt_count(r.resets),
+               std::to_string(r.worst_regret), r.always_valid ? "yes" : "NO"});
   }
 
-  t.print(std::cout);
-  maybe_csv(t, args, "e12_approx");
-  std::cout << "\nshape check: messages fall steeply as epsilon grows while "
+  ctx.emit(t, "e12_approx");
+  ctx.out() << "\nshape check: messages fall steeply as epsilon grows while "
                "the worst regret stays <= epsilon; eps-validity holds in "
                "every cell.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

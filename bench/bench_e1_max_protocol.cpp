@@ -6,14 +6,11 @@
 // bound. The paper claims the bound for every input; the layouts probe the
 // extremes (uniform random, ascending = "many candidate maxima survive",
 // descending, all-equal).
-#include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
-
+namespace topkmon::bench {
 namespace {
 
 enum class Layout { kUniform, kAscending, kDescending, kAllEqual };
@@ -48,50 +45,69 @@ void fill_values(Cluster& c, Layout layout, Rng& rng) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e1, "MaximumProtocol message scaling (Theorem 4.2)") {
+  const auto& args = ctx.opts();
   const std::uint64_t trials = args.trials_or(2'000);
 
-  std::cout << "E1: MaximumProtocol message scaling (Theorem 4.2)\n"
+  ctx.out() << "E1: MaximumProtocol message scaling (Theorem 4.2)\n"
             << "claim: E[#reports] <= 2 log2 N + 1; total = O(log N)\n"
             << "trials per cell: " << trials << "\n\n";
 
-  Table table({"n", "layout", "E[reports]", "max", "E[beacons]", "E[total]",
-               "bound 2logN+1", "ok"});
-
+  struct Cell {
+    std::uint32_t exp2;
+    Layout layout;
+  };
+  std::vector<Cell> cells;
   for (std::uint32_t exp2 = 4; exp2 <= 18; exp2 += 2) {
-    const std::size_t n = 1ull << exp2;
     for (const Layout layout :
          {Layout::kUniform, Layout::kAscending, Layout::kDescending,
           Layout::kAllEqual}) {
-      OnlineStats reports;
-      OnlineStats beacons;
-      OnlineStats totals;
-      // Trials shrink with n to keep runtime in seconds at n = 2^18.
-      const std::uint64_t cell_trials =
-          std::max<std::uint64_t>(50, trials >> (exp2 / 2));
-      Rng layout_rng(args.seed * 1000 + exp2);
-      for (std::uint64_t t = 0; t < cell_trials; ++t) {
-        Cluster c(n, args.seed * 7919 + t * 104729 + exp2);
-        fill_values(c, layout, layout_rng);
-        const auto r = run_max_protocol(c, c.all_ids(), n);
-        reports.add(static_cast<double>(r.reports));
-        beacons.add(static_cast<double>(r.beacons));
-        totals.add(static_cast<double>(r.messages()));
-      }
-      const double bound = 2.0 * exp2 + 1.0;
-      table.add_row({std::to_string(n), layout_name(layout),
-                     fmt(reports.mean()), fmt(reports.max(), 0),
-                     fmt(beacons.mean()), fmt(totals.mean()), fmt(bound),
-                     reports.mean() <= bound ? "yes" : "NO"});
+      cells.push_back({exp2, layout});
     }
   }
 
-  table.print(std::cout);
-  maybe_csv(table, args, "e1_max_protocol");
-  std::cout << "\nshape check: E[reports] grows ~linearly in log n and stays"
+  struct CellStats {
+    OnlineStats reports, beacons, totals;
+  };
+  // One job per cell; each cell's trials share a deterministic per-cell
+  // value RNG, so results don't depend on cell execution order.
+  const auto stats = ctx.runner().map<CellStats>(
+      cells.size(), [&](std::size_t ci) {
+        const auto [exp2, layout] = cells[ci];
+        const std::size_t n = 1ull << exp2;
+        // Trials shrink with n to keep runtime in seconds at n = 2^18.
+        const std::uint64_t cell_trials =
+            std::max<std::uint64_t>(50, trials >> (exp2 / 2));
+        CellStats s;
+        Rng layout_rng(args.seed * 1000 + exp2 * 8 +
+                       static_cast<std::uint64_t>(layout));
+        for (std::uint64_t t = 0; t < cell_trials; ++t) {
+          Cluster c(n, args.seed * 7919 + t * 104729 + exp2);
+          fill_values(c, layout, layout_rng);
+          const auto r = run_max_protocol(c, c.all_ids(), n);
+          s.reports.add(static_cast<double>(r.reports));
+          s.beacons.add(static_cast<double>(r.beacons));
+          s.totals.add(static_cast<double>(r.messages()));
+        }
+        return s;
+      });
+
+  Table table({"n", "layout", "E[reports]", "max", "E[beacons]", "E[total]",
+               "bound 2logN+1", "ok"});
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const auto [exp2, layout] = cells[ci];
+    const auto& s = stats[ci];
+    const double bound = 2.0 * exp2 + 1.0;
+    table.add_row({std::to_string(1ull << exp2), layout_name(layout),
+                   fmt(s.reports.mean()), fmt(s.reports.max(), 0),
+                   fmt(s.beacons.mean()), fmt(s.totals.mean()), fmt(bound),
+                   s.reports.mean() <= bound ? "yes" : "NO"});
+  }
+
+  ctx.emit(table, "e1_max_protocol");
+  ctx.out() << "\nshape check: E[reports] grows ~linearly in log n and stays"
                " under the bound for every layout.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -5,41 +5,60 @@
 // Regenerates the concentration view: full distribution (quantiles,
 // histogram) of report counts at fixed n, plus tail mass beyond c·E for
 // growing c — which should decay geometrically.
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e2, "MaximumProtocol concentration / tail decay (Thm 4.2)") {
+  const auto& args = ctx.opts();
   const std::uint64_t trials = args.trials_or(20'000);
   constexpr std::size_t kN = 1 << 14;
 
-  std::cout << "E2: MaximumProtocol concentration at n = 2^14 (Theorem 4.2 "
+  ctx.out() << "E2: MaximumProtocol concentration at n = 2^14 (Theorem 4.2 "
                "w.h.p.)\n"
             << "trials: " << trials << "\n\n";
+
+  // The trials are independent protocol executions with per-trial seeds:
+  // fan them out in fixed-size batches and fold the samples in batch order
+  // so the distribution is identical for any --jobs value.
+  constexpr std::uint64_t kBatch = 512;
+  const std::size_t batches =
+      static_cast<std::size_t>((trials + kBatch - 1) / kBatch);
+  const auto samples = ctx.runner().map<std::vector<double>>(
+      batches, [&](std::size_t b) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(b) * kBatch;
+        const std::uint64_t hi = std::min<std::uint64_t>(trials, lo + kBatch);
+        // Per-trial value RNG (derived, not shared) keeps trials
+        // independent of batch boundaries.
+        std::vector<double> out;
+        out.reserve(static_cast<std::size_t>(hi - lo));
+        for (std::uint64_t t = lo; t < hi; ++t) {
+          Rng value_rng(Rng(args.seed).derive(t).next_u64());
+          Cluster c(kN, args.seed * 31 + t);
+          for (NodeId i = 0; i < kN; ++i) {
+            c.set_value(i, value_rng.uniform_int(0, 1'000'000'000));
+          }
+          out.push_back(static_cast<double>(
+              run_max_protocol(c, c.all_ids(), kN).reports));
+        }
+        return out;
+      });
 
   Quantiles reports;
   reports.reserve(trials);
   Histogram hist(0.0, 60.0, 30);
-  Rng value_rng(args.seed);
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    Cluster c(kN, args.seed * 31 + t);
-    for (NodeId i = 0; i < kN; ++i) {
-      c.set_value(i, value_rng.uniform_int(0, 1'000'000'000));
+  double sum = 0;
+  for (const auto& batch : samples) {
+    for (const double x : batch) {
+      reports.add(x);
+      hist.add(x);
+      sum += x;
     }
-    const auto r = run_max_protocol(c, c.all_ids(), kN);
-    reports.add(static_cast<double>(r.reports));
-    hist.add(static_cast<double>(r.reports));
   }
-
-  const double mean = [&] {
-    double s = 0;
-    for (const double x : reports.sorted_samples()) s += x;
-    return s / static_cast<double>(reports.count());
-  }();
+  const double mean = sum / static_cast<double>(reports.count());
 
   Table q({"statistic", "reports"});
   q.add_row({"mean", fmt(mean)});
@@ -49,19 +68,19 @@ int main(int argc, char** argv) {
   q.add_row({"p99.9", fmt(reports.quantile(0.999))});
   q.add_row({"max", fmt(reports.quantile(1.0))});
   q.add_row({"bound 2logN+1", fmt(2.0 * 14 + 1)});
-  q.print(std::cout);
+  ctx.emit(q, "e2_quantiles");
 
-  std::cout << "\ndistribution of report counts:\n" << hist.ascii(40) << "\n";
+  ctx.out() << "\ndistribution of report counts:\n" << hist.ascii(40) << "\n";
 
   Table tail({"c", "threshold c*E", "tail fraction"});
   for (const double c : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0}) {
     tail.add_row({fmt(c), fmt(c * mean),
                   fmt(reports.tail_fraction_above(c * mean), 5)});
   }
-  tail.print(std::cout);
-  maybe_csv(q, args, "e2_quantiles");
-  maybe_csv(tail, args, "e2_tail");
-  std::cout << "\nshape check: tail mass decays geometrically in c "
+  ctx.emit(tail, "e2_tail");
+  ctx.out() << "\nshape check: tail mass decays geometrically in c "
                "(Chernoff-style concentration).\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

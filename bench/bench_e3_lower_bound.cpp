@@ -9,56 +9,68 @@
 // n = 2^4 .. 2^18 — alongside the randomized Algorithm 2 on the same
 // inputs, showing both sit at Θ(log n) (the protocol is asymptotically
 // optimal).
-#include <iostream>
 #include <numeric>
 #include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e3, "Ω(log n) lower-bound construction (Theorem 4.3)") {
+  const auto& args = ctx.opts();
   const std::uint64_t trials = args.trials_or(2'000);
 
-  std::cout << "E3: lower-bound construction (Theorem 4.3)\n"
+  ctx.out() << "E3: lower-bound construction (Theorem 4.3)\n"
             << "claim: E[probe reports] = H_n = Theta(log n); Algorithm 2 "
                "matches up to constants\n\n";
 
+  std::vector<std::uint32_t> exps;
+  for (std::uint32_t exp2 = 4; exp2 <= 18; exp2 += 2) exps.push_back(exp2);
+
+  struct CellStats {
+    OnlineStats probe_reports, alg2_reports;
+  };
+  const auto stats = ctx.runner().map<CellStats>(
+      exps.size(), [&](std::size_t ci) {
+        const std::uint32_t exp2 = exps[ci];
+        const std::size_t n = 1ull << exp2;
+        const std::uint64_t cell_trials =
+            std::max<std::uint64_t>(30, trials >> (exp2 / 2));
+        CellStats s;
+        std::vector<Value> values(n);
+        std::iota(values.begin(), values.end(), 1);
+        Rng shuffle_rng(args.seed * 97 + exp2);
+        for (std::uint64_t t = 0; t < cell_trials; ++t) {
+          shuffle_rng.shuffle(values.begin(), values.end());
+          Cluster c(n, args.seed * 13 + t);
+          for (NodeId i = 0; i < n; ++i) c.set_value(i, values[i]);
+          s.probe_reports.add(static_cast<double>(
+              run_sequential_probe_max(c, c.all_ids()).reports));
+          Cluster c2(n, args.seed * 17 + t);
+          for (NodeId i = 0; i < n; ++i) c2.set_value(i, values[i]);
+          s.alg2_reports.add(static_cast<double>(
+              run_max_protocol(c2, c2.all_ids(), n).reports));
+        }
+        return s;
+      });
+
   Table table({"n", "E[probe reports]", "H_n", "ratio", "E[alg2 reports]",
                "2logN+1"});
-
-  for (std::uint32_t exp2 = 4; exp2 <= 18; exp2 += 2) {
+  for (std::size_t ci = 0; ci < exps.size(); ++ci) {
+    const std::uint32_t exp2 = exps[ci];
     const std::size_t n = 1ull << exp2;
-    const std::uint64_t cell_trials =
-        std::max<std::uint64_t>(30, trials >> (exp2 / 2));
-    OnlineStats probe_reports;
-    OnlineStats alg2_reports;
-    std::vector<Value> values(n);
-    std::iota(values.begin(), values.end(), 1);
-    Rng shuffle_rng(args.seed * 97 + exp2);
-    for (std::uint64_t t = 0; t < cell_trials; ++t) {
-      shuffle_rng.shuffle(values.begin(), values.end());
-      Cluster c(n, args.seed * 13 + t);
-      for (NodeId i = 0; i < n; ++i) c.set_value(i, values[i]);
-      probe_reports.add(static_cast<double>(
-          run_sequential_probe_max(c, c.all_ids()).reports));
-      Cluster c2(n, args.seed * 17 + t);
-      for (NodeId i = 0; i < n; ++i) c2.set_value(i, values[i]);
-      alg2_reports.add(static_cast<double>(
-          run_max_protocol(c2, c2.all_ids(), n).reports));
-    }
     const double hn = harmonic(n);
-    table.add_row({std::to_string(n), fmt(probe_reports.mean()), fmt(hn),
-                   fmt(probe_reports.mean() / hn, 3),
-                   fmt(alg2_reports.mean()), fmt(2.0 * exp2 + 1)});
+    table.add_row({std::to_string(n), fmt(stats[ci].probe_reports.mean()),
+                   fmt(hn), fmt(stats[ci].probe_reports.mean() / hn, 3),
+                   fmt(stats[ci].alg2_reports.mean()), fmt(2.0 * exp2 + 1)});
   }
 
-  table.print(std::cout);
-  maybe_csv(table, args, "e3_lower_bound");
-  std::cout << "\nshape check: probe reports track H_n (ratio ~1), i.e. "
+  ctx.emit(table, "e3_lower_bound");
+  ctx.out() << "\nshape check: probe reports track H_n (ratio ~1), i.e. "
                "Θ(log n) messages are necessary; Algorithm 2 stays within "
                "its 2logN+1 budget on the same inputs.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -11,13 +11,11 @@
 //      inputs sit far below the worst case (ratio roughly flat), showing
 //      the bound is a worst-case guarantee, not the common cost.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
-
+namespace topkmon::bench {
 namespace {
 
 /// Builds the sawtooth-approach trace: node 1 sits at `center`; node 0
@@ -48,93 +46,117 @@ TraceMatrix sawtooth_trace(std::size_t n, std::size_t steps, Value delta) {
   return trace;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e4, "competitive ratio vs log Delta (Theorems 3.3/4.4)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(4'000);
   const std::uint64_t trials = args.trials_or(5);
   constexpr std::size_t kN = 16;
 
-  std::cout << "E4: competitive ratio vs Delta (Theorems 3.3/4.4)\n"
+  ctx.out() << "E4: competitive ratio vs Delta (Theorems 3.3/4.4)\n"
             << "n = " << kN << ", steps = " << steps << "\n\n";
 
-  // ---- (a) adversarial sawtooth, k = 1 --------------------------------------
+  // ---- (a) adversarial sawtooth, k = 1 ------------------------------------
   {
-    std::cout << "(a) adversarial sawtooth approach (analysis-tight family, "
+    ctx.out() << "(a) adversarial sawtooth approach (analysis-tight family, "
                  "k = 1)\n";
+    std::vector<Value> deltas;
+    for (Value delta = 1 << 6; delta <= 1 << 26; delta <<= 4) {
+      deltas.push_back(delta);
+    }
+    struct SawtoothRow {
+      std::uint64_t msgs = 0, opt_updates = 0;
+      double ratio = 0;
+    };
+    const auto rows = ctx.runner().map<SawtoothRow>(
+        deltas.size(), [&](std::size_t di) {
+          TopkFilterMonitor monitor(1);
+          const auto trace = sawtooth_trace(kN, steps, deltas[di]);
+          auto streams = trace.to_stream_set();
+          RunConfig cfg;
+          cfg.n = kN;
+          cfg.k = 1;
+          cfg.steps = steps - 1;
+          cfg.seed = args.seed;
+          cfg.record_trace = true;
+          const auto r = run_monitor(monitor, streams, cfg);
+          const auto opt = compute_offline_opt(*r.trace, 1);
+          return SawtoothRow{r.comm.total(), opt.updates(),
+                             competitive_ratio(r, 1)};
+        });
+
     Table t({"Delta", "log2 Delta", "msgs", "OPT updates", "ratio",
              "ratio/logDelta"});
-    for (Value delta = 1 << 6; delta <= 1 << 26; delta <<= 4) {
-      TopkFilterMonitor monitor(1);
-      const auto trace = sawtooth_trace(kN, steps, delta);
-      auto streams = trace.to_stream_set();
-      RunConfig cfg;
-      cfg.n = kN;
-      cfg.k = 1;
-      cfg.steps = steps - 1;
-      cfg.seed = args.seed;
-      cfg.record_trace = true;
-      const auto r = run_monitor(monitor, streams, cfg);
-      const auto opt = compute_offline_opt(*r.trace, 1);
-      const double ld = std::log2(static_cast<double>(delta));
-      const double ratio = competitive_ratio(r, 1);
-      t.add_row({std::to_string(delta), fmt(ld, 0),
-                 fmt_count(r.comm.total()),
-                 fmt_count(opt.updates()), fmt(ratio, 1),
-                 fmt(ratio / ld, 2)});
+    for (std::size_t di = 0; di < deltas.size(); ++di) {
+      const double ld = std::log2(static_cast<double>(deltas[di]));
+      t.add_row({std::to_string(deltas[di]), fmt(ld, 0),
+                 fmt_count(rows[di].msgs), fmt_count(rows[di].opt_updates),
+                 fmt(rows[di].ratio, 1), fmt(rows[di].ratio / ld, 2)});
     }
-    t.print(std::cout);
-    maybe_csv(t, args, "e4a_sawtooth");
-    std::cout << "shape: ratio grows ~linearly in log Delta (normalized "
+    ctx.emit(t, "e4a_sawtooth");
+    ctx.out() << "shape: ratio grows ~linearly in log Delta (normalized "
                  "column ~constant) — the bound's log Delta term is real.\n\n";
   }
 
-  // ---- (b) natural random walks ---------------------------------------------
+  // ---- (b) natural random walks -------------------------------------------
   {
-    std::cout << "(b) random walks confined to a Delta-scaled band (typical "
+    ctx.out() << "(b) random walks confined to a Delta-scaled band (typical "
                  "inputs, k = 4)\n";
     constexpr std::size_t kK = 4;
+    std::vector<Value> spans;
+    for (Value span = 4; span <= 65'536; span *= 8) spans.push_back(span);
+
+    // Flat (span × trial) job list; folded per span in trial order below.
+    struct WalkTrial {
+      double msgs = 0, opt_updates = 0, ratio = 0, log_delta = 0;
+    };
+    const std::size_t jobs = spans.size() * trials;
+    const auto walk_trials = ctx.runner().map<WalkTrial>(
+        jobs, [&](std::size_t j) {
+          const Value span = spans[j / trials];
+          const std::uint64_t t2 = j % trials;
+          StreamSpec spec;
+          spec.family = StreamFamily::kRandomWalk;
+          spec.walk.max_step = span;
+          spec.walk.lo = 0;
+          spec.walk.hi = span * 64;
+          TopkFilterMonitor monitor(kK);
+          RunConfig cfg;
+          cfg.n = kN;
+          cfg.k = kK;
+          cfg.steps = steps;
+          cfg.seed = args.seed * 1000 + static_cast<std::uint64_t>(span) + t2;
+          cfg.record_trace = true;
+          const auto r = run_once(monitor, spec, cfg);
+          const auto opt = compute_offline_opt(*r.trace, kK);
+          const auto delta = trace_delta(*r.trace, kK);
+          return WalkTrial{
+              static_cast<double>(r.comm.total()),
+              static_cast<double>(opt.updates()), competitive_ratio(r, kK),
+              std::log2(static_cast<double>(std::max<Value>(2, delta)))};
+        });
+
     Table t({"walk span", "measured logDelta", "E[msgs]", "E[OPT updates]",
              "ratio", "ratio/(logD+k)logn"});
-    for (Value span = 4; span <= 65'536; span *= 8) {
-      OnlineStats msgs;
-      OnlineStats opt_updates;
-      OnlineStats ratios;
-      OnlineStats log_delta;
+    for (std::size_t si = 0; si < spans.size(); ++si) {
+      OnlineStats msgs, opt_updates, ratios, log_delta;
       for (std::uint64_t t2 = 0; t2 < trials; ++t2) {
-        StreamSpec spec;
-        spec.family = StreamFamily::kRandomWalk;
-        spec.walk.max_step = span;
-        spec.walk.lo = 0;
-        spec.walk.hi = span * 64;
-        TopkFilterMonitor monitor(kK);
-        RunConfig cfg;
-        cfg.n = kN;
-        cfg.k = kK;
-        cfg.steps = steps;
-        cfg.seed = args.seed * 1000 + static_cast<std::uint64_t>(span) + t2;
-        cfg.record_trace = true;
-        const auto r = run_once(monitor, spec, cfg);
-        const auto opt = compute_offline_opt(*r.trace, kK);
-        const auto delta = trace_delta(*r.trace, kK);
-        msgs.add(static_cast<double>(r.comm.total()));
-        opt_updates.add(static_cast<double>(opt.updates()));
-        ratios.add(competitive_ratio(r, kK));
-        log_delta.add(
-            std::log2(static_cast<double>(std::max<Value>(2, delta))));
+        const auto& w = walk_trials[si * trials + t2];
+        msgs.add(w.msgs);
+        opt_updates.add(w.opt_updates);
+        ratios.add(w.ratio);
+        log_delta.add(w.log_delta);
       }
       const double bound_scale =
           (log_delta.mean() + kK) * std::log2(static_cast<double>(kN));
-      t.add_row({std::to_string(span), fmt(log_delta.mean()),
+      t.add_row({std::to_string(spans[si]), fmt(log_delta.mean()),
                  fmt(msgs.mean(), 0), fmt(opt_updates.mean(), 1),
-                 fmt(ratios.mean(), 1),
-                 fmt(ratios.mean() / bound_scale, 3)});
+                 fmt(ratios.mean(), 1), fmt(ratios.mean() / bound_scale, 3)});
     }
-    t.print(std::cout);
-    maybe_csv(t, args, "e4b_walks");
-    std::cout << "shape: typical-case ratio is roughly flat and sits well "
+    ctx.emit(t, "e4b_walks");
+    ctx.out() << "shape: typical-case ratio is roughly flat and sits well "
                  "inside the worst-case (log Delta + k) log n budget.\n";
   }
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -5,58 +5,74 @@
 // Regenerates: n = 2^4 .. 2^14 sweep; messages per handler event and per
 // OPT update vs log2 n.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e6, "cost vs n — M(n)=Θ(log n) factor (Theorem 4.4)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(600);
   const std::uint64_t trials = args.trials_or(3);
   constexpr std::size_t kK = 4;
 
-  std::cout << "E6: cost vs n (Theorem 4.4, M(n) = Theta(log n) factor)\n"
+  ctx.out() << "E6: cost vs n (Theorem 4.4, M(n) = Theta(log n) factor)\n"
             << "k = " << kK << ", steps = " << steps << ", trials = " << trials
             << ", workload = random walk\n\n";
 
+  std::vector<std::uint32_t> exps;
+  for (std::uint32_t exp2 = 4; exp2 <= 14; exp2 += 2) exps.push_back(exp2);
+
+  struct Trial {
+    double msgs = 0, events = 0, ratio = 0;
+  };
+  const auto results = ctx.runner().map<Trial>(
+      exps.size() * trials, [&](std::size_t j) {
+        const std::uint32_t exp2 = exps[j / trials];
+        const std::uint64_t t = j % trials;
+        const std::size_t n = 1ull << exp2;
+        StreamSpec spec;
+        spec.family = StreamFamily::kRandomWalk;
+        spec.walk.max_step = 2'000;
+        TopkFilterMonitor monitor(kK);
+        RunConfig cfg;
+        cfg.n = n;
+        cfg.k = kK;
+        cfg.steps = steps;
+        cfg.seed = args.seed * 29 + exp2 * 7 + t;
+        cfg.record_trace = true;
+        const auto r = run_once(monitor, spec, cfg);
+        return Trial{static_cast<double>(r.comm.total()),
+                     static_cast<double>(r.monitor.handler_calls +
+                                         r.monitor.filter_resets * (kK + 1)),
+                     competitive_ratio(r, kK)};
+      });
+
   Table table({"n", "log2 n", "E[msgs]", "E[handler events]", "msgs/event",
                "msgs/event/log2n", "ratio vs OPT"});
-
-  for (std::uint32_t exp2 = 4; exp2 <= 14; exp2 += 2) {
-    const std::size_t n = 1ull << exp2;
-    OnlineStats msgs;
-    OnlineStats events;
-    OnlineStats ratios;
+  for (std::size_t ei = 0; ei < exps.size(); ++ei) {
+    const std::uint32_t exp2 = exps[ei];
+    OnlineStats msgs, events, ratios;
     for (std::uint64_t t = 0; t < trials; ++t) {
-      StreamSpec spec;
-      spec.family = StreamFamily::kRandomWalk;
-      spec.walk.max_step = 2'000;
-      TopkFilterMonitor monitor(kK);
-      RunConfig cfg;
-      cfg.n = n;
-      cfg.k = kK;
-      cfg.steps = steps;
-      cfg.seed = args.seed * 29 + exp2 * 7 + t;
-      cfg.record_trace = true;
-      const auto r = run_once(monitor, spec, cfg);
-      msgs.add(static_cast<double>(r.comm.total()));
-      events.add(static_cast<double>(r.monitor.handler_calls +
-                                     r.monitor.filter_resets * (kK + 1)));
-      ratios.add(competitive_ratio(r, kK));
+      const auto& r = results[ei * trials + t];
+      msgs.add(r.msgs);
+      events.add(r.events);
+      ratios.add(r.ratio);
     }
     const double per_event = msgs.mean() / std::max(1.0, events.mean());
-    table.add_row({std::to_string(n), std::to_string(exp2), fmt(msgs.mean(), 0),
-                   fmt(events.mean(), 1), fmt(per_event, 1),
-                   fmt(per_event / exp2, 2), fmt(ratios.mean(), 1)});
+    table.add_row({std::to_string(1ull << exp2), std::to_string(exp2),
+                   fmt(msgs.mean(), 0), fmt(events.mean(), 1),
+                   fmt(per_event, 1), fmt(per_event / exp2, 2),
+                   fmt(ratios.mean(), 1)});
   }
 
-  table.print(std::cout);
-  maybe_csv(table, args, "e6_n_sweep");
-  std::cout << "\nshape check: msgs/event grows ~linearly in log2 n "
+  ctx.emit(table, "e6_n_sweep");
+  ctx.out() << "\nshape check: msgs/event grows ~linearly in log2 n "
                "(normalized column ~constant) — the protocol contributes "
                "the Theta(log n) factor and nothing worse.\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -4,80 +4,56 @@
 // adversarial inputs (maximum position rotates every round) recomputation
 // is near-optimal and filters cannot do better asymptotically.
 //
-// Regenerates the algorithms × workloads message matrix: mean messages per
-// step for every monitor on every stream family.
-#include <iostream>
-#include <memory>
+// Regenerates the algorithms × workloads message matrix: mean (± stddev)
+// messages per step for every monitor on every stream family. Runs the
+// declarative SweepGrid end-to-end: grid expansion → parallel SweepRunner
+// → order-deterministic ResultSink, so `--jobs 8` emits byte-identical
+// rows to `--jobs 1`.
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
-
+namespace topkmon::bench {
 namespace {
 
-std::unique_ptr<MonitorBase> make_monitor(const std::string& which,
-                                          std::size_t k) {
-  if (which == "topk_filter") return std::make_unique<TopkFilterMonitor>(k);
-  if (which == "naive") return std::make_unique<NaiveMonitor>(k);
-  if (which == "naive_chg") {
-    NaiveMonitor::Options o;
-    o.send_on_change_only = true;
-    return std::make_unique<NaiveMonitor>(k, o);
-  }
-  if (which == "recompute") return std::make_unique<RecomputeMonitor>(k);
-  if (which == "dominance") return std::make_unique<DominanceMonitor>(k);
-  if (which == "slack") return std::make_unique<SlackMonitor>(k);
-  if (which == "ordered") return std::make_unique<OrderedTopkMonitor>(k);
-  throw std::invalid_argument("unknown monitor");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e7, "algorithms × workloads message matrix (§1, §2.1)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(1'500);
+  const std::uint64_t trials = args.trials_or(3);
   constexpr std::size_t kN = 32;
   constexpr std::size_t kK = 4;
 
-  std::cout << "E7: messages per step, algorithms x workloads\n"
+  ctx.out() << "E7: messages per step, algorithms x workloads\n"
             << "n = " << kN << ", k = " << kK << ", steps = " << steps
+            << ", trials = " << trials
             << " (every cell validated against ground truth each step)\n\n";
 
-  const std::vector<std::string> monitors{
-      "topk_filter", "ordered", "slack",  "dominance",
-      "recompute",   "naive",   "naive_chg"};
-  const std::vector<StreamFamily> families{
-      StreamFamily::kRandomWalk, StreamFamily::kSensor,
-      StreamFamily::kSinusoidal, StreamFamily::kBursty,
-      StreamFamily::kIidUniform, StreamFamily::kCrossingPairs,
-      StreamFamily::kRotatingMax};
+  SweepGrid grid;
+  grid.ns = {kN};
+  grid.ks = {kK};
+  grid.monitors = {"topk_filter", "ordered", "slack",  "dominance",
+                   "recompute",   "naive",   "naive_chg"};
+  grid.families = {StreamFamily::kRandomWalk, StreamFamily::kSensor,
+                   StreamFamily::kSinusoidal, StreamFamily::kBursty,
+                   StreamFamily::kIidUniform, StreamFamily::kCrossingPairs,
+                   StreamFamily::kRotatingMax};
+  grid.trials = trials;
+  grid.steps = steps;
+  grid.base_seed = args.seed;
+  grid.stream_template.walk.max_step = 50;  // slow walk: "similar inputs"
 
-  std::vector<std::string> header{"monitor"};
-  for (const auto f : families) header.emplace_back(family_name(f));
-  Table table(header);
+  const auto specs = grid.expand();
+  const auto results = ctx.runner().run(specs);
 
-  for (const auto& mon : monitors) {
-    std::vector<std::string> row{mon};
-    for (const auto fam : families) {
-      StreamSpec spec;
-      spec.family = fam;
-      spec.walk.max_step = 50;  // slow walk: the "similar inputs" regime
-      auto monitor = make_monitor(mon, kK);
-      RunConfig cfg;
-      cfg.n = kN;
-      cfg.k = kK;
-      cfg.steps = steps;
-      cfg.seed = args.seed;
-      const auto r = run_once(*monitor, spec, cfg);
-      row.push_back(fmt(r.messages_per_step(), 2));
-    }
-    table.add_row(std::move(row));
+  exp::ResultSink sink({"monitor", "workload"}, {"msgs_per_step"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    sink.add({specs[i].monitor,
+              std::string(family_name(specs[i].stream.family))},
+             specs[i].ordinal, {results[i].messages_per_step()});
   }
 
-  table.print(std::cout);
-  maybe_csv(table, args, "e7_algorithms_table");
-  std::cout
+  ctx.emit(sink.to_table(2), "e7_algorithms_table");
+  ctx.out()
       << "\nshape checks (paper's qualitative claims):\n"
       << " * topk_filter << naive and << recompute on random_walk/sensor/"
          "bursty (similar inputs);\n"
@@ -87,5 +63,7 @@ int main(int argc, char** argv) {
          "(crossing_pairs) although the top-k set rarely changes (§3.1);\n"
       << " * ordered costs slightly more than topk_filter (extra in-top-k "
          "order maintenance, §5).\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

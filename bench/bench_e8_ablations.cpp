@@ -6,182 +6,203 @@
 //  (c) midpoint vs asymmetric/adaptive filter placement;
 //  (d) idle-beacon suppression inside Algorithm 2;
 //  (e) broadcast-cost sensitivity: total weighted cost at beta = 1 vs n.
-#include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
+namespace topkmon::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(1'000);
 
-  std::cout << "E8: ablations\n\n";
+  ctx.out() << "E8: ablations\n\n";
 
   // ---- (a) dominance vs topk_filter on deep-churn inputs -------------------
   {
-    std::cout << "(a) full-order tracking is not competitive for top-k "
+    ctx.out() << "(a) full-order tracking is not competitive for top-k "
                  "(§3.1): crossing pairs, k = 2, n sweep\n";
-    Table t({"n", "topk_filter msgs", "dominance msgs", "blowup"});
-    for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    const std::vector<std::size_t> ns{8, 16, 32, 64};
+    struct Pair {
+      std::uint64_t filter = 0, dominance = 0;
+    };
+    const auto pairs = ctx.runner().map<Pair>(ns.size(), [&](std::size_t i) {
       StreamSpec spec;
       spec.family = StreamFamily::kCrossingPairs;
       spec.crossing.period = 32;
-      TopkFilterMonitor a(2);
       RunConfig cfg;
-      cfg.n = n;
+      cfg.n = ns[i];
       cfg.k = 2;
       cfg.steps = steps;
       cfg.seed = args.seed;
+      TopkFilterMonitor a(2);
       const auto ra = run_once(a, spec, cfg);
       DominanceMonitor b(2);
       const auto rb = run_once(b, spec, cfg);
-      t.add_row({std::to_string(n), fmt_count(ra.comm.total()),
-                 fmt_count(rb.comm.total()),
-                 fmt(static_cast<double>(rb.comm.total()) /
+      return Pair{ra.comm.total(), rb.comm.total()};
+    });
+    Table t({"n", "topk_filter msgs", "dominance msgs", "blowup"});
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      t.add_row({std::to_string(ns[i]), fmt_count(pairs[i].filter),
+                 fmt_count(pairs[i].dominance),
+                 fmt(static_cast<double>(pairs[i].dominance) /
                          static_cast<double>(
-                             std::max<std::uint64_t>(1, ra.comm.total())),
+                             std::max<std::uint64_t>(1, pairs[i].filter)),
                      1)});
     }
-    t.print(std::cout);
-    maybe_csv(t, args, "e8a_dominance");
-    std::cout << "shape: blowup grows ~linearly in n (every pair's churn "
+    ctx.emit(t, "e8a_dominance");
+    ctx.out() << "shape: blowup grows ~linearly in n (every pair's churn "
                  "costs messages; only the boundary pair matters for "
                  "top-k).\n\n";
   }
 
   // ---- (b) randomized protocol vs polling resolution -----------------------
   {
-    std::cout << "(b) resolution machinery: Algorithm 2 (log n) vs polling "
+    ctx.out() << "(b) resolution machinery: Algorithm 2 (log n) vs polling "
                  "(n), random walk, k = 4\n";
-    Table t({"n", "topk_filter msgs", "slack(poll) msgs", "poll/proto"});
-    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+    const std::vector<std::size_t> ns{16, 64, 256, 1024};
+    struct Pair {
+      std::uint64_t filter = 0, slack = 0;
+    };
+    const auto pairs = ctx.runner().map<Pair>(ns.size(), [&](std::size_t i) {
       StreamSpec spec;
       spec.family = StreamFamily::kRandomWalk;
       spec.walk.max_step = 5'000;
       RunConfig cfg;
-      cfg.n = n;
+      cfg.n = ns[i];
       cfg.k = 4;
       cfg.steps = steps / 2;
-      cfg.seed = args.seed + n;
+      cfg.seed = args.seed + ns[i];
       TopkFilterMonitor a(4);
       const auto ra = run_once(a, spec, cfg);
       SlackMonitor b(4);
       const auto rb = run_once(b, spec, cfg);
-      t.add_row({std::to_string(n), fmt_count(ra.comm.total()),
-                 fmt_count(rb.comm.total()),
-                 fmt(static_cast<double>(rb.comm.total()) /
+      return Pair{ra.comm.total(), rb.comm.total()};
+    });
+    Table t({"n", "topk_filter msgs", "slack(poll) msgs", "poll/proto"});
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      t.add_row({std::to_string(ns[i]), fmt_count(pairs[i].filter),
+                 fmt_count(pairs[i].slack),
+                 fmt(static_cast<double>(pairs[i].slack) /
                          static_cast<double>(
-                             std::max<std::uint64_t>(1, ra.comm.total())),
+                             std::max<std::uint64_t>(1, pairs[i].filter)),
                      2)});
     }
-    t.print(std::cout);
-    maybe_csv(t, args, "e8b_protocol_vs_poll");
-    std::cout << "shape: the poll/protocol ratio grows with n — the "
+    ctx.emit(t, "e8b_protocol_vs_poll");
+    ctx.out() << "shape: the poll/protocol ratio grows with n — the "
                  "O(log n) protocol is what makes Algorithm 1 scale.\n\n";
   }
 
   // ---- (c) filter placement ------------------------------------------------
   {
-    std::cout << "(c) boundary placement within [T-, T+]: alpha sweep + "
+    ctx.out() << "(c) boundary placement within [T-, T+]: alpha sweep + "
                  "adaptive, biased upward-drift walk, k = 4, n = 32\n";
-    Table t({"placement", "msgs", "violation steps", "resets"});
-    auto run_with = [&](const char* label, SlackMonitor::Options o) {
-      StreamSpec spec;
-      spec.family = StreamFamily::kBursty;
-      spec.bursty.p_enter_burst = 0.01;
-      SlackMonitor m(4, o);
-      RunConfig cfg;
-      cfg.n = 32;
-      cfg.k = 4;
-      cfg.steps = steps;
-      cfg.seed = args.seed;
-      const auto r = run_once(m, spec, cfg);
-      t.add_row({label, fmt_count(r.comm.total()),
-                 fmt_count(r.monitor.violation_steps),
-                 fmt_count(r.monitor.filter_resets)});
+    struct Variant {
+      const char* label;
+      SlackMonitor::Options options;
     };
-    SlackMonitor::Options o;
-    o.alpha = 0.1;
-    run_with("alpha=0.1", o);
-    o.alpha = 0.5;
-    run_with("alpha=0.5 (midpoint)", o);
-    o.alpha = 0.9;
-    run_with("alpha=0.9", o);
-    o.alpha = 0.5;
-    o.adaptive = true;
-    run_with("adaptive", o);
-    t.print(std::cout);
-    maybe_csv(t, args, "e8c_placement");
-    std::cout << "shape: midpoint is a robust default; adaptive tracks the "
+    std::vector<Variant> variants;
+    {
+      SlackMonitor::Options o;
+      o.alpha = 0.1;
+      variants.push_back({"alpha=0.1", o});
+      o.alpha = 0.5;
+      variants.push_back({"alpha=0.5 (midpoint)", o});
+      o.alpha = 0.9;
+      variants.push_back({"alpha=0.9", o});
+      o.alpha = 0.5;
+      o.adaptive = true;
+      variants.push_back({"adaptive", o});
+    }
+    const auto rows = ctx.runner().map<RunResult>(
+        variants.size(), [&](std::size_t i) {
+          StreamSpec spec;
+          spec.family = StreamFamily::kBursty;
+          spec.bursty.p_enter_burst = 0.01;
+          SlackMonitor m(4, variants[i].options);
+          RunConfig cfg;
+          cfg.n = 32;
+          cfg.k = 4;
+          cfg.steps = steps;
+          cfg.seed = args.seed;
+          return run_once(m, spec, cfg);
+        });
+    Table t({"placement", "msgs", "violation steps", "resets"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      t.add_row({variants[i].label, fmt_count(rows[i].comm.total()),
+                 fmt_count(rows[i].monitor.violation_steps),
+                 fmt_count(rows[i].monitor.filter_resets)});
+    }
+    ctx.emit(t, "e8c_placement");
+    ctx.out() << "shape: midpoint is a robust default; adaptive tracks the "
                  "violation mix within noise.\n\n";
   }
 
   // ---- (d) idle-beacon suppression ------------------------------------------
   {
-    std::cout << "(d) Algorithm 2 idle-beacon suppression inside Algorithm 1, "
+    ctx.out() << "(d) Algorithm 2 idle-beacon suppression inside Algorithm 1, "
                  "random walk, n = 64, k = 4\n";
-    Table t({"variant", "total msgs", "broadcasts", "upstream"});
-    for (const bool suppress : {false, true}) {
+    const auto rows = ctx.runner().map<RunResult>(2, [&](std::size_t i) {
       StreamSpec spec;
       spec.family = StreamFamily::kRandomWalk;
       spec.walk.max_step = 5'000;
       TopkFilterMonitor::Options o;
-      o.suppress_idle_broadcasts = suppress;
+      o.suppress_idle_broadcasts = (i == 1);
       TopkFilterMonitor m(4, o);
       RunConfig cfg;
       cfg.n = 64;
       cfg.k = 4;
       cfg.steps = steps;
       cfg.seed = args.seed;
-      const auto r = run_once(m, spec, cfg);
-      t.add_row({suppress ? "suppressed" : "every round",
-                 fmt_count(r.comm.total()), fmt_count(r.comm.broadcast()),
-                 fmt_count(r.comm.upstream())});
+      return run_once(m, spec, cfg);
+    });
+    Table t({"variant", "total msgs", "broadcasts", "upstream"});
+    for (std::size_t i = 0; i < 2; ++i) {
+      t.add_row({i == 1 ? "suppressed" : "every round",
+                 fmt_count(rows[i].comm.total()),
+                 fmt_count(rows[i].comm.broadcast()),
+                 fmt_count(rows[i].comm.upstream())});
     }
-    t.print(std::cout);
-    maybe_csv(t, args, "e8d_beacons");
-    std::cout << "shape: suppression trades beacon broadcasts for slightly "
+    ctx.emit(t, "e8d_beacons");
+    ctx.out() << "shape: suppression trades beacon broadcasts for slightly "
                  "more reports (weaker deactivation); both stay correct.\n\n";
   }
 
   // ---- (e) broadcast weight sensitivity -------------------------------------
   {
-    std::cout << "(e) broadcast-cost sensitivity: weighted cost with "
+    ctx.out() << "(e) broadcast-cost sensitivity: weighted cost with "
                  "beta = 1 (paper) vs beta = n (no broadcast channel)\n";
-    Table t({"monitor", "beta=1", "beta=n", "beta=n / beta=1"});
     constexpr std::size_t kN = 64;
-    StreamSpec spec;
-    spec.family = StreamFamily::kRandomWalk;
-    spec.walk.max_step = 2'000;
-    RunConfig cfg;
-    cfg.n = kN;
-    cfg.k = 4;
-    cfg.steps = steps;
-    cfg.seed = args.seed;
-    {
-      TopkFilterMonitor m(4);
-      const auto r = run_once(m, spec, cfg);
-      t.add_row({"topk_filter", fmt(r.comm.weighted_total(1.0), 0),
+    const std::vector<std::string> monitors{"topk_filter", "naive"};
+    const auto rows = ctx.runner().map<RunResult>(
+        monitors.size(), [&](std::size_t i) {
+          StreamSpec spec;
+          spec.family = StreamFamily::kRandomWalk;
+          spec.walk.max_step = 2'000;
+          RunConfig cfg;
+          cfg.n = kN;
+          cfg.k = 4;
+          cfg.steps = steps;
+          cfg.seed = args.seed;
+          auto m = exp::make_monitor(monitors[i], 4);
+          return run_once(*m, spec, cfg);
+        });
+    Table t({"monitor", "beta=1", "beta=n", "beta=n / beta=1"});
+    for (std::size_t i = 0; i < monitors.size(); ++i) {
+      const auto& r = rows[i];
+      t.add_row({monitors[i], fmt(r.comm.weighted_total(1.0), 0),
                  fmt(r.comm.weighted_total(kN), 0),
                  fmt(r.comm.weighted_total(kN) / r.comm.weighted_total(1.0),
                      1)});
     }
-    {
-      NaiveMonitor m(4);
-      const auto r = run_once(m, spec, cfg);
-      t.add_row({"naive", fmt(r.comm.weighted_total(1.0), 0),
-                 fmt(r.comm.weighted_total(kN), 0),
-                 fmt(r.comm.weighted_total(kN) / r.comm.weighted_total(1.0),
-                     1)});
-    }
-    t.print(std::cout);
-    maybe_csv(t, args, "e8e_broadcast_weight");
-    std::cout << "shape: Algorithm 1 leans on the broadcast channel "
+    ctx.emit(t, "e8e_broadcast_weight");
+    ctx.out() << "shape: Algorithm 1 leans on the broadcast channel "
                  "(Cormode et al. model); without it (beta = n) its "
                  "advantage shrinks but filters still avoid the naive "
                  "per-step flood.\n";
   }
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

@@ -2,56 +2,61 @@
 // messages over time for Algorithm 1 vs per-round recomputation vs naive,
 // on a similar-inputs workload and on the adversarial rotating-max
 // workload. Regenerates the two cumulative series (printed decimated, full
-// resolution in CSV).
-#include <iostream>
+// resolution in CSV/JSON).
+#include <vector>
 
 #include "bench_common.hpp"
 
-using namespace topkmon;
-using namespace topkmon::bench;
-
+namespace topkmon::bench {
 namespace {
 
-std::vector<std::uint64_t> cumulative_for(MonitorBase& m, StreamFamily fam,
-                                          std::size_t n, std::size_t k,
-                                          std::size_t steps,
+std::vector<std::uint64_t> cumulative_for(const std::string& monitor,
+                                          StreamFamily fam, std::size_t n,
+                                          std::size_t k, std::size_t steps,
                                           std::uint64_t seed) {
   StreamSpec spec;
   spec.family = fam;
   spec.walk.max_step = 20;
   auto streams = make_stream_set(spec, n, seed);
+  auto m = exp::make_monitor(monitor, k);
   RunConfig cfg;
   cfg.n = n;
   cfg.k = k;
   cfg.steps = steps;
   cfg.seed = seed;
   cfg.record_series = true;
-  const auto r = run_monitor(m, streams, cfg);
+  const auto r = run_monitor(*m, streams, cfg);
   return r.comm.cumulative_series();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+TOPKMON_SUITE(e9, "cumulative message time series (§2.1)") {
+  const auto& args = ctx.opts();
   const std::uint64_t steps = args.steps_or(2'000);
   constexpr std::size_t kN = 32;
   constexpr std::size_t kK = 4;
 
-  std::cout << "E9: cumulative messages over time (§2.1)\n"
+  ctx.out() << "E9: cumulative messages over time (§2.1)\n"
             << "n = " << kN << ", k = " << kK << ", steps = " << steps
             << "\n\n";
 
-  for (const auto fam :
-       {StreamFamily::kRandomWalk, StreamFamily::kRotatingMax}) {
-    TopkFilterMonitor filt(kK);
-    RecomputeMonitor rec(kK);
-    NaiveMonitor naive(kK);
-    const auto cf = cumulative_for(filt, fam, kN, kK, steps, args.seed);
-    const auto cr = cumulative_for(rec, fam, kN, kK, steps, args.seed);
-    const auto cn = cumulative_for(naive, fam, kN, kK, steps, args.seed);
+  const std::vector<StreamFamily> fams{StreamFamily::kRandomWalk,
+                                       StreamFamily::kRotatingMax};
+  const std::vector<std::string> monitors{"topk_filter", "recompute", "naive"};
 
-    std::cout << "workload: " << family_name(fam) << "\n";
+  // All (family × monitor) series are independent runs: one job each.
+  const auto series = ctx.runner().map<std::vector<std::uint64_t>>(
+      fams.size() * monitors.size(), [&](std::size_t j) {
+        return cumulative_for(monitors[j % monitors.size()],
+                              fams[j / monitors.size()], kN, kK, steps,
+                              args.seed);
+      });
+
+  for (std::size_t fi = 0; fi < fams.size(); ++fi) {
+    const auto& cf = series[fi * monitors.size() + 0];
+    const auto& cr = series[fi * monitors.size() + 1];
+    const auto& cn = series[fi * monitors.size() + 2];
+
+    ctx.out() << "workload: " << family_name(fams[fi]) << "\n";
     Table t({"t", "topk_filter", "recompute", "naive"});
     const std::size_t total = cf.size();
     for (std::size_t i = 0; i < 10; ++i) {
@@ -59,22 +64,26 @@ int main(int argc, char** argv) {
       t.add_row({std::to_string(idx), fmt_count(cf[idx]), fmt_count(cr[idx]),
                  fmt_count(cn[idx])});
     }
-    t.print(std::cout);
+    t.print(ctx.out());
 
-    Table full({"t", "topk_filter", "recompute", "naive"});
-    for (std::size_t idx = 0; idx < total; ++idx) {
-      full.add_row({std::to_string(idx), std::to_string(cf[idx]),
-                    std::to_string(cr[idx]), std::to_string(cn[idx])});
+    if (!args.out_dir.empty()) {
+      Table full({"t", "topk_filter", "recompute", "naive"});
+      for (std::size_t idx = 0; idx < total; ++idx) {
+        full.add_row({std::to_string(idx), std::to_string(cf[idx]),
+                      std::to_string(cr[idx]), std::to_string(cn[idx])});
+      }
+      ctx.emit_files(full, std::string("e9_timeseries_") +
+                               std::string(family_name(fams[fi])));
     }
-    maybe_csv(full, args,
-              std::string("e9_timeseries_") + std::string(family_name(fam)));
-    std::cout << "\n";
+    ctx.out() << "\n";
   }
 
-  std::cout << "shape check: on random_walk the topk_filter curve is nearly "
+  ctx.out() << "shape check: on random_walk the topk_filter curve is nearly "
                "flat after initialization while recompute/naive grow "
                "linearly; on rotating_max all curves grow linearly and "
                "recompute is the efficient one (its classical optimality "
                "regime).\n";
-  return 0;
 }
+
+}  // namespace
+}  // namespace topkmon::bench

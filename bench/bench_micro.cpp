@@ -1,11 +1,16 @@
-// E11 — google-benchmark microbenchmarks: CPU-side throughput of the
+// micro — google-benchmark microbenchmarks: CPU-side throughput of the
 // simulator, protocols and monitors (implementation quality; no paper
 // claim attached). Message counts are the paper's metric — these
 // wall-clock numbers just demonstrate the library is fast enough to run
 // the larger experiment sweeps.
-#include <benchmark/benchmark.h>
+//
+// Registered as the `micro` suite of topkmon_bench; compiled to a stub
+// when google-benchmark is not available at build time.
+#include "bench_common.hpp"
 
-#include "topkmon.hpp"
+#ifdef TOPKMON_HAVE_BENCHMARK
+
+#include <benchmark/benchmark.h>
 
 namespace topkmon {
 namespace {
@@ -126,3 +131,35 @@ BENCHMARK(BM_StreamAdvance);
 
 }  // namespace
 }  // namespace topkmon
+
+namespace topkmon::bench {
+namespace {
+
+TOPKMON_SUITE(micro, "google-benchmark CPU microbenchmarks") {
+  ctx.out() << "micro: google-benchmark CPU throughput\n\n";
+  int argc = 1;
+  char arg0[] = "topkmon_bench";
+  char* argv[] = {arg0, nullptr};
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+}
+
+}  // namespace
+}  // namespace topkmon::bench
+
+#else  // !TOPKMON_HAVE_BENCHMARK
+
+namespace topkmon::bench {
+namespace {
+
+TOPKMON_SUITE(micro, "google-benchmark CPU microbenchmarks (unavailable)") {
+  ctx.out() << "micro: google-benchmark was not found at build time; "
+               "install libbenchmark-dev and reconfigure to enable this "
+               "suite.\n";
+}
+
+}  // namespace
+}  // namespace topkmon::bench
+
+#endif  // TOPKMON_HAVE_BENCHMARK

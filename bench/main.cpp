@@ -1,0 +1,184 @@
+// topkmon_bench — the unified experiment CLI.
+//
+// Every paper experiment (e1..e13, micro) is a named suite registered via
+// TOPKMON_SUITE; this driver parses the shared flags, builds one parallel
+// SweepRunner, and executes the requested suites against it.
+//
+//   topkmon_bench --list
+//   topkmon_bench --suite e7 --jobs 8
+//   topkmon_bench --all --jobs 0 --out-dir results   (0 = all cores)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using topkmon::exp::SuiteContext;
+using topkmon::exp::SuiteInfo;
+using topkmon::exp::SuiteOptions;
+using topkmon::exp::SuiteRegistry;
+using topkmon::exp::SweepRunner;
+
+void print_usage(std::ostream& out) {
+  out << "usage: topkmon_bench [--suite NAME]... [--all] [options]\n"
+         "\n"
+         "suite selection:\n"
+         "  --suite NAME   run one suite (repeatable; comma lists work too)\n"
+         "  --all          run every registered suite\n"
+         "  --list         print the registered suites and exit\n"
+         "\n"
+         "options:\n"
+         "  --jobs N       worker threads (default 1; 0 = all cores)\n"
+         "  --trials N     override each suite's default trial count\n"
+         "  --steps N      override each suite's default step count\n"
+         "  --seed N       base seed (default 1)\n"
+         "  --out-dir DIR  write each table as DIR/<name>.csv and .json\n"
+         "  --help         this message\n";
+}
+
+/// std::stoull silently wraps "-1" to 2^64-1; reject signs up front so a
+/// negative --jobs can't spawn billions of threads.
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') {
+    throw std::invalid_argument("'" + value + "' is not a non-negative integer");
+  }
+  std::size_t used = 0;
+  const std::uint64_t parsed = std::stoull(value, &used);
+  if (used != value.size()) {
+    throw std::invalid_argument("'" + value + "' is not a non-negative integer");
+  }
+  return parsed;
+}
+
+void list_suites(std::ostream& out) {
+  out << "registered suites:\n";
+  for (const auto& s : SuiteRegistry::instance().sorted()) {
+    out << "  " << s.name;
+    for (std::size_t pad = s.name.size(); pad < 8; ++pad) out << ' ';
+    out << s.description << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SuiteOptions opts;
+  std::vector<std::string> requested;
+  bool run_all = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (flag == "--suite") {
+        // Accept comma-separated lists: --suite e5,e7
+        std::string value = next();
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const std::size_t comma = value.find(',', start);
+          const std::string name =
+              value.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+          if (!name.empty()) requested.push_back(name);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      } else if (flag == "--all") {
+        run_all = true;
+      } else if (flag == "--list") {
+        list_suites(std::cout);
+        return 0;
+      } else if (flag == "--jobs") {
+        opts.jobs = static_cast<std::size_t>(parse_u64(flag, next()));
+      } else if (flag == "--trials") {
+        opts.trials = parse_u64(flag, next());
+      } else if (flag == "--steps") {
+        opts.steps = parse_u64(flag, next());
+      } else if (flag == "--seed") {
+        opts.seed = parse_u64(flag, next());
+      } else if (flag == "--out-dir" || flag == "--csv-dir") {
+        opts.out_dir = next();
+      } else if (flag == "--help" || flag == "-h") {
+        print_usage(std::cout);
+        return 0;
+      } else {
+        std::cerr << "unknown flag " << flag << "\n";
+        print_usage(std::cerr);
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad value for " << flag << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  auto& registry = SuiteRegistry::instance();
+  std::vector<const SuiteInfo*> to_run;
+  if (run_all) {
+    static const auto all = registry.sorted();
+    for (const auto& s : all) to_run.push_back(&s);
+  } else {
+    for (const auto& name : requested) {
+      const auto* s = registry.find(name);
+      if (s == nullptr) {
+        std::cerr << "unknown suite '" << name << "'\n\n";
+        list_suites(std::cerr);
+        return 2;
+      }
+      to_run.push_back(s);
+    }
+  }
+  if (to_run.empty()) {
+    print_usage(std::cerr);
+    std::cerr << "\n";
+    list_suites(std::cerr);
+    return 2;
+  }
+
+  if (!opts.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.out_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create --out-dir " << opts.out_dir << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+  }
+
+  SweepRunner runner(opts.jobs);
+  std::cout << "topkmon_bench: " << to_run.size() << " suite(s), "
+            << runner.jobs() << " job(s), seed " << opts.seed << "\n\n";
+
+  int failures = 0;
+  for (const auto* suite : to_run) {
+    std::cout << "==== " << suite->name << ": " << suite->description
+              << " ====\n";
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      SuiteContext ctx(opts, runner, std::cout);
+      suite->fn(ctx);
+    } catch (const std::exception& e) {
+      std::cerr << "suite " << suite->name << " FAILED: " << e.what() << "\n";
+      ++failures;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::cout << "---- " << suite->name << " done in "
+              << topkmon::fmt(elapsed.count(), 2) << "s ----\n\n";
+  }
+  return failures == 0 ? 0 : 1;
+}

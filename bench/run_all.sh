@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Reproduces the full paper table set with one command:
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# Runs every registered suite of topkmon_bench at its default
+# trials/steps, parallelized across all cores, and mirrors each table
+# into OUT_DIR as CSV + JSON. Expects the tree to be configured+built
+# already (cmake -B build -S . && cmake --build build -j).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+BENCH="${BUILD_DIR}/topkmon_bench"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== topkmon: full paper table set =="
+echo "   binary : ${BENCH}"
+echo "   jobs   : ${JOBS}"
+echo "   output : ${OUT_DIR}/"
+echo
+
+"${BENCH}" --all --jobs "${JOBS}" --out-dir "${OUT_DIR}"
+
+echo
+echo "== artifacts =="
+ls -1 "${OUT_DIR}"

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
@@ -55,11 +56,14 @@ RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
     throw std::invalid_argument("run_monitor: k out of range");
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   Cluster cluster(cfg.n, cfg.seed);
   if (cfg.record_series) cluster.stats().enable_series();
 
   RunResult result;
   result.monitor_name = std::string(monitor.name());
+  result.config = cfg;
   if (cfg.record_trace) result.trace.emplace(cfg.n, cfg.steps + 1);
 
   // Time 0: first observations + initialization.
@@ -88,6 +92,10 @@ RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
 
   result.comm = cluster.stats();
   result.monitor = monitor.monitor_stats();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 

@@ -43,6 +43,13 @@ struct RunResult {
   std::string monitor_name;
   std::size_t steps_executed = 0;
 
+  /// The configuration that produced this result (so downstream
+  /// aggregation can key rows without threading the config separately).
+  RunConfig config;
+
+  /// Wall-clock duration of the run in seconds (steady clock).
+  double wall_seconds = 0.0;
+
   // Communication totals (copied from the cluster at the end of the run).
   CommStats comm;
   MonitorStats monitor;

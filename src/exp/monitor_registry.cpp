@@ -1,0 +1,46 @@
+#include "exp/monitor_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/approx_monitor.hpp"
+#include "core/dominance_monitor.hpp"
+#include "core/naive_monitor.hpp"
+#include "core/ordered_topk_monitor.hpp"
+#include "core/recompute_monitor.hpp"
+#include "core/slack_monitor.hpp"
+#include "core/topk_monitor.hpp"
+
+namespace topkmon::exp {
+
+std::unique_ptr<MonitorBase> make_monitor(std::string_view name,
+                                          std::size_t k) {
+  if (name == "topk_filter") return std::make_unique<TopkFilterMonitor>(k);
+  if (name == "ordered") return std::make_unique<OrderedTopkMonitor>(k);
+  if (name == "slack") return std::make_unique<SlackMonitor>(k);
+  if (name == "dominance") return std::make_unique<DominanceMonitor>(k);
+  if (name == "recompute") return std::make_unique<RecomputeMonitor>(k);
+  if (name == "naive") return std::make_unique<NaiveMonitor>(k);
+  if (name == "naive_chg") {
+    NaiveMonitor::Options o;
+    o.send_on_change_only = true;
+    return std::make_unique<NaiveMonitor>(k, o);
+  }
+  if (name == "approx") return std::make_unique<ApproxTopkMonitor>(k);
+  throw std::invalid_argument("unknown monitor '" + std::string(name) + "'");
+}
+
+bool is_known_monitor(std::string_view name) noexcept {
+  for (const auto& known : all_monitor_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+const std::vector<std::string>& all_monitor_names() {
+  static const std::vector<std::string> names{
+      "topk_filter", "ordered", "slack",     "dominance",
+      "recompute",   "naive",   "naive_chg", "approx"};
+  return names;
+}
+
+}  // namespace topkmon::exp

@@ -1,0 +1,27 @@
+// Name-indexed construction of every Top-k-Position monitor, so sweep
+// grids and the experiment CLI can select algorithms declaratively
+// ("topk_filter", "recompute", ...) instead of hard-coding factories in
+// each experiment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace topkmon::exp {
+
+/// Instantiates the monitor registered under `name` for top-k size `k`.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<MonitorBase> make_monitor(std::string_view name, std::size_t k);
+
+/// True when `name` is a registered monitor.
+bool is_known_monitor(std::string_view name) noexcept;
+
+/// All registered monitor names, in a stable canonical order (the paper's
+/// Algorithm 1 first, then baselines).
+const std::vector<std::string>& all_monitor_names();
+
+}  // namespace topkmon::exp

@@ -1,0 +1,79 @@
+#include "exp/result_sink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace topkmon::exp {
+
+ResultSink::ResultSink(std::vector<std::string> key_columns,
+                       std::vector<std::string> metric_columns)
+    : key_columns_(std::move(key_columns)),
+      metric_columns_(std::move(metric_columns)) {
+  if (metric_columns_.empty()) {
+    throw std::invalid_argument("ResultSink requires at least one metric");
+  }
+}
+
+void ResultSink::add(const std::vector<std::string>& key, std::size_t ordinal,
+                     const std::vector<double>& metrics) {
+  if (key.size() != key_columns_.size()) {
+    throw std::invalid_argument("ResultSink::add key arity mismatch");
+  }
+  if (metrics.size() != metric_columns_.size()) {
+    throw std::invalid_argument("ResultSink::add metric arity mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = cells_[key];
+  if (!cell.emplace(ordinal, metrics).second) {
+    throw std::invalid_argument("ResultSink::add duplicate ordinal for cell");
+  }
+}
+
+std::size_t ResultSink::cells() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_.size();
+}
+
+Table ResultSink::build(bool with_stddev, int prec) const {
+  std::vector<std::string> header = key_columns_;
+  for (const auto& m : metric_columns_) {
+    header.push_back(m);
+    if (with_stddev) header.push_back(m + "_sd");
+  }
+  Table table(std::move(header));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Emit cells in grid order: sort by the smallest ordinal each cell saw.
+  std::vector<const decltype(cells_)::value_type*> ordered;
+  ordered.reserve(cells_.size());
+  for (const auto& kv : cells_) ordered.push_back(&kv);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->second.begin()->first < b->second.begin()->first;
+  });
+
+  for (const auto* kv : ordered) {
+    std::vector<OnlineStats> stats(metric_columns_.size());
+    for (const auto& [ordinal, samples] : kv->second) {
+      (void)ordinal;  // the ordered map already fixed the fold order
+      for (std::size_t m = 0; m < samples.size(); ++m) stats[m].add(samples[m]);
+    }
+    std::vector<std::string> row = kv->first;
+    for (const auto& s : stats) {
+      row.push_back(fmt(s.mean(), prec));
+      if (with_stddev) row.push_back(fmt(s.stddev(), prec));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table ResultSink::to_table(int prec) const { return build(true, prec); }
+
+Table ResultSink::to_table_mean_only(int prec) const {
+  return build(false, prec);
+}
+
+}  // namespace topkmon::exp

@@ -1,0 +1,93 @@
+#include "exp/suite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+#include "exp/writers.hpp"
+
+namespace topkmon::exp {
+
+namespace {
+
+/// Natural string order: digit runs compare numerically, so e2 < e10.
+bool natural_less(const std::string& a, const std::string& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (std::isdigit(ca) && std::isdigit(cb)) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() && std::isdigit(static_cast<unsigned char>(a[ia])))
+        ++ia;
+      while (jb < b.size() && std::isdigit(static_cast<unsigned char>(b[jb])))
+        ++jb;
+      const std::string da = a.substr(i, ia - i);
+      const std::string db = b.substr(j, jb - j);
+      if (da.size() != db.size()) return da.size() < db.size();
+      if (da != db) return da < db;
+      i = ia;
+      j = jb;
+    } else {
+      if (ca != cb) return ca < cb;
+      ++i;
+      ++j;
+    }
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+SuiteContext::SuiteContext(SuiteOptions opts, SweepRunner& runner,
+                           std::ostream& out)
+    : opts_(std::move(opts)), runner_(runner), out_(out) {}
+
+void SuiteContext::emit(const Table& table, const std::string& name) {
+  table.print(out_);
+  emit_files(table, name);
+}
+
+void SuiteContext::emit_files(const Table& table, const std::string& name) {
+  if (opts_.out_dir.empty()) return;
+  const std::string base = opts_.out_dir + "/" + name;
+  if (write_csv(table, base + ".csv")) {
+    out_ << "[csv] " << base << ".csv\n";
+  } else {
+    std::cerr << "[csv] failed to write " << base << ".csv\n";
+  }
+  if (write_json(table, base + ".json")) {
+    out_ << "[json] " << base << ".json\n";
+  } else {
+    std::cerr << "[json] failed to write " << base << ".json\n";
+  }
+}
+
+SuiteRegistry& SuiteRegistry::instance() {
+  static SuiteRegistry registry;
+  return registry;
+}
+
+void SuiteRegistry::add(SuiteInfo info) { suites_.push_back(std::move(info)); }
+
+const SuiteInfo* SuiteRegistry::find(const std::string& name) const {
+  for (const auto& s : suites_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<SuiteInfo> SuiteRegistry::sorted() const {
+  std::vector<SuiteInfo> out = suites_;
+  std::sort(out.begin(), out.end(), [](const SuiteInfo& a, const SuiteInfo& b) {
+    return natural_less(a.name, b.name);
+  });
+  return out;
+}
+
+SuiteRegistrar::SuiteRegistrar(const char* name, const char* description,
+                               SuiteFn fn) {
+  SuiteRegistry::instance().add({name, description, fn});
+}
+
+}  // namespace topkmon::exp

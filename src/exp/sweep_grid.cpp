@@ -1,0 +1,67 @@
+#include "exp/sweep_grid.hpp"
+
+#include "util/rng.hpp"
+
+namespace topkmon::exp {
+
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::size_t n,
+                                std::size_t k, std::size_t monitor_index,
+                                std::size_t family_index,
+                                std::size_t trial) noexcept {
+  // Fold each coordinate into a SplitMix64 chain; the odd constants keep
+  // zero-valued coordinates from collapsing onto each other.
+  std::uint64_t state = base_seed ^ 0x9E3779B97F4A7C15ull;
+  state += 0xBF58476D1CE4E5B9ull * (static_cast<std::uint64_t>(n) + 1);
+  splitmix64(state);
+  state += 0x94D049BB133111EBull * (static_cast<std::uint64_t>(k) + 1);
+  splitmix64(state);
+  state += 0xD6E8FEB86659FD93ull * (static_cast<std::uint64_t>(monitor_index) + 1);
+  splitmix64(state);
+  state += 0xA0761D6478BD642Full * (static_cast<std::uint64_t>(family_index) + 1);
+  splitmix64(state);
+  state += 0xE7037ED1A0B428DBull * (static_cast<std::uint64_t>(trial) + 1);
+  return splitmix64(state);
+}
+
+std::size_t SweepGrid::size() const noexcept {
+  std::size_t cells = 0;
+  for (const auto n : ns) {
+    for (const auto k : ks) {
+      if (k == 0 || k > n) continue;
+      ++cells;
+    }
+  }
+  return cells * monitors.size() * families.size() * trials;
+}
+
+std::vector<TrialSpec> SweepGrid::expand() const {
+  std::vector<TrialSpec> out;
+  out.reserve(size());
+  for (const auto n : ns) {
+    for (const auto k : ks) {
+      if (k == 0 || k > n) continue;
+      for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
+        for (std::size_t fi = 0; fi < families.size(); ++fi) {
+          for (std::size_t t = 0; t < trials; ++t) {
+            TrialSpec spec;
+            spec.cfg.n = n;
+            spec.cfg.k = k;
+            spec.cfg.steps = steps;
+            spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
+            spec.cfg.validation = validation;
+            spec.cfg.record_trace = record_trace;
+            spec.stream = stream_template;
+            spec.stream.family = families[fi];
+            spec.monitor = monitors[mi];
+            spec.trial = t;
+            spec.ordinal = out.size();
+            out.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace topkmon::exp

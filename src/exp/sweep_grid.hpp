@@ -1,0 +1,65 @@
+// Declarative cartesian-product experiment grids.
+//
+// A SweepGrid describes axes (n, k, monitor, stream family, trial index)
+// and expands into a flat list of TrialSpecs — one independent simulation
+// each. Every trial derives its RNG seed deterministically from the base
+// seed and its grid coordinates (NOT from its position in the expansion),
+// so the same grid produces bit-identical trials no matter how it is
+// sliced, reordered, or executed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "streams/factory.hpp"
+
+namespace topkmon::exp {
+
+/// One independent simulation: a monitor (by registry name) driven over a
+/// freshly built stream set. Embarrassingly parallel by construction —
+/// each trial owns its own RNG seed and touches no shared state.
+struct TrialSpec {
+  RunConfig cfg;                     ///< n/k/steps/seed/validation
+  StreamSpec stream;                 ///< workload description
+  std::string monitor{"topk_filter"};  ///< exp::make_monitor name
+  std::size_t trial = 0;             ///< repetition index within its cell
+  std::size_t ordinal = 0;           ///< position in the expanded grid
+  bool throw_on_error = true;        ///< propagate validation divergence
+};
+
+/// Order-independent seed derivation: mixes the base seed with the trial's
+/// grid coordinates through SplitMix64. Exposed for tests and custom grids.
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::size_t n,
+                                std::size_t k, std::size_t monitor_index,
+                                std::size_t family_index,
+                                std::size_t trial) noexcept;
+
+/// Cartesian product description: ns × ks × monitors × families × trials.
+struct SweepGrid {
+  std::vector<std::size_t> ns{16};
+  std::vector<std::size_t> ks{4};
+  std::vector<std::string> monitors{"topk_filter"};
+  std::vector<StreamFamily> families{StreamFamily::kRandomWalk};
+  std::size_t trials = 1;
+  std::size_t steps = 1'000;
+  std::uint64_t base_seed = 1;
+
+  /// Template for the per-trial StreamSpec; `family` is overwritten with
+  /// the axis value, everything else (walk params, ...) is copied through.
+  StreamSpec stream_template{};
+
+  RunConfig::Validation validation = RunConfig::Validation::kStrict;
+  bool record_trace = false;
+
+  /// Number of trials the expansion will produce.
+  std::size_t size() const noexcept;
+
+  /// Expands the grid into per-trial specs, ordered n-major then k,
+  /// monitor, family, trial (deterministic). Cells where k > n are
+  /// skipped so mixed n/k axes stay valid.
+  std::vector<TrialSpec> expand() const;
+};
+
+}  // namespace topkmon::exp

@@ -1,0 +1,324 @@
+#include "exp/writers.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace topkmon::exp {
+
+namespace {
+
+/// A cell is emitted as a bare JSON number iff its full spelling matches
+/// the JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+/// Anything looser (leading zeros like "007", trailing dots like "1.",
+/// "inf", hex) would produce invalid JSON, so it stays a quoted string.
+bool is_numeric_cell(const std::string& s) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    return i > start;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size()) return false;
+  if (s[i] == '0') {
+    ++i;  // a leading zero must stand alone ("007" is not JSON)
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+void json_escape(const std::string& s, std::ostream& out) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+bool write_csv(const Table& table, const std::string& path) {
+  return table.write_csv(path);
+}
+
+void write_json(const Table& table, std::ostream& out) {
+  out << "[\n";
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const auto& row = table.row(r);
+    out << "  {";
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      if (c) out << ", ";
+      json_escape(table.header()[c], out);
+      out << ": ";
+      if (is_numeric_cell(row[c])) {
+        out << row[c];
+      } else {
+        json_escape(row[c], out);
+      }
+    }
+    out << (r + 1 < table.rows() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+}
+
+bool write_json(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(table, out);
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// CSV reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits one logical CSV record starting at stream position; handles
+/// quoted cells (including embedded newlines and "" escapes). Returns
+/// nullopt at EOF before any content.
+std::optional<std::vector<std::string>> read_csv_record(std::istream& in,
+                                                        bool* malformed) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  bool any = false;
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          cell += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      if (!cell.empty()) {  // quote in the middle of a bare cell
+        *malformed = true;
+        return std::nullopt;
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      cells.push_back(std::move(cell));
+      return cells;
+    } else if (c == '\r') {
+      if (in.peek() == '\n') {
+        in.get();
+        cells.push_back(std::move(cell));
+        return cells;  // CRLF record terminator
+      }
+      cell += c;  // a bare \r is cell content (the writer quotes it)
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    *malformed = true;
+    return std::nullopt;
+  }
+  if (!any) return std::nullopt;
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+std::optional<Table> read_csv(std::istream& in) {
+  bool malformed = false;
+  auto header = read_csv_record(in, &malformed);
+  if (!header || header->empty()) return std::nullopt;
+  Table table(*header);
+  for (;;) {
+    auto record = read_csv_record(in, &malformed);
+    if (malformed) return std::nullopt;
+    if (!record) break;
+    if (record->size() != table.cols()) return std::nullopt;
+    table.add_row(std::move(*record));
+  }
+  return table;
+}
+
+std::optional<Table> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_csv(in);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader (exactly the subset write_json produces: an array of flat
+// objects whose values are strings or numbers)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  std::istream& in;
+  bool ok = true;
+
+  void skip_ws() {
+    while (std::isspace(in.peek())) in.get();
+  }
+
+  bool expect(char want) {
+    skip_ws();
+    if (in.get() != want) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    skip_ws();
+    if (in.get() != '"') {
+      ok = false;
+      return std::nullopt;
+    }
+    std::string s;
+    int ch;
+    while ((ch = in.get()) != std::char_traits<char>::eof()) {
+      const char c = static_cast<char>(ch);
+      if (c == '"') return s;
+      if (c == '\\') {
+        const int esc = in.get();
+        switch (esc) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            char hex[5] = {};
+            for (int i = 0; i < 4; ++i) hex[i] = static_cast<char>(in.get());
+            s += static_cast<char>(std::strtol(hex, nullptr, 16));
+            break;
+          }
+          default:
+            ok = false;
+            return std::nullopt;
+        }
+      } else {
+        s += c;
+      }
+    }
+    ok = false;
+    return std::nullopt;
+  }
+
+  /// Number values keep their textual spelling (the writer preserved it).
+  std::optional<std::string> parse_value() {
+    skip_ws();
+    const int peek = in.peek();
+    if (peek == '"') return parse_string();
+    std::string s;
+    while (std::isdigit(in.peek()) || in.peek() == '-' || in.peek() == '+' ||
+           in.peek() == '.' || in.peek() == 'e' || in.peek() == 'E') {
+      s += static_cast<char>(in.get());
+    }
+    if (s.empty()) ok = false;
+    return s.empty() ? std::nullopt : std::optional<std::string>(s);
+  }
+};
+
+}  // namespace
+
+std::optional<Table> read_json(std::istream& in) {
+  JsonParser p{in};
+  if (!p.expect('[')) return std::nullopt;
+
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  p.skip_ws();
+  if (in.peek() == ']') {
+    in.get();
+    return std::nullopt;  // an empty array carries no header
+  }
+
+  for (;;) {
+    if (!p.expect('{')) return std::nullopt;
+    std::vector<std::string> keys;
+    std::vector<std::string> values;
+    p.skip_ws();
+    if (in.peek() != '}') {
+      for (;;) {
+        auto key = p.parse_string();
+        if (!key || !p.expect(':')) return std::nullopt;
+        auto value = p.parse_value();
+        if (!value) return std::nullopt;
+        keys.push_back(std::move(*key));
+        values.push_back(std::move(*value));
+        p.skip_ws();
+        if (in.peek() == ',') {
+          in.get();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!p.expect('}')) return std::nullopt;
+
+    if (header.empty()) {
+      header = keys;
+    } else if (keys != header) {
+      return std::nullopt;
+    }
+    rows.push_back(std::move(values));
+
+    p.skip_ws();
+    if (in.peek() == ',') {
+      in.get();
+      continue;
+    }
+    break;
+  }
+  if (!p.expect(']') || header.empty()) return std::nullopt;
+
+  Table table(header);
+  for (auto& r : rows) table.add_row(std::move(r));
+  return table;
+}
+
+std::optional<Table> read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_json(in);
+}
+
+}  // namespace topkmon::exp

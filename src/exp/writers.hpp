@@ -1,0 +1,39 @@
+// CSV and JSON emission (and re-ingestion) for experiment tables.
+//
+// CSV piggybacks on Table::write_csv; JSON serializes the table as an
+// array of flat objects keyed by column name, with cells that parse as
+// finite numbers emitted unquoted. The readers parse exactly what the
+// writers produce (plus standard RFC-4180 quoting), enabling round-trip
+// tests and downstream tooling that reloads result tables.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace topkmon::exp {
+
+/// Writes `table` as CSV to `path`. Returns false if the file could not
+/// be opened or written.
+bool write_csv(const Table& table, const std::string& path);
+
+/// Serializes `table` as a JSON array of objects (one per row).
+void write_json(const Table& table, std::ostream& out);
+
+/// Writes the JSON serialization to `path`; false on I/O failure.
+bool write_json(const Table& table, const std::string& path);
+
+/// Parses a CSV document (header + rows, RFC-4180 quoting) back into a
+/// Table. Returns nullopt on malformed input (ragged rows, bad quoting).
+std::optional<Table> read_csv(std::istream& in);
+std::optional<Table> read_csv_file(const std::string& path);
+
+/// Parses the JSON emitted by write_json back into a Table. Column order
+/// is taken from the first object. Returns nullopt on malformed input or
+/// on rows whose keys don't match the first row's.
+std::optional<Table> read_json(std::istream& in);
+std::optional<Table> read_json_file(const std::string& path);
+
+}  // namespace topkmon::exp

@@ -41,3 +41,10 @@
 #include "core/ordered_topk_monitor.hpp" // IWYU pragma: export
 #include "core/offline_opt.hpp"          // IWYU pragma: export
 #include "core/runner.hpp"               // IWYU pragma: export
+
+#include "exp/monitor_registry.hpp" // IWYU pragma: export
+#include "exp/sweep_grid.hpp"       // IWYU pragma: export
+#include "exp/sweep_runner.hpp"     // IWYU pragma: export
+#include "exp/result_sink.hpp"      // IWYU pragma: export
+#include "exp/writers.hpp"          // IWYU pragma: export
+#include "exp/suite.hpp"            // IWYU pragma: export

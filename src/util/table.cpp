@@ -49,7 +49,7 @@ void Table::print(std::ostream& out) const {
 
 namespace {
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string quoted = "\"";
   for (const char ch : cell) {
     if (ch == '"') quoted += "\"\"";
@@ -63,6 +63,11 @@ std::string csv_escape(const std::string& cell) {
 bool Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+void Table::write_csv(std::ostream& out) const {
   auto emit = [&](const std::vector<std::string>& r) {
     for (std::size_t c = 0; c < r.size(); ++c) {
       if (c) out << ',';
@@ -72,7 +77,6 @@ bool Table::write_csv(const std::string& path) const {
   };
   emit(header_);
   for (const auto& r : rows_) emit(r);
-  return static_cast<bool>(out);
 }
 
 std::string fmt(double v, int prec) {

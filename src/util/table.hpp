@@ -36,6 +36,9 @@ class Table {
   /// quoted). Returns false if the file could not be opened.
   bool write_csv(const std::string& path) const;
 
+  /// Streams the CSV serialization (same format as write_csv).
+  void write_csv(std::ostream& out) const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,165 @@
+// Round-trip tests for the CSV/JSON table writers and readers.
+#include "exp/writers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace topkmon::exp {
+namespace {
+
+Table sample_table() {
+  Table t({"name", "msgs", "ratio"});
+  t.add_row({"topk_filter", "1234", "1.50"});
+  t.add_row({"naive, chg", "99", "-0.25"});   // comma forces CSV quoting
+  t.add_row({"quo\"te", "0", "3e2"});         // quote + exponent spelling
+  return t;
+}
+
+void expect_tables_equal(const Table& a, const Table& b) {
+  ASSERT_EQ(a.header(), b.header());
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(a.row(r), b.row(r)) << "row " << r;
+  }
+}
+
+TEST(Writers, CsvRoundTripsThroughStreams) {
+  const Table t = sample_table();
+  std::stringstream buf;
+  t.write_csv(buf);
+  const auto back = read_csv(buf);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, CsvRoundTripsThroughFiles) {
+  const Table t = sample_table();
+  const std::string path = ::testing::TempDir() + "writers_roundtrip.csv";
+  ASSERT_TRUE(write_csv(t, path));
+  const auto back = read_csv_file(path);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+  std::remove(path.c_str());
+}
+
+TEST(Writers, CsvHandlesEmbeddedNewlines) {
+  Table t({"a", "b"});
+  t.add_row({"line1\nline2", "x"});
+  std::stringstream buf;
+  t.write_csv(buf);
+  const auto back = read_csv(buf);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, CsvRoundTripsBareCarriageReturns) {
+  Table t({"a", "b"});
+  t.add_row({"with\rreturn", "crlf\r\npair"});
+  std::stringstream buf;
+  t.write_csv(buf);
+  const auto back = read_csv(buf);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, CsvFoldsCrlfRecordTerminators) {
+  std::stringstream buf("a,b\r\n1,2\r\n");
+  const auto back = read_csv(buf);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->rows(), 1u);
+  EXPECT_EQ(back->row(0), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Writers, CsvRejectsRaggedRows) {
+  std::stringstream buf("a,b\n1,2,3\n");
+  EXPECT_FALSE(read_csv(buf).has_value());
+}
+
+TEST(Writers, CsvRejectsUnterminatedQuote) {
+  std::stringstream buf("a,b\n\"oops,2\n");
+  EXPECT_FALSE(read_csv(buf).has_value());
+}
+
+TEST(Writers, JsonRoundTripsThroughStreams) {
+  const Table t = sample_table();
+  std::stringstream buf;
+  write_json(t, buf);
+  const auto back = read_json(buf);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, JsonRoundTripsThroughFiles) {
+  const Table t = sample_table();
+  const std::string path = ::testing::TempDir() + "writers_roundtrip.json";
+  ASSERT_TRUE(write_json(t, path));
+  const auto back = read_json_file(path);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+  std::remove(path.c_str());
+}
+
+TEST(Writers, JsonEmitsNumbersUnquoted) {
+  Table t({"k", "v"});
+  t.add_row({"a", "42"});
+  std::stringstream buf;
+  write_json(t, buf);
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"v\": 42"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"42\""), std::string::npos) << json;
+}
+
+TEST(Writers, JsonQuotesNonNumericLookalikes) {
+  Table t({"v1", "v2", "v3", "v4", "v5"});
+  // All strtod-parsable, none a valid JSON number: must stay quoted.
+  t.add_row({"inf", "nan", "0x10", "007", "1."});
+  std::stringstream buf;
+  write_json(t, buf);
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"1.\""), std::string::npos) << json;
+  std::stringstream reparse(json);
+  const auto back2 = read_json(reparse);
+  ASSERT_TRUE(back2.has_value());
+  expect_tables_equal(t, *back2);
+}
+
+TEST(Writers, JsonAcceptsCanonicalNumberSpellings) {
+  Table t({"a", "b", "c", "d"});
+  t.add_row({"0", "-0.5", "1e9", "1.25E-3"});
+  std::stringstream buf;
+  write_json(t, buf);
+  const std::string json = buf.str();
+  EXPECT_EQ(json.find("\"0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a\": 0"), std::string::npos) << json;
+  std::stringstream reparse(json);
+  const auto back = read_json(reparse);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, JsonEscapesSpecialCharacters) {
+  Table t({"weird \"col\""});
+  t.add_row({"tab\there\nnewline\\backslash"});
+  std::stringstream buf;
+  write_json(t, buf);
+  const auto back = read_json(buf);
+  ASSERT_TRUE(back.has_value());
+  expect_tables_equal(t, *back);
+}
+
+TEST(Writers, JsonRejectsMismatchedKeys) {
+  std::stringstream buf(R"([{"a": 1}, {"b": 2}])");
+  EXPECT_FALSE(read_json(buf).has_value());
+}
+
+TEST(Writers, ReadersRejectMissingFiles) {
+  EXPECT_FALSE(read_csv_file("/nonexistent/x.csv").has_value());
+  EXPECT_FALSE(read_json_file("/nonexistent/x.json").has_value());
+}
+
+}  // namespace
+}  // namespace topkmon::exp
