@@ -3,27 +3,39 @@
 // Each bench_e*.cpp defines one TOPKMON_SUITE(...) body; the SuiteContext
 // carries the parsed CLI options (--trials/--steps/--seed/--jobs/--out-dir),
 // the parallel SweepRunner, and ctx.emit() for table output (console +
-// CSV + JSON). run_once stays as the single-trial convenience wrapper.
+// CSV + JSON). Suites describe single runs declaratively as Scenarios
+// (monitor spec × stream × network × n/k/steps/seed) and execute them
+// through run_scenario — the same path the SweepGrid engine uses.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "topkmon.hpp"
 
 namespace topkmon::bench {
 
+using exp::Scenario;
 using exp::SuiteContext;
 using exp::SuiteOptions;
 using exp::SweepGrid;
 using exp::SweepRunner;
 using exp::TrialSpec;
+using exp::run_scenario;
 
-/// Convenience: run one monitor over a freshly built stream set.
-inline RunResult run_once(MonitorBase& monitor, const StreamSpec& spec,
-                          const RunConfig& cfg) {
-  auto streams = make_stream_set(spec, cfg.n, cfg.seed);
-  return run_monitor(monitor, streams, cfg);
+/// Declarative single-run description with the suite defaults filled in.
+inline Scenario scenario(std::string monitor, const StreamSpec& stream,
+                         std::size_t n, std::size_t k, std::uint64_t steps,
+                         std::uint64_t seed) {
+  Scenario sc;
+  sc.monitor = std::move(monitor);
+  sc.stream = stream;
+  sc.n = n;
+  sc.k = k;
+  sc.steps = steps;
+  sc.seed = seed;
+  return sc;
 }
 
 }  // namespace topkmon::bench

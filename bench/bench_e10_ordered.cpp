@@ -40,17 +40,13 @@ TOPKMON_SUITE(e10, "ordered top-k overhead (§5 conjecture variant)") {
         StreamSpec spec;
         spec.family = fam;
         spec.walk.max_step = 2'000;
-        RunConfig cfg;
-        cfg.n = kN;
-        cfg.k = k;
-        cfg.steps = steps;
-        cfg.seed = args.seed + k;
         CellResult out;
-        TopkFilterMonitor plain(k);
-        out.plain = run_once(plain, spec, cfg);
-        cfg.validate_order = true;
-        OrderedTopkMonitor ordered(k);
-        out.ordered = run_once(ordered, spec, cfg);
+        out.plain = run_scenario(
+            scenario("topk_filter", spec, kN, k, steps, args.seed + k));
+        Scenario ordered =
+            scenario("ordered", spec, kN, k, steps, args.seed + k);
+        ordered.validate_order = true;
+        out.ordered = run_scenario(ordered);
         return out;
       });
 

@@ -17,14 +17,14 @@ namespace {
 std::uint64_t run_multi(const StreamSpec& spec, std::size_t n,
                         const std::vector<std::size_t>& ks,
                         std::uint64_t steps, std::uint64_t seed) {
-  auto streams = make_stream_set(spec, n, seed);
-  MultiKMonitor m(ks);
-  RunConfig cfg;
-  cfg.n = n;
-  cfg.k = ks.front();
-  cfg.steps = steps;
-  cfg.seed = seed;
-  return run_monitor(m, streams, cfg).comm.total();
+  std::string monitor = "multi_k?ks=";
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (i != 0) monitor += '+';
+    monitor += std::to_string(ks[i]);
+  }
+  return run_scenario(scenario(std::move(monitor), spec, n, ks.front(), steps,
+                               seed))
+      .comm.total();
 }
 
 std::uint64_t run_independent(const StreamSpec& spec, std::size_t n,
@@ -32,14 +32,9 @@ std::uint64_t run_independent(const StreamSpec& spec, std::size_t n,
                               std::uint64_t steps, std::uint64_t seed) {
   std::uint64_t total = 0;
   for (const std::size_t k : ks) {
-    auto streams = make_stream_set(spec, n, seed);
-    TopkFilterMonitor m(k);
-    RunConfig cfg;
-    cfg.n = n;
-    cfg.k = k;
-    cfg.steps = steps;
-    cfg.seed = seed;
-    total += run_monitor(m, streams, cfg).comm.total();
+    total +=
+        run_scenario(scenario("topk_filter", spec, n, k, steps, seed))
+            .comm.total();
   }
   return total;
 }

@@ -119,14 +119,11 @@ TOPKMON_SUITE(e4, "competitive ratio vs log Delta (Theorems 3.3/4.4)") {
           spec.walk.max_step = span;
           spec.walk.lo = 0;
           spec.walk.hi = span * 64;
-          TopkFilterMonitor monitor(kK);
-          RunConfig cfg;
-          cfg.n = kN;
-          cfg.k = kK;
-          cfg.steps = steps;
-          cfg.seed = args.seed * 1000 + static_cast<std::uint64_t>(span) + t2;
-          cfg.record_trace = true;
-          const auto r = run_once(monitor, spec, cfg);
+          const std::uint64_t seed =
+              args.seed * 1000 + static_cast<std::uint64_t>(span) + t2;
+          Scenario sc = scenario("topk_filter", spec, kN, kK, steps, seed);
+          sc.record_trace = true;
+          const auto r = run_scenario(sc);
           const auto opt = compute_offline_opt(*r.trace, kK);
           const auto delta = trace_delta(*r.trace, kK);
           return WalkTrial{

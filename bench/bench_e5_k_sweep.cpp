@@ -35,14 +35,10 @@ TOPKMON_SUITE(e5, "cost vs k — additive k term (Theorems 3.3/4.4)") {
         const std::uint64_t t = j % trials;
         StreamSpec spec;
         spec.family = StreamFamily::kIidUniform;
-        TopkFilterMonitor monitor(k);
-        RunConfig cfg;
-        cfg.n = kN;
-        cfg.k = k;
-        cfg.steps = steps;
-        cfg.seed = args.seed * 100 + k * 17 + t;
-        cfg.record_trace = true;
-        const auto r = run_once(monitor, spec, cfg);
+        Scenario sc = scenario("topk_filter", spec, kN, k, steps,
+                               args.seed * 100 + k * 17 + t);
+        sc.record_trace = true;
+        const auto r = run_scenario(sc);
         const auto opt = compute_offline_opt(*r.trace, k);
         const auto delta = trace_delta(*r.trace, k);
         return Trial{

@@ -36,14 +36,10 @@ TOPKMON_SUITE(e6, "cost vs n — M(n)=Θ(log n) factor (Theorem 4.4)") {
         StreamSpec spec;
         spec.family = StreamFamily::kRandomWalk;
         spec.walk.max_step = 2'000;
-        TopkFilterMonitor monitor(kK);
-        RunConfig cfg;
-        cfg.n = n;
-        cfg.k = kK;
-        cfg.steps = steps;
-        cfg.seed = args.seed * 29 + exp2 * 7 + t;
-        cfg.record_trace = true;
-        const auto r = run_once(monitor, spec, cfg);
+        Scenario sc = scenario("topk_filter", spec, n, kK, steps,
+                               args.seed * 29 + exp2 * 7 + t);
+        sc.record_trace = true;
+        const auto r = run_scenario(sc);
         return Trial{static_cast<double>(r.comm.total()),
                      static_cast<double>(r.monitor.handler_calls +
                                          r.monitor.filter_resets * (kK + 1)),

@@ -31,15 +31,10 @@ TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
       StreamSpec spec;
       spec.family = StreamFamily::kCrossingPairs;
       spec.crossing.period = 32;
-      RunConfig cfg;
-      cfg.n = ns[i];
-      cfg.k = 2;
-      cfg.steps = steps;
-      cfg.seed = args.seed;
-      TopkFilterMonitor a(2);
-      const auto ra = run_once(a, spec, cfg);
-      DominanceMonitor b(2);
-      const auto rb = run_once(b, spec, cfg);
+      const auto ra = run_scenario(
+          scenario("topk_filter", spec, ns[i], 2, steps, args.seed));
+      const auto rb = run_scenario(
+          scenario("dominance", spec, ns[i], 2, steps, args.seed));
       return Pair{ra.comm.total(), rb.comm.total()};
     });
     Table t({"n", "topk_filter msgs", "dominance msgs", "blowup"});
@@ -69,15 +64,10 @@ TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
       StreamSpec spec;
       spec.family = StreamFamily::kRandomWalk;
       spec.walk.max_step = 5'000;
-      RunConfig cfg;
-      cfg.n = ns[i];
-      cfg.k = 4;
-      cfg.steps = steps / 2;
-      cfg.seed = args.seed + ns[i];
-      TopkFilterMonitor a(4);
-      const auto ra = run_once(a, spec, cfg);
-      SlackMonitor b(4);
-      const auto rb = run_once(b, spec, cfg);
+      const auto ra = run_scenario(scenario("topk_filter", spec, ns[i], 4,
+                                            steps / 2, args.seed + ns[i]));
+      const auto rb = run_scenario(
+          scenario("slack", spec, ns[i], 4, steps / 2, args.seed + ns[i]));
       return Pair{ra.comm.total(), rb.comm.total()};
     });
     Table t({"n", "topk_filter msgs", "slack(poll) msgs", "poll/proto"});
@@ -100,33 +90,21 @@ TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
                  "adaptive, biased upward-drift walk, k = 4, n = 32\n";
     struct Variant {
       const char* label;
-      SlackMonitor::Options options;
+      const char* spec;
     };
-    std::vector<Variant> variants;
-    {
-      SlackMonitor::Options o;
-      o.alpha = 0.1;
-      variants.push_back({"alpha=0.1", o});
-      o.alpha = 0.5;
-      variants.push_back({"alpha=0.5 (midpoint)", o});
-      o.alpha = 0.9;
-      variants.push_back({"alpha=0.9", o});
-      o.alpha = 0.5;
-      o.adaptive = true;
-      variants.push_back({"adaptive", o});
-    }
+    const std::vector<Variant> variants{
+        {"alpha=0.1", "slack?alpha=0.1"},
+        {"alpha=0.5 (midpoint)", "slack?alpha=0.5"},
+        {"alpha=0.9", "slack?alpha=0.9"},
+        {"adaptive", "slack?alpha=0.5,adaptive"},
+    };
     const auto rows = ctx.runner().map<RunResult>(
         variants.size(), [&](std::size_t i) {
           StreamSpec spec;
           spec.family = StreamFamily::kBursty;
           spec.bursty.p_enter_burst = 0.01;
-          SlackMonitor m(4, variants[i].options);
-          RunConfig cfg;
-          cfg.n = 32;
-          cfg.k = 4;
-          cfg.steps = steps;
-          cfg.seed = args.seed;
-          return run_once(m, spec, cfg);
+          return run_scenario(
+              scenario(variants[i].spec, spec, 32, 4, steps, args.seed));
         });
     Table t({"placement", "msgs", "violation steps", "resets"});
     for (std::size_t i = 0; i < variants.size(); ++i) {
@@ -147,15 +125,9 @@ TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
       StreamSpec spec;
       spec.family = StreamFamily::kRandomWalk;
       spec.walk.max_step = 5'000;
-      TopkFilterMonitor::Options o;
-      o.suppress_idle_broadcasts = (i == 1);
-      TopkFilterMonitor m(4, o);
-      RunConfig cfg;
-      cfg.n = 64;
-      cfg.k = 4;
-      cfg.steps = steps;
-      cfg.seed = args.seed;
-      return run_once(m, spec, cfg);
+      return run_scenario(
+          scenario(i == 1 ? "topk_filter?nobeacon" : "topk_filter", spec, 64,
+                   4, steps, args.seed));
     });
     Table t({"variant", "total msgs", "broadcasts", "upstream"});
     for (std::size_t i = 0; i < 2; ++i) {
@@ -180,13 +152,8 @@ TOPKMON_SUITE(e8, "design-choice ablations (placement, beacons, costs)") {
           StreamSpec spec;
           spec.family = StreamFamily::kRandomWalk;
           spec.walk.max_step = 2'000;
-          RunConfig cfg;
-          cfg.n = kN;
-          cfg.k = 4;
-          cfg.steps = steps;
-          cfg.seed = args.seed;
-          auto m = exp::make_monitor(monitors[i], 4);
-          return run_once(*m, spec, cfg);
+          return run_scenario(
+              scenario(monitors[i], spec, kN, 4, steps, args.seed));
         });
     Table t({"monitor", "beta=1", "beta=n", "beta=n / beta=1"});
     for (std::size_t i = 0; i < monitors.size(); ++i) {

@@ -17,16 +17,9 @@ std::vector<std::uint64_t> cumulative_for(const std::string& monitor,
   StreamSpec spec;
   spec.family = fam;
   spec.walk.max_step = 20;
-  auto streams = make_stream_set(spec, n, seed);
-  auto m = exp::make_monitor(monitor, k);
-  RunConfig cfg;
-  cfg.n = n;
-  cfg.k = k;
-  cfg.steps = steps;
-  cfg.seed = seed;
-  cfg.record_series = true;
-  const auto r = run_monitor(*m, streams, cfg);
-  return r.comm.cumulative_series();
+  Scenario sc = scenario(monitor, spec, n, k, steps, seed);
+  sc.record_series = true;
+  return run_scenario(sc).comm.cumulative_series();
 }
 
 TOPKMON_SUITE(e9, "cumulative message time series (§2.1)") {

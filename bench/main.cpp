@@ -7,6 +7,8 @@
 //   topkmon_bench --list
 //   topkmon_bench --suite e7 --jobs 8
 //   topkmon_bench --all --jobs 0 --out-dir results   (0 = all cores)
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -14,6 +16,7 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -43,18 +46,15 @@ void print_usage(std::ostream& out) {
          "  --help         this message\n";
 }
 
-/// std::stoull silently wraps "-1" to 2^64-1; reject signs up front so a
-/// negative --jobs can't spawn billions of threads.
-std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
-  if (value.empty() || value[0] == '-' || value[0] == '+') {
-    throw std::invalid_argument("'" + value + "' is not a non-negative integer");
+/// Strict full-string parse (to_u64 rejects signs, junk and overflow, so
+/// a negative --jobs can't wrap into billions of threads).
+std::uint64_t parse_u64(const std::string& value) {
+  const auto parsed = topkmon::to_u64(value);
+  if (!parsed) {
+    throw std::invalid_argument("'" + value +
+                                "' is not a non-negative integer");
   }
-  std::size_t used = 0;
-  const std::uint64_t parsed = std::stoull(value, &used);
-  if (used != value.size()) {
-    throw std::invalid_argument("'" + value + "' is not a non-negative integer");
-  }
-  return parsed;
+  return *parsed;
 }
 
 void list_suites(std::ostream& out) {
@@ -64,6 +64,43 @@ void list_suites(std::ostream& out) {
     for (std::size_t pad = s.name.size(); pad < 8; ++pad) out << ' ';
     out << s.description << "\n";
   }
+}
+
+/// Classic dynamic-programming edit distance (insert/delete/substitute),
+/// case-insensitive — small strings, so the O(|a|·|b|) table is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  const auto lower = [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  };
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub =
+          prev[j - 1] + (lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Registered suite names closest to `name` (distance <= 2, best first).
+std::vector<std::string> closest_suites(const std::string& name) {
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const auto& s : SuiteRegistry::instance().sorted()) {
+    const std::size_t d = edit_distance(name, s.name);
+    if (d <= 2) scored.emplace_back(d, s.name);
+  }
+  std::stable_sort(
+      scored.begin(), scored.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (scored.size() > 3) scored.resize(3);  // keep the hint scannable
+  std::vector<std::string> out;
+  for (auto& [d, n] : scored) out.push_back(std::move(n));
+  return out;
 }
 
 }  // namespace
@@ -85,17 +122,9 @@ int main(int argc, char** argv) {
     try {
       if (flag == "--suite") {
         // Accept comma-separated lists: --suite e5,e7
-        std::string value = next();
-        std::size_t start = 0;
-        while (start <= value.size()) {
-          const std::size_t comma = value.find(',', start);
-          const std::string name =
-              value.substr(start, comma == std::string::npos
-                                      ? std::string::npos
-                                      : comma - start);
-          if (!name.empty()) requested.push_back(name);
-          if (comma == std::string::npos) break;
-          start = comma + 1;
+        const std::string value = next();
+        for (const std::string_view name : topkmon::split(value, ',')) {
+          requested.emplace_back(name);
         }
       } else if (flag == "--all") {
         run_all = true;
@@ -103,13 +132,13 @@ int main(int argc, char** argv) {
         list_suites(std::cout);
         return 0;
       } else if (flag == "--jobs") {
-        opts.jobs = static_cast<std::size_t>(parse_u64(flag, next()));
+        opts.jobs = static_cast<std::size_t>(parse_u64(next()));
       } else if (flag == "--trials") {
-        opts.trials = parse_u64(flag, next());
+        opts.trials = parse_u64(next());
       } else if (flag == "--steps") {
-        opts.steps = parse_u64(flag, next());
+        opts.steps = parse_u64(next());
       } else if (flag == "--seed") {
-        opts.seed = parse_u64(flag, next());
+        opts.seed = parse_u64(next());
       } else if (flag == "--out-dir" || flag == "--csv-dir") {
         opts.out_dir = next();
       } else if (flag == "--help" || flag == "-h") {
@@ -135,7 +164,17 @@ int main(int argc, char** argv) {
     for (const auto& name : requested) {
       const auto* s = registry.find(name);
       if (s == nullptr) {
-        std::cerr << "unknown suite '" << name << "'\n\n";
+        std::cerr << "unknown suite '" << name << "'";
+        const auto near = closest_suites(name);
+        if (!near.empty()) {
+          std::cerr << " — did you mean ";
+          for (std::size_t i = 0; i < near.size(); ++i) {
+            if (i != 0) std::cerr << (i + 1 == near.size() ? " or " : ", ");
+            std::cerr << "'" << near[i] << "'";
+          }
+          std::cerr << "?";
+        }
+        std::cerr << "\n\n";
         list_suites(std::cerr);
         return 2;
       }

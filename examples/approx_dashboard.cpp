@@ -58,7 +58,8 @@ int main() {
         cluster.set_value(i, values[i]);
       }
       monitor.step(cluster, step);
-      worst_regret = std::max(worst_regret, topk_regret(values, monitor.topk()));
+      worst_regret =
+          std::max(worst_regret, topk_regret(values, monitor.topk()));
     }
 
     t.add_row({std::to_string(eps), fmt_count(cluster.stats().total()),

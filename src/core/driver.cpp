@@ -1,0 +1,149 @@
+#include "core/driver.hpp"
+
+#include <stdexcept>
+
+namespace topkmon {
+
+namespace {
+
+/// Defensive bound on delivery ticks within one observation step: a
+/// correct protocol session needs O(log n) of them, so hitting this means
+/// an algorithm armed its timer forever.
+constexpr std::uint64_t kMaxTicksPerSettle = 1'000'000;
+
+}  // namespace
+
+void NodeCtx::signal(std::int64_t code) {
+  driver_.raise_signal(Signal{id_, code});
+}
+
+void NodeCtx::arm_timer() { driver_.arm_node(id_); }
+
+void CoordCtx::control_broadcast(const Control& c) { driver_.queue_control(c); }
+
+const std::vector<Signal>& CoordCtx::signals() const {
+  return driver_.signals();
+}
+
+void CoordCtx::arm_timer() { driver_.arm_coordinator(); }
+
+SimDriver::SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
+                     std::span<const std::unique_ptr<NodeAlgo>> nodes,
+                     bool auto_deliver)
+    : cluster_(cluster),
+      coord_(coordinator),
+      nodes_(nodes),
+      auto_deliver_(auto_deliver),
+      coord_ctx_(*this, cluster),
+      node_armed_(cluster.size(), 0) {
+  if (nodes_.size() != cluster_.size()) {
+    throw std::invalid_argument("SimDriver: node algo count != cluster size");
+  }
+  node_ctxs_.reserve(cluster_.size());
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    node_ctxs_.emplace_back(*this, cluster_, id);
+  }
+}
+
+bool SimDriver::anything_scheduled() const noexcept {
+  if (armed_nodes_ > 0 || coord_armed_ || !pending_controls_.empty()) {
+    return true;
+  }
+  return auto_deliver_ && cluster_.net().pending_deliveries() > 0;
+}
+
+void SimDriver::run_tick() {
+  Network& net = cluster_.net();
+  net.advance_clock();
+
+  // Phase 1, per node in id order: due charged mail first, then the
+  // tick's control broadcasts, then the armed timer. Messages precede
+  // controls because a control queued in the same coordinator phase as a
+  // broadcast (e.g. "next selection iteration starts" after a winner
+  // announcement) logically follows it — the lock-step semantics exclude
+  // the announced winner before the next iteration convenes.
+  delivering_controls_.clear();
+  delivering_controls_.swap(pending_controls_);
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    if (auto_deliver_) {
+      for (const Message& m : net.drain_node(id)) {
+        nodes_[id]->on_message(node_ctxs_[id], m);
+      }
+    }
+    for (const Control& c : delivering_controls_) {
+      nodes_[id]->on_control(node_ctxs_[id], c);
+    }
+    if (node_armed_[id]) {
+      node_armed_[id] = 0;
+      --armed_nodes_;
+      nodes_[id]->on_timer(node_ctxs_[id]);
+    }
+  }
+
+  // Phase 2: the coordinator's due mail, in arrival order.
+  if (auto_deliver_) {
+    for (const Message& m : net.drain_coordinator()) {
+      coord_.on_message(coord_ctx_, m);
+    }
+  }
+
+  // Phase 3: the coordinator's armed timer.
+  if (coord_armed_) {
+    coord_armed_ = false;
+    coord_.on_timer(coord_ctx_);
+  }
+}
+
+void SimDriver::settle(bool respect_budget) {
+  Network& net = cluster_.net();
+  const std::uint64_t budget =
+      respect_budget ? net.spec().ticks_per_step : 0;
+  const SimTime step_end = net.now() + budget;
+
+  std::uint64_t guard = 0;
+  for (;;) {
+    if (budget != 0 && net.now() >= step_end) break;
+    if (!anything_scheduled()) {
+      // Fixed observation cadence: with a budget the step always consumes
+      // its full tick span, so in-flight mail ages correctly across steps.
+      if (budget != 0) net.advance_clock_to(step_end);
+      break;
+    }
+    if (armed_nodes_ == 0 && !coord_armed_ && pending_controls_.empty()) {
+      // Nothing computes until the next delivery: fast-forward the clock
+      // (bounded by the step end under a budget).
+      if (const auto due = net.earliest_pending()) {
+        SimTime target = *due > net.now() ? *due - 1 : net.now();
+        if (budget != 0 && target > step_end - 1) target = step_end - 1;
+        net.advance_clock_to(target);
+      }
+    }
+    run_tick();
+    if (++guard > kMaxTicksPerSettle) {
+      throw std::logic_error(
+          "SimDriver: step did not quiesce (runaway timer loop?)");
+    }
+  }
+}
+
+void SimDriver::initialize() {
+  signals_.clear();
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    nodes_[id]->on_init(node_ctxs_[id], cluster_.value(id));
+  }
+  coord_.on_init(coord_ctx_);
+  settle(/*respect_budget=*/false);
+  coord_.on_step_end(coord_ctx_, 0);
+}
+
+void SimDriver::step(TimeStep t) {
+  signals_.clear();
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    nodes_[id]->on_observe(node_ctxs_[id], cluster_.value(id), t);
+  }
+  coord_.on_step_begin(coord_ctx_, t);
+  settle(/*respect_budget=*/true);
+  coord_.on_step_end(coord_ctx_, t);
+}
+
+}  // namespace topkmon

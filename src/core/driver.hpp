@@ -1,0 +1,97 @@
+// The event loop that drives a role-separated monitor (one CoordinatorAlgo
+// plus n NodeAlgos) over a cluster.
+//
+// Time structure: each observation step spans one or more network *ticks*.
+// Per tick the driver services, in deterministic order,
+//
+//   1. every node in id order: due charged messages (on_message), then the
+//      tick's Control broadcasts (on_control), then its armed timer
+//      (on_timer) — messages strictly before controls, because a control
+//      queued in the same coordinator phase as a broadcast logically
+//      follows it (a winner announcement must exclude its winner before
+//      the next selection iteration convenes);
+//   2. the coordinator: due charged messages in arrival order;
+//   3. the coordinator's armed timer.
+//
+// Ticks repeat until quiescence (no armed timer, no pending delivery, no
+// pending control) or, when the NetworkSpec sets a tick budget, until the
+// budget expires — in-flight messages then carry over into later steps.
+// Under the instant NetworkSpec this schedule reproduces the lock-step
+// protocol rounds of the legacy MonitorBase::step() exactly: a beacon
+// broadcast in phase 4 of tick T reaches nodes in phase 2 of tick T+1,
+// and reports sent there reach the coordinator in phase 2 of the same
+// tick — the paper's node-phase / coordinator-phase alternation.
+//
+// Timer semantics: arming from a node's on_message/on_control fires in
+// the same tick's node timer slot; arming from within on_timer fires next
+// tick (ditto for the coordinator in phases 2-3). This is what lets a
+// protocol session convene in one tick and run its round 0 in the next.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/roles.hpp"
+#include "sim/cluster.hpp"
+
+namespace topkmon {
+
+class SimDriver {
+ public:
+  /// `auto_deliver` selects the event loop: true for native role
+  /// algorithms (the driver drains the network each tick), false for
+  /// LockstepAdapter-backed ones (the wrapped monitor drains the network
+  /// itself inside on_step_begin, so the driver must not consume mail).
+  SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
+            std::span<const std::unique_ptr<NodeAlgo>> nodes,
+            bool auto_deliver);
+
+  /// Time 0: values must already be set on the cluster. Runs every node's
+  /// on_init, the coordinator's on_init, and settles to quiescence (the
+  /// tick budget does not apply to initialization: setup completes before
+  /// the observation cadence starts).
+  void initialize();
+
+  /// One observation step (values already set). Runs on_observe for every
+  /// node, on_step_begin, the tick loop, then on_step_end.
+  void step(TimeStep t);
+
+  /// Ticks consumed so far (diagnostics; grows monotonically).
+  SimTime now() const noexcept { return cluster_.net().now(); }
+
+  // -- context plumbing (used by NodeCtx / CoordCtx) ------------------------
+  void raise_signal(Signal s) { signals_.push_back(s); }
+  const std::vector<Signal>& signals() const noexcept { return signals_; }
+  void queue_control(const Control& c) { pending_controls_.push_back(c); }
+  void arm_node(NodeId id) {
+    if (!node_armed_[id]) {
+      node_armed_[id] = 1;
+      ++armed_nodes_;
+    }
+  }
+  void arm_coordinator() noexcept { coord_armed_ = true; }
+
+ private:
+  void settle(bool respect_budget);
+  void run_tick();
+  bool anything_scheduled() const noexcept;
+
+  Cluster& cluster_;
+  CoordinatorAlgo& coord_;
+  std::span<const std::unique_ptr<NodeAlgo>> nodes_;
+  bool auto_deliver_;
+
+  CoordCtx coord_ctx_;
+  std::vector<NodeCtx> node_ctxs_;
+
+  std::vector<Signal> signals_;
+  std::vector<Control> pending_controls_;
+  std::vector<Control> delivering_controls_;  // double-buffer for phase 1
+  std::vector<char> node_armed_;
+  std::size_t armed_nodes_ = 0;
+  bool coord_armed_ = false;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,463 @@
+#include "core/filter_roles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/beacon.hpp"
+
+namespace topkmon {
+
+namespace {
+
+constexpr std::int64_t pack_session_c(std::uint32_t epoch,
+                                      std::uint32_t log_n) noexcept {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(epoch) << 8) | log_n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FilterNode
+// ---------------------------------------------------------------------------
+
+void FilterNode::on_observe(NodeCtx& ctx, Value v, TimeStep) {
+  // Algorithm 1, lines 2-9 (node side): check the filter locally; a
+  // violation is free knowledge in the model, raised as a control signal.
+  if (filter_.contains(v)) return;
+  pending_ = member_ ? Pending::kTop : Pending::kBot;
+  ctx.signal(member_ ? 1 : 0);
+}
+
+void FilterNode::on_message(NodeCtx& ctx, const Message& m) {
+  switch (m.kind) {
+    case MsgKind::kRoundBeacon: {
+      if (!in_session_) break;
+      const auto beacon = unpack_beacon_b(m.b);
+      if (beacon.epoch != epoch_) break;
+      // A beacon without a holder means "no report seen yet" and carries
+      // no deactivation power.
+      if (beacon.holder == kNoHolder) break;
+      has_beacon_ = true;
+      beacon_value_ = m.a;
+      beacon_holder_ = beacon.holder;
+      break;
+    }
+    case MsgKind::kWinnerAnnounce: {
+      // During FILTERRESET the announce order is common knowledge: the
+      // first k winners are the new top-k, the (k+1)-st is the best
+      // outsider. Each node derives its own membership locally.
+      if (!selecting_) break;
+      ++announces_seen_;
+      if (unpack_beacon_b(m.b).holder == ctx.id()) {
+        excluded_ = true;
+        member_ = (announces_seen_ <= k_);
+      }
+      break;
+    }
+    case MsgKind::kFilterUpdate: {
+      // Node-side effect of the boundary broadcast: rebuild the filter
+      // from (M, own membership belief). Ends any selection phase.
+      selecting_ = false;
+      filter_ = member_ ? Filter{m.a, kPlusInf} : Filter{kMinusInf, m.a};
+      break;
+    }
+    default:
+      break;  // kProtocolStart etc. are informational for nodes
+  }
+}
+
+void FilterNode::on_control(NodeCtx& ctx, const Control& c) {
+  switch (static_cast<FilterControlOp>(c.op)) {
+    case FilterControlOp::kStartSelection: {
+      selecting_ = true;
+      excluded_ = false;
+      announces_seen_ = 0;
+      member_ = false;
+      break;
+    }
+    case FilterControlOp::kStartSession: {
+      const auto dir = c.a == 1 ? Direction::kMin : Direction::kMax;
+      const auto group = static_cast<FilterSessionGroup>(c.b);
+      const auto epoch = static_cast<std::uint32_t>(c.c >> 8);
+      const auto log_n = static_cast<std::uint32_t>(c.c & 0xFF);
+
+      bool join = false;
+      switch (group) {
+        case FilterSessionGroup::kViolTop:
+          join = (pending_ == Pending::kTop);
+          if (join) pending_ = Pending::kNone;
+          break;
+        case FilterSessionGroup::kViolBot:
+          join = (pending_ == Pending::kBot);
+          if (join) pending_ = Pending::kNone;
+          break;
+        case FilterSessionGroup::kAllTop:
+          join = member_;
+          break;
+        case FilterSessionGroup::kAllBot:
+          join = !member_;
+          break;
+        case FilterSessionGroup::kSelectRest:
+          join = selecting_ && !excluded_;
+          break;
+      }
+      in_session_ = join;
+      if (!join) break;
+      active_ = true;
+      dir_ = dir;
+      epoch_ = epoch;
+      log_n_ = log_n;
+      round_ = 0;
+      has_beacon_ = false;
+      beacon_holder_ = kNoHolder;
+      ctx.arm_timer();
+      break;
+    }
+  }
+}
+
+void FilterNode::on_timer(NodeCtx& ctx) {
+  // One protocol round (Algorithm 2, node side).
+  if (!in_session_ || !active_) return;
+  const std::uint32_t r = round_++;
+
+  // Line 8: a node beaten by the broadcast extremum deactivates.
+  if (has_beacon_ &&
+      !beats(dir_, ctx.value(), ctx.id(), beacon_value_, beacon_holder_)) {
+    active_ = false;
+    return;
+  }
+
+  // Line 11: Bernoulli(2^r / N) coin flip; the final round has p = 1.
+  if (ctx.rng().bernoulli_pow2(r, log_n_)) {
+    Message report;
+    report.kind = MsgKind::kValueReport;
+    report.a = ctx.value();
+    ctx.send(report);
+    active_ = false;
+    return;
+  }
+  if (r >= log_n_) {
+    active_ = false;  // defensive; the final-round coin always succeeds
+    return;
+  }
+  ctx.arm_timer();
+}
+
+// ---------------------------------------------------------------------------
+// FilterCoordinator
+// ---------------------------------------------------------------------------
+
+FilterCoordinator::FilterCoordinator(std::size_t k, Options opts)
+    : k_(k), opts_(opts) {
+  if (k == 0) {
+    throw std::invalid_argument("FilterCoordinator: k must be >= 1");
+  }
+}
+
+void FilterCoordinator::on_init(CoordCtx& ctx) {
+  n_ = ctx.n();
+  if (k_ > n_) {
+    throw std::invalid_argument("FilterCoordinator: k > n");
+  }
+  in_topk_.assign(n_, 0);
+  degenerate_ = (k_ == n_);
+  if (degenerate_) {
+    // All nodes are the answer forever; unbounded filters, zero messages.
+    std::fill(in_topk_.begin(), in_topk_.end(), char{1});
+    topk_ids_.clear();
+    for (NodeId id = 0; id < n_; ++id) topk_ids_.push_back(id);
+    return;
+  }
+  begin_reset(ctx);
+}
+
+void FilterCoordinator::on_step_begin(CoordCtx& ctx, TimeStep) {
+  if (degenerate_) return;
+  const auto& signals = ctx.signals();
+  if (!signals.empty()) {
+    ++mstats_.violation_steps;
+    mstats_.violations += signals.size();
+    for (const Signal& s : signals) {
+      (s.code == 1 ? pending_top_ : pending_bot_) = true;
+    }
+  }
+  if (phase_ != Phase::kIdle) return;
+  if (topk_ids_.size() != k_) {
+    // The answer was never established — a FILTERRESET aborted under
+    // message loss before any boundary reached the nodes, so no filter
+    // violation can ever convene repair. Defensively re-run the
+    // selection, once per observation step.
+    ++mstats_.full_rebuilds;
+    begin_reset(ctx);
+    return;
+  }
+  if (pending_top_ || pending_bot_) start_cycle(ctx);
+}
+
+void FilterCoordinator::on_message(CoordCtx&, const Message& m) {
+  if (!session_active_ || m.kind != MsgKind::kValueReport) return;
+  if (!have_best_ ||
+      beats(sdir_, m.a, m.from, best_value_, best_holder_)) {
+    have_best_ = true;
+    best_value_ = m.a;
+    best_holder_ = m.from;
+    improved_ = true;
+  }
+}
+
+void FilterCoordinator::on_timer(CoordCtx& ctx) {
+  if (!session_active_) {
+    // Inter-iteration gap of a FILTERRESET selection: the previous
+    // iteration's winner announcement is in flight; convening the next
+    // iteration before it lands would let the winner re-join. Zero ticks
+    // under instant delivery.
+    if (pending_select_) {
+      if (select_gap_ > 0) {
+        --select_gap_;
+        ctx.arm_timer();
+        return;
+      }
+      pending_select_ = false;
+      start_session(ctx, Direction::kMax, FilterSessionGroup::kSelectRest, n_,
+                    /*announce=*/true);
+    }
+    return;
+  }
+  // End of round sround_ (Algorithm 2, coordinator side): the round's
+  // reports have been folded in via on_message.
+  if (sround_ < slog_n_) {
+    // Line 18: broadcast the running extremum (optionally only on change).
+    if (!opts_.suppress_idle_broadcasts || improved_) {
+      Message beacon;
+      beacon.kind = MsgKind::kRoundBeacon;
+      beacon.a = have_best_ ? best_value_ : kMinusInf;
+      beacon.b = pack_beacon_b(sepoch_, have_best_ ? best_holder_ : kNoHolder);
+      ctx.broadcast(beacon);
+    }
+    improved_ = false;
+    ++sround_;
+    ctx.arm_timer();
+    return;
+  }
+  // Final round complete. Under a delayed policy, reports may still be in
+  // flight: wait out the network's worst-case lag before concluding (zero
+  // extra ticks under instant delivery).
+  if (sflush_ > 0) {
+    --sflush_;
+    ctx.arm_timer();
+    return;
+  }
+  // Under lossless delivery every still-active participant reported, so
+  // the extremum is exact.
+  conclude_session(ctx);
+}
+
+void FilterCoordinator::start_cycle(CoordCtx& ctx) {
+  cycle_top_ = pending_top_;
+  cycle_bot_ = pending_bot_;
+  pending_top_ = pending_bot_ = false;
+  min_v_.reset();
+  max_v_.reset();
+  if (cycle_top_) {
+    // Line 5: violating former members run MINIMUMPROTOCOL(k).
+    phase_ = Phase::kViolMin;
+    start_session(ctx, Direction::kMin, FilterSessionGroup::kViolTop, k_,
+                  /*announce=*/false);
+  } else {
+    // Line 7: violating outsiders run MAXIMUMPROTOCOL(n-k).
+    phase_ = Phase::kViolMax;
+    start_session(ctx, Direction::kMax, FilterSessionGroup::kViolBot, n_ - k_,
+                  /*announce=*/false);
+  }
+}
+
+void FilterCoordinator::start_session(CoordCtx& ctx, Direction dir,
+                                      FilterSessionGroup group,
+                                      std::uint64_t n_upper, bool announce) {
+  ++mstats_.protocol_runs;
+  sdir_ = dir;
+  sepoch_ = ctx.next_protocol_epoch();
+  slog_n_ = floor_log2(next_pow2(n_upper));
+  sround_ = 0;
+  sflush_ = ctx.flush_ticks();
+  have_best_ = false;
+  improved_ = false;
+  best_holder_ = kNoHolder;
+  session_active_ = true;
+  announce_at_end_ = announce;
+
+  Control start;
+  start.op = static_cast<std::int64_t>(FilterControlOp::kStartSession);
+  start.a = dir == Direction::kMin ? 1 : 0;
+  start.b = static_cast<std::int64_t>(group);
+  start.c = pack_session_c(sepoch_, slog_n_);
+  ctx.control_broadcast(start);
+  ctx.arm_timer();
+}
+
+void FilterCoordinator::conclude_session(CoordCtx& ctx) {
+  session_active_ = false;
+  if (announce_at_end_ && have_best_) {
+    Message announce;
+    announce.kind = MsgKind::kWinnerAnnounce;
+    announce.a = best_value_;
+    announce.b = pack_beacon_b(sepoch_, best_holder_);
+    ctx.broadcast(announce);
+  }
+  if (!have_best_) {
+    // Only possible under message loss: every report of the session was
+    // dropped. Abandon the cycle; the next violation restarts repair.
+    abort_cycle();
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::kViolMin:
+      min_v_ = best_value_;
+      if (cycle_bot_) {
+        phase_ = Phase::kViolMax;
+        start_session(ctx, Direction::kMax, FilterSessionGroup::kViolBot,
+                      n_ - k_, /*announce=*/false);
+      } else {
+        handler_transition(ctx);
+      }
+      break;
+    case Phase::kViolMax:
+      max_v_ = best_value_;
+      handler_transition(ctx);
+      break;
+    case Phase::kFullSide:
+      if (sdir_ == Direction::kMax) {
+        max_v_ = best_value_;
+      } else {
+        min_v_ = best_value_;
+      }
+      decide(ctx);
+      break;
+    case Phase::kReset:
+      // A repeat winner means its earlier announce was lost on its own
+      // link (possible only under drops): it re-joined and won again, so
+      // the selection order is corrupted beyond local repair — abandon
+      // the reset. Deliberately checked AFTER the announce broadcast
+      // above: the "redundant" announcement is what finally tells the
+      // repeated winner it is excluded, so the next reset attempt can
+      // succeed; suppressing it measured severalfold higher error rates
+      // under loss (e15) for one saved message.
+      for (const Winner& w : sel_winners_) {
+        if (w.id == best_holder_) {
+          abort_cycle();
+          return;
+        }
+      }
+      sel_winners_.push_back(Winner{best_holder_, best_value_});
+      if (sel_winners_.size() < k_ + 1) {
+        const std::uint64_t gap = ctx.flush_ticks();
+        if (gap == 0) {
+          start_session(ctx, Direction::kMax, FilterSessionGroup::kSelectRest,
+                        n_, /*announce=*/true);
+        } else {
+          pending_select_ = true;
+          select_gap_ = gap;
+          ctx.arm_timer();
+        }
+      } else {
+        finish_reset(ctx);
+      }
+      break;
+    case Phase::kIdle:
+      break;  // unreachable
+  }
+}
+
+void FilterCoordinator::handler_transition(CoordCtx& ctx) {
+  // FILTERVIOLATIONHANDLER, lines 22-26: obtain the side extremum the
+  // violations did not deliver (announced by a charged kProtocolStart).
+  ++mstats_.handler_calls;
+  phase_ = Phase::kFullSide;
+  Message start;
+  start.kind = MsgKind::kProtocolStart;
+  if (!max_v_.has_value()) {
+    start.a = 0;  // side: non-top-k
+    ctx.broadcast(start);
+    start_session(ctx, Direction::kMax, FilterSessionGroup::kAllBot, n_ - k_,
+                  /*announce=*/false);
+  } else {
+    start.a = 1;  // side: top-k
+    ctx.broadcast(start);
+    start_session(ctx, Direction::kMin, FilterSessionGroup::kAllTop, k_,
+                  /*announce=*/false);
+  }
+}
+
+void FilterCoordinator::decide(CoordCtx& ctx) {
+  // Lines 27-28: accumulate T+ and T- since the last reset.
+  tplus_ = std::min(tplus_, *min_v_);
+  tminus_ = std::max(tminus_, *max_v_);
+  if (tplus_ < tminus_) {
+    // Line 30: the top-k set may have changed; recompute from scratch.
+    begin_reset(ctx);
+  } else {
+    // Lines 32-33: halve the gap; at most log Δ times between resets.
+    ++mstats_.midpoint_updates;
+    apply_boundary(ctx, midpoint(tminus_, tplus_));
+    cycle_done(ctx);
+  }
+}
+
+void FilterCoordinator::begin_reset(CoordCtx& ctx) {
+  // FILTERRESET, lines 37-39: k+1 repeated MAXIMUMPROTOCOL(n) runs; each
+  // winner announcement doubles as the membership notification.
+  ++mstats_.filter_resets;
+  phase_ = Phase::kReset;
+  sel_winners_.clear();
+  Control sel;
+  sel.op = static_cast<std::int64_t>(FilterControlOp::kStartSelection);
+  ctx.control_broadcast(sel);
+  start_session(ctx, Direction::kMax, FilterSessionGroup::kSelectRest, n_,
+                /*announce=*/true);
+}
+
+void FilterCoordinator::finish_reset(CoordCtx& ctx) {
+  std::fill(in_topk_.begin(), in_topk_.end(), char{0});
+  for (std::size_t i = 0; i < k_; ++i) in_topk_[sel_winners_[i].id] = 1;
+  topk_ids_.clear();
+  for (NodeId id = 0; id < n_; ++id) {
+    if (in_topk_[id]) topk_ids_.push_back(id);
+  }
+  // Restart the T+/T- accumulation epoch at the fresh k-th/(k+1)-st values.
+  tplus_ = sel_winners_[k_ - 1].value;
+  tminus_ = sel_winners_[k_].value;
+  // Lines 40-41.
+  apply_boundary(ctx, midpoint(tminus_, tplus_));
+  cycle_done(ctx);
+}
+
+void FilterCoordinator::apply_boundary(CoordCtx& ctx, Value m) {
+  mid_ = m;
+  Message update;
+  update.kind = MsgKind::kFilterUpdate;
+  update.a = m;
+  ctx.broadcast(update);
+}
+
+void FilterCoordinator::cycle_done(CoordCtx& ctx) {
+  phase_ = Phase::kIdle;
+  min_v_.reset();
+  max_v_.reset();
+  // Violations that arrived while the cycle ran (possible only under a
+  // tick budget) convene the next cycle immediately.
+  if (pending_top_ || pending_bot_) start_cycle(ctx);
+}
+
+void FilterCoordinator::abort_cycle() {
+  phase_ = Phase::kIdle;
+  session_active_ = false;
+  pending_select_ = false;
+  select_gap_ = 0;
+  min_v_.reset();
+  max_v_.reset();
+}
+
+}  // namespace topkmon

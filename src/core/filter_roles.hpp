@@ -1,0 +1,194 @@
+// Native role-separated implementation of the paper's Algorithm 1 (the
+// randomized filter-based Top-k-Position monitor) with Algorithm 2 (the
+// randomized extremum protocol) embedded as event-driven sessions.
+//
+// This is the same algorithm as core/topk_monitor.hpp, restructured into
+// the coordinator/node split of core/roles.hpp so it runs on *any*
+// NetworkSpec: under the instant policy it is message-for-message and
+// coin-flip-for-coin-flip identical to the lock-step TopkFilterMonitor
+// (asserted by tests/core/test_role_equivalence.cpp); under delay, jitter,
+// drop or tick-budget policies it degrades gracefully — stale beacons
+// weaken round pruning (more reports), lost filter updates or winner
+// announcements desynchronize node state until the next violation repairs
+// it, and the validation layer records the resulting error steps.
+//
+// Division of state, mirroring a real deployment:
+//  * FilterNode owns the node's filter interval, its top-k membership
+//    belief, and its per-session protocol state (round counter, beacon
+//    view, activation). All of it is updated exclusively from local
+//    observations and received (control) broadcasts.
+//  * FilterCoordinator owns the violation-cycle state machine
+//    (violation sessions -> missing-side session -> midpoint/reset), the
+//    T+/T- accumulators and the answer set.
+//
+// The uncharged control plane carries exactly the synchronization the
+// lock-step model grants for free: "your side's protocol execution starts
+// now, epoch e, bound log N" and "a reset selection begins". Everything
+// that the paper charges — reports, beacons, winner announcements, filter
+// updates, protocol-start broadcasts — flows through the Network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "core/roles.hpp"
+#include "protocols/extremum.hpp"
+
+namespace topkmon {
+
+/// Control opcodes of the filter monitor's control plane.
+enum class FilterControlOp : std::int64_t {
+  /// a = direction (0 = max, 1 = min), b = participant group
+  /// (FilterSessionGroup), c = (epoch << 8) | log_n.
+  kStartSession = 1,
+  /// A FILTERRESET selection begins: clear membership/exclusion state.
+  /// No payload — each node derives membership from the announce order
+  /// and its deployed k.
+  kStartSelection = 2,
+};
+
+/// Who participates in a protocol session (each node decides locally).
+enum class FilterSessionGroup : std::int64_t {
+  kViolTop = 0,    ///< nodes holding an unconsumed top-side violation
+  kViolBot = 1,    ///< nodes holding an unconsumed bottom-side violation
+  kAllTop = 2,     ///< nodes believing they are top-k members
+  kAllBot = 3,     ///< nodes believing they are outsiders
+  kSelectRest = 4, ///< selection participants not yet announced as winners
+};
+
+/// Node-side half of Algorithm 1.
+class FilterNode final : public NodeAlgo {
+ public:
+  explicit FilterNode(std::size_t k) : k_(k) {}
+
+  void on_observe(NodeCtx& ctx, Value v, TimeStep t) override;
+  void on_message(NodeCtx& ctx, const Message& m) override;
+  void on_control(NodeCtx& ctx, const Control& c) override;
+  void on_timer(NodeCtx& ctx) override;
+
+  // -- introspection for tests ---------------------------------------------
+  const Filter& filter() const noexcept { return filter_; }
+  bool member() const noexcept { return member_; }
+
+ private:
+  std::size_t k_;
+
+  // Persistent node state (what a deployed node stores).
+  Filter filter_{};       ///< [-inf, +inf] until the first boundary arrives
+  bool member_ = false;   ///< top-k membership belief
+
+  // Violation pending consumption by the next matching session.
+  enum class Pending : std::uint8_t { kNone, kTop, kBot };
+  Pending pending_ = Pending::kNone;
+
+  // Current protocol session (valid while in_session_).
+  bool in_session_ = false;
+  bool active_ = false;
+  Direction dir_ = Direction::kMax;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t log_n_ = 0;
+  std::uint32_t round_ = 0;
+  bool has_beacon_ = false;
+  Value beacon_value_ = 0;
+  NodeId beacon_holder_ = kNoHolder;
+
+  // Reset-selection bookkeeping.
+  bool selecting_ = false;
+  bool excluded_ = false;
+  std::uint32_t announces_seen_ = 0;
+};
+
+/// Coordinator-side half of Algorithm 1.
+class FilterCoordinator final : public CoordinatorAlgo {
+ public:
+  struct Options {
+    /// Forwarded to every protocol session (beacon-suppression ablation).
+    bool suppress_idle_broadcasts = false;
+  };
+
+  explicit FilterCoordinator(std::size_t k) : FilterCoordinator(k, {}) {}
+  FilterCoordinator(std::size_t k, Options opts);
+
+  std::string_view name() const override { return "topk_filter"; }
+  void on_init(CoordCtx& ctx) override;
+  void on_step_begin(CoordCtx& ctx, TimeStep t) override;
+  void on_message(CoordCtx& ctx, const Message& m) override;
+  void on_timer(CoordCtx& ctx) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  // -- introspection for tests ---------------------------------------------
+  Value boundary() const noexcept { return mid_; }
+  Value t_plus() const noexcept { return tplus_; }
+  Value t_minus() const noexcept { return tminus_; }
+
+ private:
+  /// Where the violation cycle currently stands.
+  enum class Phase : std::uint8_t {
+    kIdle,      ///< no cycle running
+    kViolMin,   ///< MINIMUMPROTOCOL(k) over top-side violators
+    kViolMax,   ///< MAXIMUMPROTOCOL(n-k) over bottom-side violators
+    kFullSide,  ///< handler's run over the whole missing side
+    kReset,     ///< FILTERRESET: k+1 repeated selections
+  };
+
+  void start_cycle(CoordCtx& ctx);
+  void start_session(CoordCtx& ctx, Direction dir, FilterSessionGroup group,
+                     std::uint64_t n_upper, bool announce);
+  void conclude_session(CoordCtx& ctx);
+  void handler_transition(CoordCtx& ctx);
+  void decide(CoordCtx& ctx);
+  void begin_reset(CoordCtx& ctx);
+  void finish_reset(CoordCtx& ctx);
+  void apply_boundary(CoordCtx& ctx, Value m);
+  void cycle_done(CoordCtx& ctx);
+  void abort_cycle();
+
+  std::size_t k_;
+  Options opts_;
+  std::size_t n_ = 0;
+  bool degenerate_ = false;  ///< k == n: the answer can never change
+
+  // Answer / membership (coordinator's view).
+  std::vector<char> in_topk_;
+  std::vector<NodeId> topk_ids_;
+  Value tplus_ = 0;
+  Value tminus_ = 0;
+  Value mid_ = 0;
+
+  // Violations signalled but not yet consumed by a cycle.
+  bool pending_top_ = false;
+  bool pending_bot_ = false;
+
+  // Current cycle.
+  Phase phase_ = Phase::kIdle;
+  bool cycle_top_ = false;
+  bool cycle_bot_ = false;
+  std::optional<Value> min_v_;
+  std::optional<Value> max_v_;
+
+  // Current protocol session.
+  bool session_active_ = false;
+  Direction sdir_ = Direction::kMax;
+  std::uint32_t sepoch_ = 0;
+  std::uint32_t slog_n_ = 0;
+  std::uint32_t sround_ = 0;
+  std::uint64_t sflush_ = 0;  ///< post-final-round delay drain (0 on instant)
+  bool have_best_ = false;
+  bool improved_ = false;
+  Value best_value_ = 0;
+  NodeId best_holder_ = kNoHolder;
+  bool announce_at_end_ = false;
+
+  // Reset selection progress.
+  struct Winner {
+    NodeId id;
+    Value value;
+  };
+  std::vector<Winner> sel_winners_;
+  bool pending_select_ = false;   ///< next iteration waits for announce lag
+  std::uint64_t select_gap_ = 0;  ///< remaining inter-iteration gap ticks
+};
+
+}  // namespace topkmon

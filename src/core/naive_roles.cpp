@@ -1,0 +1,32 @@
+#include "core/naive_roles.hpp"
+
+#include <stdexcept>
+
+#include "core/ground_truth.hpp"
+
+namespace topkmon {
+
+NaiveCoordinator::NaiveCoordinator(std::size_t k, bool send_on_change_only)
+    : k_(k), send_on_change_only_(send_on_change_only) {
+  if (k == 0) {
+    throw std::invalid_argument("NaiveCoordinator: k must be >= 1");
+  }
+}
+
+void NaiveCoordinator::on_init(CoordCtx& ctx) {
+  if (k_ > ctx.n()) {
+    throw std::invalid_argument("NaiveCoordinator: k > n");
+  }
+  known_values_.assign(ctx.n(), 0);
+}
+
+void NaiveCoordinator::on_message(CoordCtx&, const Message& m) {
+  if (m.kind != MsgKind::kValueReport) return;
+  known_values_[m.from] = m.a;
+}
+
+void NaiveCoordinator::on_step_end(CoordCtx&, TimeStep) {
+  topk_ids_ = true_topk_set(known_values_, k_);
+}
+
+}  // namespace topkmon

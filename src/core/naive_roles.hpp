@@ -1,0 +1,58 @@
+// Native role-separated implementation of the naive baseline of §2.1:
+// every node forwards its observations to the coordinator, which computes
+// the top-k from its value replica. Identical to core/naive_monitor.hpp
+// under the instant NetworkSpec (asserted by the role-equivalence tests);
+// under delay/drop policies the replica goes stale and the validation
+// layer records the resulting error steps — the natural "how robust is
+// brute force?" baseline for the latency/loss experiment suites.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/roles.hpp"
+
+namespace topkmon {
+
+class NaiveNode final : public NodeAlgo {
+ public:
+  explicit NaiveNode(bool send_on_change_only)
+      : send_on_change_only_(send_on_change_only) {}
+
+  void on_init(NodeCtx& ctx, Value v0) override { report(ctx, v0); }
+  void on_observe(NodeCtx& ctx, Value v, TimeStep) override { report(ctx, v); }
+
+ private:
+  void report(NodeCtx& ctx, Value v) {
+    if (send_on_change_only_ && last_sent_ == v) return;
+    Message m;
+    m.kind = MsgKind::kValueReport;
+    m.a = v;
+    ctx.send(m);
+    last_sent_ = v;
+  }
+
+  bool send_on_change_only_;
+  std::optional<Value> last_sent_;
+};
+
+class NaiveCoordinator final : public CoordinatorAlgo {
+ public:
+  NaiveCoordinator(std::size_t k, bool send_on_change_only);
+
+  std::string_view name() const override {
+    return send_on_change_only_ ? "naive_on_change" : "naive";
+  }
+  void on_init(CoordCtx& ctx) override;
+  void on_message(CoordCtx& ctx, const Message& m) override;
+  void on_step_end(CoordCtx& ctx, TimeStep t) override;
+  const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+ private:
+  std::size_t k_;
+  bool send_on_change_only_;
+  std::vector<Value> known_values_;  ///< coordinator's replica
+  std::vector<NodeId> topk_ids_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,204 @@
+// Role-separated monitor API: the paper's model is n node algorithms plus
+// one coordinator algorithm on a star network, and this header expresses
+// exactly that split. A monitoring algorithm is deployed as one
+// CoordinatorAlgo plus n NodeAlgo instances; all *charged* communication
+// between the two sides flows through the cluster's Network (and is
+// therefore subject to the NetworkSpec delivery policy), while the
+// lock-step idealizations of the paper's model — nodes and coordinator
+// share a synchronized observation clock, and the coordinator convenes
+// protocol executions the instant a violation occurs — are carried by an
+// explicit *uncharged* control plane (signals upstream, Control
+// broadcasts downstream) so they are visible, auditable, and excluded
+// from the message accounting by construction.
+//
+// The SimDriver (core/driver.hpp) owns the event loop: per observation
+// step it delivers observations (on_observe), then runs delivery ticks —
+// due messages (on_message), then armed timers (on_timer) — until
+// quiescence or until the network's tick budget expires. Under the
+// instant NetworkSpec this reproduces the lock-step round structure of
+// the original MonitorBase::step() byte for byte (asserted by the
+// role-equivalence test suite).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "sim/cluster.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Uncharged upstream control signal (node -> coordinator): the free
+/// "a violation happened here" knowledge the paper's synchronized model
+/// grants the coordinator. `code` semantics belong to the algorithm.
+struct Signal {
+  NodeId from = 0;
+  std::int64_t code = 0;
+};
+
+/// Uncharged downstream control broadcast (coordinator -> all nodes):
+/// convenes protocol executions ("all violators of side s: epoch e starts
+/// now"). Delivered instantly to every node, independent of the network
+/// policy, mirroring the implicit common knowledge of the lock-step model.
+struct Control {
+  std::int64_t op = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+class SimDriver;
+
+/// Capabilities available to one node algorithm. Only the node's own
+/// machine state (value, RNG) and its single uplink are reachable — the
+/// API makes non-local reads impossible by construction.
+class NodeCtx {
+ public:
+  NodeCtx(SimDriver& driver, Cluster& cluster, NodeId id)
+      : driver_(driver), cluster_(cluster), id_(id) {}
+
+  NodeId id() const noexcept { return id_; }
+  std::size_t n() const noexcept { return cluster_.size(); }
+
+  /// The node's current stream observation.
+  Value value() const { return cluster_.value(id_); }
+
+  /// The node's private randomness source.
+  Rng& rng() { return cluster_.node(id_).rng; }
+
+  /// Sends `m` to the coordinator (charged, subject to the network policy).
+  void send(Message m) { cluster_.net().node_send(id_, m); }
+
+  /// Raises an uncharged control signal the coordinator sees this step.
+  void signal(std::int64_t code);
+
+  /// Requests an on_timer callback: within a node callback phase, for the
+  /// current tick's timer phase; within on_timer itself, for the next tick.
+  void arm_timer();
+
+ private:
+  SimDriver& driver_;
+  Cluster& cluster_;
+  NodeId id_;
+};
+
+/// Capabilities available to the coordinator algorithm: its downlinks
+/// (unicast / broadcast), its RNG, the control plane, and the protocol
+/// epoch counter. Node state is not reachable.
+class CoordCtx {
+ public:
+  CoordCtx(SimDriver& driver, Cluster& cluster)
+      : driver_(driver), cluster_(cluster) {}
+
+  std::size_t n() const noexcept { return cluster_.size(); }
+
+  Rng& rng() { return cluster_.coordinator_rng(); }
+
+  /// Sends `m` to node `to` (charged, subject to the network policy).
+  void unicast(NodeId to, Message m) { cluster_.net().coord_unicast(to, m); }
+
+  /// Broadcasts `m` to all nodes (charged once, per the paper's model).
+  void broadcast(Message m) { cluster_.net().coord_broadcast(m); }
+
+  /// Issues an uncharged control broadcast, delivered to every node at the
+  /// start of the next node phase.
+  void control_broadcast(const Control& c);
+
+  /// The control signals raised since the current step began, in node id
+  /// order within each observation phase.
+  const std::vector<Signal>& signals() const;
+
+  /// Fresh protocol epoch (tags round beacons; see Cluster).
+  std::uint32_t next_protocol_epoch() noexcept {
+    return cluster_.next_protocol_epoch();
+  }
+
+  /// Upper bound on the scheduling delay of any in-flight message under
+  /// the deployed network policy (0 under instant delivery). Protocol
+  /// sessions wait this many extra ticks after their final round so
+  /// delayed reports still count.
+  std::uint64_t flush_ticks() const noexcept {
+    const NetworkSpec& spec = cluster_.net().spec();
+    std::uint64_t out = spec.max_delay();
+    if (spec.batch_window > 1) out += spec.batch_window - 1;
+    return out;
+  }
+
+  /// Requests an on_timer callback: within on_message, for the current
+  /// tick's coordinator timer phase; within on_timer, for the next tick.
+  void arm_timer();
+
+ private:
+  SimDriver& driver_;
+  Cluster& cluster_;
+};
+
+/// The node-side half of a monitoring algorithm (one instance per node).
+class NodeAlgo {
+ public:
+  virtual ~NodeAlgo() = default;
+
+  /// First observation (time 0), before the coordinator initializes.
+  virtual void on_init(NodeCtx& ctx, Value v0) { (void)ctx, (void)v0; }
+
+  /// A new observation arrived (time t >= 1).
+  virtual void on_observe(NodeCtx& ctx, Value v, TimeStep t) {
+    (void)ctx, (void)v, (void)t;
+  }
+
+  /// A charged message (unicast or broadcast) was delivered.
+  virtual void on_message(NodeCtx& ctx, const Message& m) {
+    (void)ctx, (void)m;
+  }
+
+  /// An uncharged control broadcast was delivered.
+  virtual void on_control(NodeCtx& ctx, const Control& c) {
+    (void)ctx, (void)c;
+  }
+
+  /// A previously armed timer fired (one protocol round per tick).
+  virtual void on_timer(NodeCtx& ctx) { (void)ctx; }
+};
+
+/// The coordinator-side half of a monitoring algorithm.
+class CoordinatorAlgo {
+ public:
+  virtual ~CoordinatorAlgo() = default;
+
+  /// Short identifier used in tables ("topk_filter", "naive", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Called once at time 0, after every node ran on_init.
+  virtual void on_init(CoordCtx& ctx) { (void)ctx; }
+
+  /// Called after the nodes observed the values of step t (t >= 1) and
+  /// raised their signals, before any delivery tick of the step.
+  virtual void on_step_begin(CoordCtx& ctx, TimeStep t) { (void)ctx, (void)t; }
+
+  /// A charged upstream message was delivered.
+  virtual void on_message(CoordCtx& ctx, const Message& m) {
+    (void)ctx, (void)m;
+  }
+
+  /// A previously armed timer fired (one protocol round per tick).
+  virtual void on_timer(CoordCtx& ctx) { (void)ctx; }
+
+  /// Called when the step's delivery ticks are exhausted (quiescence or
+  /// tick budget). The answer returned by topk() must be current here.
+  virtual void on_step_end(CoordCtx& ctx, TimeStep t) { (void)ctx, (void)t; }
+
+  /// The coordinator's current answer: ids of the top-k nodes, sorted by
+  /// id (canonical set representation).
+  virtual const std::vector<NodeId>& topk() const = 0;
+
+  /// Algorithm-level event counters (virtual so bridges can forward the
+  /// wrapped implementation's counters).
+  virtual const MonitorStats& monitor_stats() const noexcept { return mstats_; }
+
+ protected:
+  MonitorStats mstats_;
+};
+
+}  // namespace topkmon

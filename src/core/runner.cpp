@@ -11,38 +11,50 @@
 
 namespace topkmon {
 
-namespace {
-
-void check_step(const MonitorBase& monitor, const Cluster& cluster,
-                const RunConfig& cfg, TimeStep t, RunResult* result,
-                bool throw_on_error) {
+void check_answer_step(const Cluster& cluster,
+                       const std::vector<NodeId>& answer,
+                       const OrderedTopkMonitor* ordered, const RunConfig& cfg,
+                       std::string_view monitor_name, std::string_view detail,
+                       TimeStep t, RunResult* result, bool throw_on_error) {
   if (cfg.validation == RunConfig::Validation::kOff) return;
 
   bool ok = true;
   if (cfg.validation == RunConfig::Validation::kStrict) {
     const auto expected = true_topk_set(cluster, cfg.k);
-    ok = (monitor.topk() == expected);
+    ok = (answer == expected);
   } else {
-    ok = is_valid_topk(cluster, monitor.topk());
+    ok = is_valid_topk(cluster, answer);
   }
 
-  if (ok && cfg.validate_order) {
-    if (const auto* ordered = dynamic_cast<const OrderedTopkMonitor*>(&monitor)) {
-      const auto expected = true_topk_ordered(cluster, cfg.k);
-      ok = (ordered->ordered_topk() == expected);
-    }
+  if (ok && cfg.validate_order && ordered != nullptr) {
+    const auto expected = true_topk_ordered(cluster, cfg.k);
+    ok = (ordered->ordered_topk() == expected);
   }
 
   if (!ok) {
     result->correct = false;
+    ++result->error_steps;
     if (!result->first_error_step.has_value()) result->first_error_step = t;
     if (throw_on_error) {
       std::ostringstream msg;
-      msg << "monitor '" << monitor.name() << "' diverged from ground truth "
-          << "at step " << t;
+      msg << "monitor '" << monitor_name << "' diverged from ground truth "
+          << "at step " << t << detail;
       throw std::logic_error(msg.str());
     }
   }
+}
+
+namespace {
+
+void check_step(const MonitorBase& monitor, const Cluster& cluster,
+                const RunConfig& cfg, TimeStep t, RunResult* result,
+                bool throw_on_error) {
+  const auto* ordered =
+      cfg.validate_order
+          ? dynamic_cast<const OrderedTopkMonitor*>(&monitor)
+          : nullptr;
+  check_answer_step(cluster, monitor.topk(), ordered, cfg, monitor.name(),
+                    /*detail=*/"", t, result, throw_on_error);
 }
 
 }  // namespace

@@ -47,6 +47,10 @@ struct RunResult {
   /// aggregation can key rows without threading the config separately).
   RunConfig config;
 
+  /// Canonical name of the network policy the run executed under
+  /// ("instant" unless a Scenario selected otherwise).
+  std::string network = "instant";
+
   /// Wall-clock duration of the run in seconds (steady clock).
   double wall_seconds = 0.0;
 
@@ -57,6 +61,19 @@ struct RunResult {
   // Validation outcome.
   bool correct = true;
   std::optional<TimeStep> first_error_step;
+
+  /// Number of steps whose answer diverged from the ground truth (only
+  /// grows past 1 with throw_on_error == false; the staleness metric of
+  /// the latency/loss experiments).
+  std::uint64_t error_steps = 0;
+
+  /// Fraction of steps with a divergent answer.
+  double error_rate() const noexcept {
+    return steps_executed == 0
+               ? 0.0
+               : static_cast<double>(error_steps) /
+                     static_cast<double>(steps_executed);
+  }
 
   // Optional artifacts.
   std::optional<TraceMatrix> trace;
@@ -76,6 +93,21 @@ struct RunResult {
 /// failure is also recorded in the result (set `throw_on_error=false`).
 RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
                       const RunConfig& cfg, bool throw_on_error = true);
+
+class OrderedTopkMonitor;
+
+/// Shared per-step validation core of run_monitor and exp::run_scenario:
+/// checks `answer` against the cluster's ground truth under
+/// cfg.validation (plus the rank order when cfg.validate_order and
+/// `ordered` is non-null), records any divergence on `result`
+/// (correct / error_steps / first_error_step), and throws
+/// std::logic_error when `throw_on_error`. `detail` is appended to the
+/// error message (e.g. " (network delay=2)").
+void check_answer_step(const Cluster& cluster,
+                       const std::vector<NodeId>& answer,
+                       const OrderedTopkMonitor* ordered, const RunConfig& cfg,
+                       std::string_view monitor_name, std::string_view detail,
+                       TimeStep t, RunResult* result, bool throw_on_error);
 
 /// Computes the empirical competitive ratio of a finished run against the
 /// offline optimum on the recorded trace: total messages / max(1, OPT

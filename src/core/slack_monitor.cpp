@@ -102,11 +102,15 @@ void SlackMonitor::step(Cluster& cluster, TimeStep) {
   if (!viol_bot.empty()) max_v = viol_max;
   if (!max_v.has_value()) {
     Value best = kMinusInf;
-    for (const auto& [id, v] : poll(cluster, rest_list_)) best = std::max(best, v);
+    for (const auto& [id, v] : poll(cluster, rest_list_)) {
+      best = std::max(best, v);
+    }
     max_v = best;
   } else {
     Value best = kPlusInf;
-    for (const auto& [id, v] : poll(cluster, topk_list_)) best = std::min(best, v);
+    for (const auto& [id, v] : poll(cluster, topk_list_)) {
+      best = std::min(best, v);
+    }
     min_v = best;
   }
 

@@ -1,10 +1,17 @@
 #include "exp/monitor_registry.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "util/strings.hpp"
 
 #include "core/approx_monitor.hpp"
 #include "core/dominance_monitor.hpp"
+#include "core/filter_roles.hpp"
+#include "core/lockstep_adapter.hpp"
+#include "core/multik_monitor.hpp"
 #include "core/naive_monitor.hpp"
+#include "core/naive_roles.hpp"
 #include "core/ordered_topk_monitor.hpp"
 #include "core/recompute_monitor.hpp"
 #include "core/slack_monitor.hpp"
@@ -12,24 +19,199 @@
 
 namespace topkmon::exp {
 
-std::unique_ptr<MonitorBase> make_monitor(std::string_view name,
-                                          std::size_t k) {
-  if (name == "topk_filter") return std::make_unique<TopkFilterMonitor>(k);
-  if (name == "ordered") return std::make_unique<OrderedTopkMonitor>(k);
-  if (name == "slack") return std::make_unique<SlackMonitor>(k);
-  if (name == "dominance") return std::make_unique<DominanceMonitor>(k);
-  if (name == "recompute") return std::make_unique<RecomputeMonitor>(k);
-  if (name == "naive") return std::make_unique<NaiveMonitor>(k);
-  if (name == "naive_chg") {
-    NaiveMonitor::Options o;
-    o.send_on_change_only = true;
-    return std::make_unique<NaiveMonitor>(k, o);
+namespace {
+
+struct Param {
+  std::string key;
+  std::string value;  ///< empty for bare flags ("?adaptive")
+};
+
+struct ParsedSpec {
+  std::string name;
+  std::vector<Param> params;
+};
+
+ParsedSpec parse_spec(std::string_view spec) {
+  ParsedSpec out;
+  const std::size_t q = spec.find('?');
+  out.name = std::string(spec.substr(0, q));
+  if (q == std::string_view::npos) return out;
+  for (const std::string_view item : split(spec.substr(q + 1), ',')) {
+    const std::size_t eq = item.find('=');
+    Param p;
+    p.key = std::string(item.substr(0, eq));
+    if (eq != std::string_view::npos) {
+      p.value = std::string(item.substr(eq + 1));
+    }
+    out.params.push_back(std::move(p));
   }
-  if (name == "approx") return std::make_unique<ApproxTopkMonitor>(k);
-  throw std::invalid_argument("unknown monitor '" + std::string(name) + "'");
+  return out;
 }
 
-bool is_known_monitor(std::string_view name) noexcept {
+[[noreturn]] void bad_param(const ParsedSpec& spec, const Param& p) {
+  throw std::invalid_argument("monitor '" + spec.name +
+                              "': unknown or malformed parameter '" + p.key +
+                              (p.value.empty() ? "" : "=" + p.value) + "'");
+}
+
+bool parse_flag(const Param& p) {
+  if (p.value.empty() || p.value == "1" || p.value == "true") return true;
+  if (p.value == "0" || p.value == "false") return false;
+  throw std::invalid_argument("monitor parameter '" + p.key +
+                              "': expected a boolean, got '" + p.value + "'");
+}
+
+std::int64_t parse_int(const ParsedSpec& spec, const Param& p) {
+  const auto out = to_i64(p.value);
+  if (!out) bad_param(spec, p);
+  return *out;
+}
+
+double parse_double(const ParsedSpec& spec, const Param& p) {
+  const auto out = to_double(p.value);
+  if (!out) bad_param(spec, p);
+  return *out;
+}
+
+/// Shared grammar of the specs that accept only `nobeacon` (used by both
+/// the lock-step and the native topk_filter factories, so the two accept
+/// exactly the same strings).
+bool parse_nobeacon_only(const ParsedSpec& spec) {
+  bool nobeacon = false;
+  for (const auto& p : spec.params) {
+    if (p.key == "nobeacon") nobeacon = parse_flag(p);
+    else bad_param(spec, p);
+  }
+  return nobeacon;
+}
+
+/// Rejects any parameter (specs without a parameter grammar).
+void expect_no_params(const ParsedSpec& spec) {
+  for (const auto& p : spec.params) bad_param(spec, p);
+}
+
+/// "2+8+16" -> {2, 8, 16}.
+std::vector<std::size_t> parse_ks(const ParsedSpec& spec, const Param& p) {
+  std::vector<std::size_t> out;
+  for (const std::string_view item : split(p.value, '+')) {
+    const auto v = to_u64(item);
+    if (!v) bad_param(spec, p);
+    out.push_back(static_cast<std::size_t>(*v));
+  }
+  if (out.empty()) bad_param(spec, p);
+  return out;
+}
+
+std::unique_ptr<MonitorBase> build_monitor(const ParsedSpec& spec,
+                                           std::size_t k) {
+  if (spec.name == "topk_filter") {
+    TopkFilterMonitor::Options o;
+    o.suppress_idle_broadcasts = parse_nobeacon_only(spec);
+    return std::make_unique<TopkFilterMonitor>(k, o);
+  }
+  if (spec.name == "ordered") {
+    OrderedTopkMonitor::Options o;
+    o.suppress_idle_broadcasts = parse_nobeacon_only(spec);
+    return std::make_unique<OrderedTopkMonitor>(k, o);
+  }
+  if (spec.name == "slack") {
+    SlackMonitor::Options o;
+    for (const auto& p : spec.params) {
+      if (p.key == "alpha") o.alpha = parse_double(spec, p);
+      else if (p.key == "adaptive") o.adaptive = parse_flag(p);
+      else bad_param(spec, p);
+    }
+    return std::make_unique<SlackMonitor>(k, o);
+  }
+  if (spec.name == "dominance") {
+    expect_no_params(spec);
+    return std::make_unique<DominanceMonitor>(k);
+  }
+  if (spec.name == "recompute") {
+    RecomputeMonitor::Options o;
+    o.suppress_idle_broadcasts = parse_nobeacon_only(spec);
+    return std::make_unique<RecomputeMonitor>(k, o);
+  }
+  if (spec.name == "naive" || spec.name == "naive_chg") {
+    expect_no_params(spec);
+    NaiveMonitor::Options o;
+    o.send_on_change_only = (spec.name == "naive_chg");
+    return std::make_unique<NaiveMonitor>(k, o);
+  }
+  if (spec.name == "approx") {
+    ApproxTopkMonitor::Options o;
+    for (const auto& p : spec.params) {
+      if (p.key == "eps") o.epsilon = parse_int(spec, p);
+      else if (p.key == "nobeacon") o.suppress_idle_broadcasts = parse_flag(p);
+      else bad_param(spec, p);
+    }
+    return std::make_unique<ApproxTopkMonitor>(k, o);
+  }
+  if (spec.name == "multi_k") {
+    std::vector<std::size_t> ks{k};
+    MultiKMonitor::Options o;
+    for (const auto& p : spec.params) {
+      if (p.key == "ks") ks = parse_ks(spec, p);
+      else if (p.key == "nobeacon") o.suppress_idle_broadcasts = parse_flag(p);
+      else bad_param(spec, p);
+    }
+    return std::make_unique<MultiKMonitor>(std::move(ks), o);
+  }
+  throw std::invalid_argument("unknown monitor '" + spec.name + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<MonitorBase> make_monitor(std::string_view spec,
+                                          std::size_t k) {
+  return build_monitor(parse_spec(spec), k);
+}
+
+RolePair make_role_pair(Cluster& cluster, std::string_view spec,
+                        std::size_t k) {
+  const ParsedSpec parsed = parse_spec(spec);
+  RolePair pair;
+
+  if (parsed.name == "topk_filter") {
+    FilterCoordinator::Options o;
+    o.suppress_idle_broadcasts = parse_nobeacon_only(parsed);
+    pair.coordinator = std::make_unique<FilterCoordinator>(k, o);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<FilterNode>(k));
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  if (parsed.name == "naive" || parsed.name == "naive_chg") {
+    expect_no_params(parsed);
+    const bool chg = (parsed.name == "naive_chg");
+    pair.coordinator = std::make_unique<NaiveCoordinator>(k, chg);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<NaiveNode>(chg));
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  // Everything else bridges the lock-step implementation (instant only).
+  auto adapter =
+      std::make_unique<LockstepAdapter>(build_monitor(parsed, k), cluster);
+  pair.lockstep = adapter->lockstep();
+  pair.coordinator = std::move(adapter);
+  pair.nodes.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    pair.nodes.push_back(std::make_unique<LockstepNode>());
+  }
+  pair.native = false;
+  return pair;
+}
+
+bool is_known_monitor(std::string_view spec) noexcept {
+  const std::size_t q = spec.find('?');
+  const std::string_view name = spec.substr(0, q);
   for (const auto& known : all_monitor_names()) {
     if (known == name) return true;
   }
@@ -38,8 +220,14 @@ bool is_known_monitor(std::string_view name) noexcept {
 
 const std::vector<std::string>& all_monitor_names() {
   static const std::vector<std::string> names{
-      "topk_filter", "ordered", "slack",     "dominance",
-      "recompute",   "naive",   "naive_chg", "approx"};
+      "topk_filter", "ordered", "slack",     "dominance", "recompute",
+      "naive",       "naive_chg", "approx",  "multi_k"};
+  return names;
+}
+
+const std::vector<std::string>& native_monitor_names() {
+  static const std::vector<std::string> names{"topk_filter", "naive",
+                                              "naive_chg"};
   return names;
 }
 

@@ -1,7 +1,22 @@
 // Name-indexed construction of every Top-k-Position monitor, so sweep
-// grids and the experiment CLI can select algorithms declaratively
-// ("topk_filter", "recompute", ...) instead of hard-coding factories in
-// each experiment.
+// grids, Scenario specs and the experiment CLI can select algorithms
+// declaratively instead of hard-coding factories in each experiment.
+//
+// A monitor spec is `name` optionally followed by `?key=value,...`
+// parameters, e.g.
+//
+//   "topk_filter"                 the paper's Algorithm 1
+//   "topk_filter?nobeacon"        idle-beacon-suppression ablation
+//   "slack?alpha=0.1"             B&O-style placement comparator
+//   "slack?adaptive"              adaptive placement
+//   "approx?eps=512"              ε-approximate variant
+//   "multi_k?ks=2+8+16"           simultaneous k ∈ {2,8,16}
+//
+// Two factories exist: make_monitor yields the legacy lock-step
+// MonitorBase; make_role_pair yields the role-separated deployment
+// (CoordinatorAlgo + n NodeAlgos) used by run_scenario — native for
+// Algorithm 1 and the naive baseline, LockstepAdapter-bridged for the
+// rest (pair.native tells which).
 #pragma once
 
 #include <memory>
@@ -10,18 +25,43 @@
 #include <vector>
 
 #include "core/monitor.hpp"
+#include "core/roles.hpp"
+#include "sim/cluster.hpp"
 
 namespace topkmon::exp {
 
-/// Instantiates the monitor registered under `name` for top-k size `k`.
-/// Throws std::invalid_argument for unknown names.
-std::unique_ptr<MonitorBase> make_monitor(std::string_view name, std::size_t k);
+/// Instantiates the lock-step monitor described by `spec` for top-k size
+/// `k`. Throws std::invalid_argument for unknown names or parameters.
+std::unique_ptr<MonitorBase> make_monitor(std::string_view spec,
+                                          std::size_t k);
 
-/// True when `name` is a registered monitor.
-bool is_known_monitor(std::string_view name) noexcept;
+/// A deployable role-separated monitor: one coordinator plus one node
+/// algorithm per cluster node.
+struct RolePair {
+  std::unique_ptr<CoordinatorAlgo> coordinator;
+  std::vector<std::unique_ptr<NodeAlgo>> nodes;
+  /// True when the pair is a native event-driven implementation (runs
+  /// under any NetworkSpec); false for LockstepAdapter bridges (instant
+  /// only).
+  bool native = false;
+  /// The wrapped lock-step monitor for adapter pairs (else nullptr).
+  const MonitorBase* lockstep = nullptr;
+};
 
-/// All registered monitor names, in a stable canonical order (the paper's
-/// Algorithm 1 first, then baselines).
+/// Instantiates the role-separated deployment described by `spec` on
+/// `cluster`. Throws std::invalid_argument for unknown names/parameters.
+RolePair make_role_pair(Cluster& cluster, std::string_view spec,
+                        std::size_t k);
+
+/// True when `spec`'s base name is a registered monitor.
+bool is_known_monitor(std::string_view spec) noexcept;
+
+/// All registered monitor base names, in a stable canonical order (the
+/// paper's Algorithm 1 first, then baselines).
 const std::vector<std::string>& all_monitor_names();
+
+/// Base names with a native role-separated implementation (usable under
+/// non-instant NetworkSpecs).
+const std::vector<std::string>& native_monitor_names();
 
 }  // namespace topkmon::exp

@@ -1,0 +1,95 @@
+// Declarative experiment scenarios: one struct describes *everything* a
+// single simulation needs — which monitor (registry spec string), which
+// workload (StreamSpec, family settable by name), which network policy
+// (NetworkSpec, parseable from a string), the problem size and the
+// validation regime. run_scenario() is the single execution entry point:
+// it builds the role-separated deployment, drives it with the SimDriver
+// event loop, validates every step against the ground truth and returns
+// the familiar RunResult.
+//
+// Under the default instant network this path is byte-identical to the
+// legacy run_monitor() pipeline (native role implementations are
+// coin-flip-compatible with their lock-step counterparts; everything else
+// bridges through the LockstepAdapter). Non-instant networks require a
+// native monitor ("topk_filter", "naive", "naive_chg") — the runner
+// rejects adapter-backed monitors there with a clear error.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "sim/network_model.hpp"
+#include "streams/factory.hpp"
+
+namespace topkmon::exp {
+
+struct Scenario {
+  /// Monitor registry spec, e.g. "topk_filter" or "slack?alpha=0.1".
+  std::string monitor = "topk_filter";
+
+  /// Workload description; set `stream.family` directly or via
+  /// with_stream_family().
+  StreamSpec stream{};
+
+  /// Delivery policy (see sim/network_model.hpp); default instant.
+  NetworkSpec network{};
+
+  std::size_t n = 16;         ///< number of nodes
+  std::size_t k = 4;          ///< monitored top-k size
+  std::size_t steps = 1'000;  ///< observation steps after initialization
+  std::uint64_t seed = 42;    ///< cluster / stream / link randomness seed
+
+  RunConfig::Validation validation = RunConfig::Validation::kStrict;
+  bool validate_order = false;
+  bool record_trace = false;
+  bool record_series = false;
+
+  /// Propagate validation divergence as an exception (else it is recorded
+  /// in RunResult::error_steps — the right mode for lossy networks).
+  bool throw_on_error = true;
+
+  /// Optional per-step observer called after each validated step with the
+  /// step index, the true values and the coordinator's current answer
+  /// (custom metrics such as regret; not part of the declarative core).
+  std::function<void(TimeStep, const std::vector<Value>&,
+                     const std::vector<NodeId>&)>
+      on_step;
+
+  // -- fluent helpers --------------------------------------------------------
+  Scenario& with_monitor(std::string spec) {
+    monitor = std::move(spec);
+    return *this;
+  }
+  Scenario& with_stream_family(std::string_view family) {
+    stream.family = family_from_name(family);
+    return *this;
+  }
+  Scenario& with_network(std::string_view spec) {
+    network = parse_network_spec(spec);
+    return *this;
+  }
+
+  /// The equivalent legacy RunConfig (used to key RunResult rows).
+  RunConfig run_config() const {
+    RunConfig cfg;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.steps = steps;
+    cfg.seed = seed;
+    cfg.validation = validation;
+    cfg.validate_order = validate_order;
+    cfg.record_trace = record_trace;
+    cfg.record_series = record_series;
+    return cfg;
+  }
+};
+
+/// Runs the scenario end to end and returns its result. Throws
+/// std::invalid_argument for malformed scenarios (unknown monitor/family,
+/// k out of range, non-native monitor on a non-instant network) and
+/// std::logic_error on validation divergence when throw_on_error is set.
+RunResult run_scenario(const Scenario& scenario);
+
+}  // namespace topkmon::exp

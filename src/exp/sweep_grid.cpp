@@ -15,9 +15,11 @@ std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::size_t n,
   splitmix64(state);
   state += 0x94D049BB133111EBull * (static_cast<std::uint64_t>(k) + 1);
   splitmix64(state);
-  state += 0xD6E8FEB86659FD93ull * (static_cast<std::uint64_t>(monitor_index) + 1);
+  state +=
+      0xD6E8FEB86659FD93ull * (static_cast<std::uint64_t>(monitor_index) + 1);
   splitmix64(state);
-  state += 0xA0761D6478BD642Full * (static_cast<std::uint64_t>(family_index) + 1);
+  state +=
+      0xA0761D6478BD642Full * (static_cast<std::uint64_t>(family_index) + 1);
   splitmix64(state);
   state += 0xE7037ED1A0B428DBull * (static_cast<std::uint64_t>(trial) + 1);
   return splitmix64(state);
@@ -31,7 +33,7 @@ std::size_t SweepGrid::size() const noexcept {
       ++cells;
     }
   }
-  return cells * monitors.size() * families.size() * trials;
+  return cells * monitors.size() * families.size() * networks.size() * trials;
 }
 
 std::vector<TrialSpec> SweepGrid::expand() const {
@@ -42,20 +44,26 @@ std::vector<TrialSpec> SweepGrid::expand() const {
       if (k == 0 || k > n) continue;
       for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
         for (std::size_t fi = 0; fi < families.size(); ++fi) {
-          for (std::size_t t = 0; t < trials; ++t) {
-            TrialSpec spec;
-            spec.cfg.n = n;
-            spec.cfg.k = k;
-            spec.cfg.steps = steps;
-            spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
-            spec.cfg.validation = validation;
-            spec.cfg.record_trace = record_trace;
-            spec.stream = stream_template;
-            spec.stream.family = families[fi];
-            spec.monitor = monitors[mi];
-            spec.trial = t;
-            spec.ordinal = out.size();
-            out.push_back(std::move(spec));
+          for (std::size_t ni = 0; ni < networks.size(); ++ni) {
+            for (std::size_t t = 0; t < trials; ++t) {
+              TrialSpec spec;
+              spec.cfg.n = n;
+              spec.cfg.k = k;
+              spec.cfg.steps = steps;
+              // The network axis does not enter the seed: same-cell trials
+              // under different policies are paired replays.
+              spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
+              spec.cfg.validation = validation;
+              spec.cfg.record_trace = record_trace;
+              spec.stream = stream_template;
+              spec.stream.family = families[fi];
+              spec.network = networks[ni];
+              spec.monitor = monitors[mi];
+              spec.trial = t;
+              spec.ordinal = out.size();
+              spec.throw_on_error = throw_on_error;
+              out.push_back(std::move(spec));
+            }
           }
         }
       }

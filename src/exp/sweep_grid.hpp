@@ -13,17 +13,20 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "sim/network_model.hpp"
 #include "streams/factory.hpp"
 
 namespace topkmon::exp {
 
-/// One independent simulation: a monitor (by registry name) driven over a
-/// freshly built stream set. Embarrassingly parallel by construction —
-/// each trial owns its own RNG seed and touches no shared state.
+/// One independent simulation: a monitor (by registry spec) driven over a
+/// freshly built stream set on a given network policy. Embarrassingly
+/// parallel by construction — each trial owns its own RNG seed and
+/// touches no shared state.
 struct TrialSpec {
   RunConfig cfg;                     ///< n/k/steps/seed/validation
   StreamSpec stream;                 ///< workload description
-  std::string monitor{"topk_filter"};  ///< exp::make_monitor name
+  NetworkSpec network{};             ///< delivery policy (default instant)
+  std::string monitor{"topk_filter"};  ///< exp::make_monitor spec
   std::size_t trial = 0;             ///< repetition index within its cell
   std::size_t ordinal = 0;           ///< position in the expanded grid
   bool throw_on_error = true;        ///< propagate validation divergence
@@ -36,12 +39,18 @@ std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::size_t n,
                                 std::size_t family_index,
                                 std::size_t trial) noexcept;
 
-/// Cartesian product description: ns × ks × monitors × families × trials.
+/// Cartesian product description:
+/// ns × ks × monitors × families × networks × trials.
 struct SweepGrid {
   std::vector<std::size_t> ns{16};
   std::vector<std::size_t> ks{4};
   std::vector<std::string> monitors{"topk_filter"};
   std::vector<StreamFamily> families{StreamFamily::kRandomWalk};
+  /// Network policies to range over. Deliberately NOT mixed into the
+  /// per-trial seed: the same cell under two policies replays the same
+  /// streams and protocol coins, so delay/drop sweeps are paired
+  /// comparisons.
+  std::vector<NetworkSpec> networks{NetworkSpec{}};
   std::size_t trials = 1;
   std::size_t steps = 1'000;
   std::uint64_t base_seed = 1;
@@ -52,6 +61,7 @@ struct SweepGrid {
 
   RunConfig::Validation validation = RunConfig::Validation::kStrict;
   bool record_trace = false;
+  bool throw_on_error = true;
 
   /// Number of trials the expansion will produce.
   std::size_t size() const noexcept;

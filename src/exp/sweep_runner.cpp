@@ -1,14 +1,24 @@
 #include "exp/sweep_runner.hpp"
 
-#include "exp/monitor_registry.hpp"
-#include "streams/factory.hpp"
+#include "exp/scenario.hpp"
 
 namespace topkmon::exp {
 
 RunResult run_trial(const TrialSpec& spec) {
-  auto monitor = make_monitor(spec.monitor, spec.cfg.k);
-  auto streams = make_stream_set(spec.stream, spec.cfg.n, spec.cfg.seed);
-  return run_monitor(*monitor, streams, spec.cfg, spec.throw_on_error);
+  Scenario sc;
+  sc.monitor = spec.monitor;
+  sc.stream = spec.stream;
+  sc.network = spec.network;
+  sc.n = spec.cfg.n;
+  sc.k = spec.cfg.k;
+  sc.steps = spec.cfg.steps;
+  sc.seed = spec.cfg.seed;
+  sc.validation = spec.cfg.validation;
+  sc.validate_order = spec.cfg.validate_order;
+  sc.record_trace = spec.cfg.record_trace;
+  sc.record_series = spec.cfg.record_series;
+  sc.throw_on_error = spec.throw_on_error;
+  return run_scenario(sc);
 }
 
 SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs) {

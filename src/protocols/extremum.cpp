@@ -2,29 +2,9 @@
 
 #include <stdexcept>
 
+#include "protocols/beacon.hpp"
+
 namespace topkmon {
-
-namespace {
-
-/// Beacon payload packing: a = value, b = (epoch << 32) | holder.
-std::int64_t pack_beacon_b(std::uint32_t epoch, NodeId holder) noexcept {
-  return static_cast<std::int64_t>(
-      (static_cast<std::uint64_t>(epoch) << 32) |
-      static_cast<std::uint64_t>(holder));
-}
-
-struct UnpackedBeacon {
-  std::uint32_t epoch;
-  NodeId holder;
-};
-
-UnpackedBeacon unpack_beacon_b(std::int64_t b) noexcept {
-  const auto raw = static_cast<std::uint64_t>(b);
-  return {static_cast<std::uint32_t>(raw >> 32),
-          static_cast<NodeId>(raw & 0xFFFFFFFFull)};
-}
-
-}  // namespace
 
 ProtocolResult run_extremum_protocol(Cluster& cluster,
                                      std::span<const NodeId> participants,

@@ -23,8 +23,9 @@ SelectTopkResult select_extreme(Cluster& cluster,
     result.announces += round.announces;
     if (!round.found) break;  // defensive; cannot happen with participants
     result.winners.push_back(SelectionEntry{round.winner, round.extremum});
-    remaining.erase(std::remove(remaining.begin(), remaining.end(), round.winner),
-                    remaining.end());
+    remaining.erase(
+        std::remove(remaining.begin(), remaining.end(), round.winner),
+        remaining.end());
   }
   return result;
 }

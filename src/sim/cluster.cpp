@@ -3,7 +3,11 @@
 namespace topkmon {
 
 Cluster::Cluster(std::size_t n, std::uint64_t seed)
-    : net_(n, &stats_), coord_rng_(Rng(seed).derive(0xC00Dull)) {
+    : Cluster(n, seed, NetworkSpec{}) {}
+
+Cluster::Cluster(std::size_t n, std::uint64_t seed, const NetworkSpec& net_spec)
+    : net_(n, &stats_, net_spec, seed),
+      coord_rng_(Rng(seed).derive(0xC00Dull)) {
   const Rng root(seed);
   nodes_.reserve(n);
   all_ids_.reserve(n);

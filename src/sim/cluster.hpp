@@ -32,8 +32,14 @@ struct NodeRuntime {
 class Cluster {
  public:
   /// Builds a cluster of `n` nodes; all per-node RNGs and the coordinator
-  /// RNG derive deterministically from `seed`.
+  /// RNG derive deterministically from `seed`. The network delivers
+  /// instantly (the paper's lock-step model).
   Cluster(std::size_t n, std::uint64_t seed);
+
+  /// Builds a cluster whose network follows `net_spec` (delay / jitter /
+  /// drop / batch policies; see sim/network_model.hpp). Link randomness
+  /// derives from `seed` too, independently of the node RNG streams.
+  Cluster(std::size_t n, std::uint64_t seed, const NetworkSpec& net_spec);
 
   std::size_t size() const noexcept { return nodes_.size(); }
 
@@ -61,7 +67,9 @@ class Cluster {
   std::uint32_t next_protocol_epoch() noexcept { return ++protocol_epoch_; }
 
   /// Epoch of the most recently started protocol execution.
-  std::uint32_t current_protocol_epoch() const noexcept { return protocol_epoch_; }
+  std::uint32_t current_protocol_epoch() const noexcept {
+    return protocol_epoch_;
+  }
 
  private:
   CommStats stats_;

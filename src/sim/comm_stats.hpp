@@ -40,7 +40,9 @@ class CommStats {
   std::uint64_t broadcast() const noexcept { return broadcast_; }
 
   /// Unweighted total message count (the paper's cost measure).
-  std::uint64_t total() const noexcept { return upstream_ + unicast_ + broadcast_; }
+  std::uint64_t total() const noexcept {
+    return upstream_ + unicast_ + broadcast_;
+  }
 
   /// Weighted cost with broadcast weight `beta` (sensitivity analysis:
   /// beta = 1 is the paper's model, beta = n charges a broadcast like n

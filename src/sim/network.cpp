@@ -3,12 +3,80 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace topkmon {
 
+namespace {
+
+/// Min-heap comparator: the entry with the smallest (due, seq) is popped
+/// first, so deliveries surface in arrival order.
+struct LaterDelivery {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
 Network::Network(std::size_t n, CommStats* stats)
-    : stats_(stats), unicasts_(n), cursors_(n, 0) {
+    : Network(n, stats, NetworkSpec{}, 0) {}
+
+Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
+                 std::uint64_t seed)
+    : spec_(spec),
+      instant_(spec.is_instant()),
+      stats_(stats),
+      unicasts_(n),
+      cursors_(n, 0),
+      node_sched_(instant_ ? 0 : n) {
   if (stats_ == nullptr) {
     throw std::invalid_argument("Network requires a CommStats sink");
+  }
+  // Mix the seed once so that a zero scenario seed still decorrelates the
+  // link hash from the message sequence numbers.
+  std::uint64_t state = seed ^ 0x6E65745F6C696E6Bull;  // "net_link"
+  hash_seed_ = splitmix64(state);
+}
+
+std::optional<SimTime> Network::schedule_link(std::uint64_t seq,
+                                              std::uint32_t link) {
+  // One SplitMix64 step over (seed, seq, link) yields independent,
+  // drain-order-free randomness for this message instance on this link.
+  std::uint64_t state =
+      hash_seed_ ^ (seq * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(link) + 1) * 0xBF58476D1CE4E5B9ull;
+  const std::uint64_t h = splitmix64(state);
+  if (spec_.drop_rate > 0.0) {
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < spec_.drop_rate) return std::nullopt;
+  }
+  SimTime due = now_ + spec_.delay;
+  if (spec_.jitter > 0) {
+    due += (h & 0xFFFFFFFFull) % (static_cast<std::uint64_t>(spec_.jitter) + 1);
+  }
+  if (spec_.batch_window > 1) {
+    const std::uint64_t w = spec_.batch_window;
+    due = (due + w - 1) / w * w;
+  }
+  return due;
+}
+
+void Network::push_scheduled(std::vector<Scheduled>& inbox, Scheduled s) {
+  inbox.push_back(s);
+  std::push_heap(inbox.begin(), inbox.end(), LaterDelivery{});
+  ++pending_;
+}
+
+void Network::drain_scheduled(std::vector<Scheduled>& inbox,
+                              std::vector<Message>& out) {
+  while (!inbox.empty() && inbox.front().due <= now_) {
+    std::pop_heap(inbox.begin(), inbox.end(), LaterDelivery{});
+    out.push_back(inbox.back().msg);
+    inbox.pop_back();
+    --pending_;
   }
 }
 
@@ -19,7 +87,19 @@ void Network::node_send(NodeId from, Message m) {
   m.from = from;
   stats_->record_upstream(m.kind);
   if (tap_) tap_(MsgDirection::kUpstream, m);
-  coord_inbox_.push_back(m);
+  const std::uint64_t seq = seq_++;
+  if (instant_) {
+    coord_inbox_.push_back(m);
+    ++pending_;
+    return;
+  }
+  // The coordinator's "link" id is one past the node range.
+  const auto coord_link = static_cast<std::uint32_t>(num_nodes());
+  if (const auto due = schedule_link(seq, coord_link)) {
+    push_scheduled(coord_sched_, Scheduled{*due, seq, m});
+  } else {
+    ++dropped_;
+  }
 }
 
 void Network::coord_unicast(NodeId to, Message m) {
@@ -28,18 +108,62 @@ void Network::coord_unicast(NodeId to, Message m) {
   }
   stats_->record_unicast(m.kind);
   if (tap_) tap_(MsgDirection::kUnicast, m);
-  unicasts_[to].push_back(Stamped{seq_++, m});
+  const std::uint64_t seq = seq_++;
+  if (instant_) {
+    unicasts_[to].push_back(Stamped{seq, m});
+    ++pending_;
+    return;
+  }
+  if (const auto due = schedule_link(seq, to)) {
+    push_scheduled(node_sched_[to], Scheduled{*due, seq, m});
+  } else {
+    ++dropped_;
+  }
 }
 
 void Network::coord_broadcast(Message m) {
   stats_->record_broadcast(m.kind);
   if (tap_) tap_(MsgDirection::kBroadcast, m);
-  broadcast_log_.push_back(Stamped{seq_++, m});
+  const std::uint64_t seq = seq_++;
+  if (instant_) {
+    // Shared log + per-node cursors: O(1) regardless of n. Every node has
+    // one pending delivery until it next drains.
+    broadcast_log_.push_back(Stamped{seq, m});
+    pending_ += num_nodes();
+    return;
+  }
+  // Scheduled mode fans the broadcast out per link so each receiver gets
+  // its own (possibly jittered/dropped) delivery tick; the shared log is
+  // not kept (nothing reads it there, and it would grow without bound
+  // over long delay/drop sweeps).
+  ++broadcasts_issued_;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (const auto due = schedule_link(seq, id)) {
+      push_scheduled(node_sched_[id], Scheduled{*due, seq, m});
+    } else {
+      ++dropped_;
+    }
+  }
+}
+
+bool Network::coordinator_has_mail() const noexcept {
+  if (instant_) return !coord_inbox_.empty();
+  return !coord_sched_.empty() && coord_sched_.front().due <= now_;
 }
 
 std::vector<Message> Network::drain_coordinator() {
   std::vector<Message> out;
-  out.swap(coord_inbox_);
+  if (instant_) {
+    // Move the burst out while keeping the inbox buffer's capacity, so
+    // steady-state protocol rounds allocate nothing on the send side.
+    out.reserve(coord_inbox_.size());
+    out.insert(out.end(), std::make_move_iterator(coord_inbox_.begin()),
+               std::make_move_iterator(coord_inbox_.end()));
+    pending_ -= coord_inbox_.size();
+    coord_inbox_.clear();
+    return out;
+  }
+  drain_scheduled(coord_sched_, out);
   return out;
 }
 
@@ -47,18 +171,47 @@ std::vector<Message> Network::drain_node(NodeId id) {
   if (id >= num_nodes()) {
     throw std::out_of_range("Network::drain_node: bad node id");
   }
-  std::vector<Stamped> pending;
-  pending.swap(unicasts_[id]);
-  for (std::size_t c = cursors_[id]; c < broadcast_log_.size(); ++c) {
-    pending.push_back(broadcast_log_[c]);
-  }
-  cursors_[id] = broadcast_log_.size();
-  std::sort(pending.begin(), pending.end(),
-            [](const Stamped& x, const Stamped& y) { return x.seq < y.seq; });
   std::vector<Message> out;
-  out.reserve(pending.size());
-  for (const auto& s : pending) out.push_back(s.msg);
+  if (!instant_) {
+    drain_scheduled(node_sched_[id], out);
+    return out;
+  }
+  // Both sources are already seq-ascending (push order), so a two-pointer
+  // merge replaces the old collect-then-sort pass and the intermediate
+  // vector; the unicast buffer keeps its capacity across drains.
+  std::vector<Stamped>& uni = unicasts_[id];
+  const std::size_t bstart = cursors_[id];
+  const std::size_t bcount = broadcast_log_.size() - bstart;
+  out.reserve(uni.size() + bcount);
+  std::size_t u = 0;
+  std::size_t b = bstart;
+  while (u < uni.size() && b < broadcast_log_.size()) {
+    if (uni[u].seq < broadcast_log_[b].seq) {
+      out.push_back(uni[u++].msg);
+    } else {
+      out.push_back(broadcast_log_[b++].msg);
+    }
+  }
+  for (; u < uni.size(); ++u) out.push_back(uni[u].msg);
+  for (; b < broadcast_log_.size(); ++b) out.push_back(broadcast_log_[b].msg);
+  pending_ -= out.size();
+  uni.clear();
+  cursors_[id] = broadcast_log_.size();
   return out;
+}
+
+std::optional<SimTime> Network::earliest_pending() const {
+  if (pending_ == 0) return std::nullopt;
+  if (instant_) return now_;  // everything deliverable immediately
+  std::optional<SimTime> best;
+  const auto consider = [&best](const std::vector<Scheduled>& heap) {
+    if (!heap.empty() && (!best || heap.front().due < *best)) {
+      best = heap.front().due;
+    }
+  };
+  consider(coord_sched_);
+  for (const auto& heap : node_sched_) consider(heap);
+  return best;
 }
 
 }  // namespace topkmon

@@ -3,20 +3,33 @@
 // Topology per the paper's model: nodes can send to the coordinator only
 // (no node-to-node links); the coordinator can unicast to a single node
 // and has a broadcast channel delivering one message to all nodes
-// simultaneously. Delivery is instantaneous; protocols run in lock-step
-// rounds between consecutive stream observations.
+// simultaneously (unit cost, following Cormode et al.'s enhanced model).
 //
-// Broadcasts are stored once in a shared log with a per-node read cursor,
-// so a broadcast costs O(1) regardless of n.
+// Delivery is governed by a NetworkSpec policy and a tick clock:
+//
+//   * Under the default instant spec, every message is deliverable the
+//     moment it is sent and the transport reproduces the paper's
+//     lock-step semantics exactly. Broadcasts are stored once in a shared
+//     log with a per-node read cursor, so a broadcast costs O(1)
+//     regardless of n.
+//   * Under a delay/jitter/drop/batch spec, each (message, link) pair is
+//     assigned a deterministic delivery tick (or dropped) at send time;
+//     drains only surface messages whose delivery tick has been reached.
+//     Broadcasts fan out into per-link scheduled deliveries.
+//
+// Message *sends* are always charged to CommStats — the paper's objective
+// counts transmissions; a dropped message still cost its sender one unit.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "sim/comm_stats.hpp"
 #include "sim/event_log.hpp"
 #include "sim/message.hpp"
+#include "sim/network_model.hpp"
 #include "util/types.hpp"
 
 namespace topkmon {
@@ -25,11 +38,32 @@ namespace topkmon {
 /// attached CommStats; the transport itself performs no protocol logic.
 class Network {
  public:
-  /// Creates a network for `n` nodes charging messages to `stats`.
-  /// `stats` must outlive the network.
+  /// Creates an instant-delivery network for `n` nodes charging messages
+  /// to `stats`. `stats` must outlive the network.
   Network(std::size_t n, CommStats* stats);
 
+  /// Creates a network with an explicit delivery policy. `seed` feeds the
+  /// deterministic per-(message, link) jitter/drop hash; it is independent
+  /// of drain order, so runs stay bit-reproducible.
+  Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
+          std::uint64_t seed);
+
   std::size_t num_nodes() const noexcept { return cursors_.size(); }
+
+  const NetworkSpec& spec() const noexcept { return spec_; }
+
+  // -- clock ----------------------------------------------------------------
+  /// Current tick. Sends stamp messages with it; drains deliver everything
+  /// scheduled at or before it.
+  SimTime now() const noexcept { return now_; }
+
+  /// Advances the clock by one tick.
+  void advance_clock() noexcept { ++now_; }
+
+  /// Advances the clock to `t` (no-op if `t` is in the past).
+  void advance_clock_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
 
   // -- sending --------------------------------------------------------------
   /// Node `from` sends `m` to the coordinator (cost 1).
@@ -42,20 +76,36 @@ class Network {
   void coord_broadcast(Message m);
 
   // -- receiving ------------------------------------------------------------
-  /// Drains and returns everything in the coordinator's inbox, in arrival
-  /// order.
+  /// Drains and returns every deliverable message in the coordinator's
+  /// inbox, in arrival order.
   std::vector<Message> drain_coordinator();
 
-  /// True if the coordinator has pending messages.
-  bool coordinator_has_mail() const noexcept { return !coord_inbox_.empty(); }
+  /// True if the coordinator has deliverable messages.
+  bool coordinator_has_mail() const noexcept;
 
-  /// Drains and returns node `id`'s pending messages: unicasts addressed to
-  /// it plus all broadcasts issued since its last drain, in send order
-  /// (broadcasts and unicasts interleaved by issue time).
+  /// Drains and returns node `id`'s deliverable messages: unicasts
+  /// addressed to it plus all broadcasts issued since its last drain, in
+  /// send order (broadcasts and unicasts interleaved by issue time; under
+  /// jitter, by delivery tick first).
   std::vector<Message> drain_node(NodeId id);
 
-  /// Total broadcasts ever issued (== shared log length).
-  std::size_t broadcast_log_size() const noexcept { return broadcast_log_.size(); }
+  /// Total broadcasts ever issued. Under the instant policy this equals
+  /// the shared log length; scheduled modes count without logging.
+  std::size_t broadcast_log_size() const noexcept {
+    return instant_ ? broadcast_log_.size()
+                    : static_cast<std::size_t>(broadcasts_issued_);
+  }
+
+  // -- delivery accounting (drives event-loop quiescence) -------------------
+  /// Number of sent-but-not-yet-drained message deliveries (a broadcast
+  /// counts once per receiving link; dropped links never count).
+  std::uint64_t pending_deliveries() const noexcept { return pending_; }
+
+  /// Earliest delivery tick among pending messages (nullopt when idle).
+  std::optional<SimTime> earliest_pending() const;
+
+  /// Total messages lost to the drop policy so far (per link).
+  std::uint64_t dropped_deliveries() const noexcept { return dropped_; }
 
   /// Installs (or clears, with nullptr semantics via empty function) a tap
   /// invoked once per sent message with its direction — e.g.
@@ -66,6 +116,8 @@ class Network {
   }
 
   /// Copy of the broadcast log messages in issue order (tests / tracing).
+  /// Maintained under the instant policy only — scheduled modes return an
+  /// empty log (deliveries live in the per-link queues instead).
   std::vector<Message> broadcast_log() const {
     std::vector<Message> out;
     out.reserve(broadcast_log_.size());
@@ -79,14 +131,43 @@ class Network {
     Message msg;
   };
 
+  /// A message instance scheduled on one link.
+  struct Scheduled {
+    SimTime due;
+    std::uint64_t seq;
+    Message msg;
+  };
+
+  /// Deterministic per-(message, link) schedule: delivery tick, or nullopt
+  /// when the drop policy loses the message on this link.
+  std::optional<SimTime> schedule_link(std::uint64_t seq, std::uint32_t link);
+
+  void push_scheduled(std::vector<Scheduled>& inbox, Scheduled s);
+  void drain_scheduled(std::vector<Scheduled>& inbox,
+                       std::vector<Message>& out);
+
+  NetworkSpec spec_;
+  bool instant_ = true;   ///< pure lock-step fast path
+  std::uint64_t hash_seed_ = 0;
+
   CommStats* stats_;
   std::function<void(MsgDirection, const Message&)> tap_;
   std::uint64_t seq_ = 0;  // global send-order stamp
+  SimTime now_ = 0;
+  std::uint64_t pending_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t broadcasts_issued_ = 0;  // scheduled-mode broadcast counter
 
+  // Instant mode: flat inboxes + shared broadcast log with read cursors.
   std::vector<Message> coord_inbox_;
   std::vector<Stamped> broadcast_log_;          // stamped for interleaving
   std::vector<std::vector<Stamped>> unicasts_;  // per-node pending unicasts
   std::vector<std::size_t> cursors_;            // per-node broadcast cursor
+
+  // Scheduled mode: per-recipient delivery queues kept as min-heaps
+  // ordered by (due, seq).
+  std::vector<Scheduled> coord_sched_;
+  std::vector<std::vector<Scheduled>> node_sched_;
 };
 
 }  // namespace topkmon

@@ -1,0 +1,94 @@
+#include "sim/network_model.hpp"
+
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace topkmon {
+
+namespace {
+
+std::uint64_t parse_uint(std::string_view key, std::string_view value,
+                         std::uint64_t max_value) {
+  const auto out = to_u64(value);
+  if (!out || *out > max_value) {
+    throw std::invalid_argument("network spec: '" + std::string(value) +
+                                "' is not a valid integer for '" +
+                                std::string(key) + "'");
+  }
+  return *out;
+}
+
+double parse_fraction(std::string_view key, std::string_view value) {
+  const auto out = to_double(value);
+  // The negated range form also rejects NaN (every NaN comparison is
+  // false, so "nan" would sneak past `< 0.0 || > 1.0`).
+  if (!out || !(*out >= 0.0 && *out <= 1.0)) {
+    throw std::invalid_argument("network spec: '" + std::string(value) +
+                                "' is not a probability for '" +
+                                std::string(key) + "'");
+  }
+  return *out;
+}
+
+/// Shortest decimal that round-trips the double (std::to_string would
+/// clamp to 6 decimals and misreport e.g. drop=1e-7 as "0.000000").
+std::string format_fraction(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string NetworkSpec::name() const {
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  if (delay != 0) append("delay=" + std::to_string(delay));
+  if (jitter != 0) append("jitter=" + std::to_string(jitter));
+  if (drop_rate > 0.0) append("drop=" + format_fraction(drop_rate));
+  if (batch_window != 0) append("batch=" + std::to_string(batch_window));
+  if (ticks_per_step != 0) append("ticks=" + std::to_string(ticks_per_step));
+  return out.empty() ? "instant" : out;
+}
+
+NetworkSpec parse_network_spec(std::string_view text) {
+  NetworkSpec spec;
+  if (text.empty() || text == "instant") return spec;
+
+  constexpr std::uint64_t kMax32 = std::numeric_limits<std::uint32_t>::max();
+  for (const std::string_view item : split(text, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("network spec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "delay") {
+      spec.delay = static_cast<std::uint32_t>(parse_uint(key, value, kMax32));
+    } else if (key == "jitter") {
+      spec.jitter = static_cast<std::uint32_t>(parse_uint(key, value, kMax32));
+    } else if (key == "drop") {
+      spec.drop_rate = parse_fraction(key, value);
+    } else if (key == "batch") {
+      spec.batch_window =
+          static_cast<std::uint32_t>(parse_uint(key, value, kMax32));
+    } else if (key == "ticks") {
+      spec.ticks_per_step =
+          parse_uint(key, value, std::numeric_limits<std::uint64_t>::max());
+    } else {
+      throw std::invalid_argument("network spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace topkmon

@@ -6,7 +6,9 @@
 namespace topkmon {
 
 BurstyStream::BurstyStream(BurstyParams params, Rng rng)
-    : p_(params), rng_(rng), current_(std::clamp(params.start, params.lo, params.hi)) {
+    : p_(params),
+      rng_(rng),
+      current_(std::clamp(params.start, params.lo, params.hi)) {
   if (p_.lo > p_.hi || p_.calm_step < 0 || p_.burst_step < 0) {
     throw std::invalid_argument("BurstyStream: invalid parameters");
   }

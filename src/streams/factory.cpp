@@ -29,6 +29,14 @@ std::vector<StreamFamily> all_families() {
           StreamFamily::kCrossingPairs, StreamFamily::kSensor};
 }
 
+StreamFamily family_from_name(std::string_view name) {
+  for (const StreamFamily family : all_families()) {
+    if (family_name(family) == name) return family;
+  }
+  throw std::invalid_argument("unknown stream family '" + std::string(name) +
+                              "'");
+}
+
 namespace {
 
 std::unique_ptr<Stream> make_one(const StreamSpec& spec, NodeId id,

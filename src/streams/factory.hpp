@@ -34,6 +34,9 @@ enum class StreamFamily {
 /// Display name ("random_walk", ...).
 std::string_view family_name(StreamFamily family) noexcept;
 
+/// Inverse of family_name. Throws std::invalid_argument on unknown names.
+StreamFamily family_from_name(std::string_view name);
+
 /// All families, for sweeps over workloads.
 std::vector<StreamFamily> all_families();
 

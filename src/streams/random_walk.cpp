@@ -6,7 +6,9 @@
 namespace topkmon {
 
 RandomWalkStream::RandomWalkStream(RandomWalkParams params, Rng rng)
-    : p_(params), rng_(rng), current_(std::clamp(params.start, params.lo, params.hi)) {
+    : p_(params),
+      rng_(rng),
+      current_(std::clamp(params.start, params.lo, params.hi)) {
   if (p_.lo > p_.hi || p_.max_step < 0) {
     throw std::invalid_argument("RandomWalkStream: invalid bounds");
   }
@@ -20,8 +22,12 @@ Value RandomWalkStream::next() {
   if (width == 0) {
     current_ = p_.lo;
   } else {
-    if (current_ < p_.lo) current_ = std::min(p_.lo + (p_.lo - current_), p_.hi);
-    if (current_ > p_.hi) current_ = std::max(p_.hi - (current_ - p_.hi), p_.lo);
+    if (current_ < p_.lo) {
+      current_ = std::min(p_.lo + (p_.lo - current_), p_.hi);
+    }
+    if (current_ > p_.hi) {
+      current_ = std::max(p_.hi - (current_ - p_.hi), p_.lo);
+    }
   }
   return current_;
 }

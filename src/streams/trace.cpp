@@ -31,7 +31,8 @@ StreamSet TraceMatrix::to_stream_set(TraceEnd end_behavior) const {
     std::vector<Value> column;
     column.reserve(rows_.size());
     for (const auto& row : rows_) column.push_back(row[i]);
-    streams.push_back(std::make_unique<TraceStream>(std::move(column), end_behavior));
+    streams.push_back(
+        std::make_unique<TraceStream>(std::move(column), end_behavior));
   }
   return StreamSet(std::move(streams));
 }

@@ -19,7 +19,8 @@ enum class TraceEnd {
 
 class TraceStream final : public Stream {
  public:
-  TraceStream(std::vector<Value> values, TraceEnd end_behavior = TraceEnd::kHoldLast);
+  TraceStream(std::vector<Value> values,
+              TraceEnd end_behavior = TraceEnd::kHoldLast);
 
   Value next() override;
 
@@ -35,7 +36,8 @@ class TraceStream final : public Stream {
 /// slices become per-node TraceStreams via `to_stream_set`.
 class TraceMatrix {
  public:
-  TraceMatrix(std::size_t n, std::size_t steps) : n_(n), rows_(steps, std::vector<Value>(n, 0)) {}
+  TraceMatrix(std::size_t n, std::size_t steps)
+      : n_(n), rows_(steps, std::vector<Value>(n, 0)) {}
 
   std::size_t nodes() const noexcept { return n_; }
   std::size_t steps() const noexcept { return rows_.size(); }

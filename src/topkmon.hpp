@@ -8,14 +8,16 @@
 #pragma once
 
 #include "util/types.hpp"      // IWYU pragma: export
+#include "util/strings.hpp"    // IWYU pragma: export
 #include "util/rng.hpp"        // IWYU pragma: export
 #include "util/statistics.hpp" // IWYU pragma: export
 #include "util/table.hpp"      // IWYU pragma: export
 #include "util/log.hpp"        // IWYU pragma: export
 
-#include "sim/message.hpp"     // IWYU pragma: export
-#include "sim/comm_stats.hpp"  // IWYU pragma: export
-#include "sim/network.hpp"     // IWYU pragma: export
+#include "sim/message.hpp"       // IWYU pragma: export
+#include "sim/comm_stats.hpp"    // IWYU pragma: export
+#include "sim/network_model.hpp" // IWYU pragma: export
+#include "sim/network.hpp"       // IWYU pragma: export
 #include "sim/cluster.hpp"     // IWYU pragma: export
 #include "sim/event_log.hpp"   // IWYU pragma: export
 
@@ -31,6 +33,11 @@
 #include "core/filter.hpp"               // IWYU pragma: export
 #include "core/ground_truth.hpp"         // IWYU pragma: export
 #include "core/monitor.hpp"              // IWYU pragma: export
+#include "core/roles.hpp"                // IWYU pragma: export
+#include "core/driver.hpp"               // IWYU pragma: export
+#include "core/filter_roles.hpp"         // IWYU pragma: export
+#include "core/naive_roles.hpp"          // IWYU pragma: export
+#include "core/lockstep_adapter.hpp"     // IWYU pragma: export
 #include "core/topk_monitor.hpp"         // IWYU pragma: export
 #include "core/approx_monitor.hpp"       // IWYU pragma: export
 #include "core/multik_monitor.hpp"       // IWYU pragma: export
@@ -43,6 +50,7 @@
 #include "core/runner.hpp"               // IWYU pragma: export
 
 #include "exp/monitor_registry.hpp" // IWYU pragma: export
+#include "exp/scenario.hpp"         // IWYU pragma: export
 #include "exp/sweep_grid.hpp"       // IWYU pragma: export
 #include "exp/sweep_runner.hpp"     // IWYU pragma: export
 #include "exp/result_sink.hpp"      // IWYU pragma: export

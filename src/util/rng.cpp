@@ -100,7 +100,8 @@ double Rng::next_gaussian() noexcept {
 Rng Rng::derive(std::uint64_t stream_id) const noexcept {
   // Mix the child id with fresh words drawn from a copy of our state; the
   // parent instance is left untouched so derivation is repeatable.
-  std::uint64_t mix = s_[0] ^ rotl(s_[2], 13) ^ (stream_id * 0x9E3779B97F4A7C15ull);
+  std::uint64_t mix =
+      s_[0] ^ rotl(s_[2], 13) ^ (stream_id * 0x9E3779B97F4A7C15ull);
   std::uint64_t sm = mix;
   (void)splitmix64(sm);
   return Rng(splitmix64(sm) ^ rotl(stream_id, 31));

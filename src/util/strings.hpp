@@ -1,0 +1,61 @@
+// Small string utilities shared by the spec parsers and the CLI.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topkmon {
+
+/// Splits `text` on `sep`, dropping empty items ("a,,b" -> {"a", "b"}).
+/// Views point into `text`; the caller keeps the backing storage alive.
+inline std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    const std::string_view item = text.substr(
+        start,
+        pos == std::string_view::npos ? std::string_view::npos : pos - start);
+    if (!item.empty()) out.push_back(item);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// Full-string unsigned parse: nullopt on empty input, signs, trailing
+/// junk, or overflow (unlike std::stoull, which wraps "-1" to 2^64-1).
+inline std::optional<std::uint64_t> to_u64(std::string_view text) {
+  std::uint64_t out = 0;
+  const char* end = text.data() + text.size();
+  const auto res = std::from_chars(text.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return out;
+}
+
+/// Full-string signed parse: nullopt on empty input, trailing junk, or
+/// overflow.
+inline std::optional<std::int64_t> to_i64(std::string_view text) {
+  std::int64_t out = 0;
+  const char* end = text.data() + text.size();
+  const auto res = std::from_chars(text.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return out;
+}
+
+/// Full-string double parse: nullopt on empty input or trailing junk.
+inline std::optional<double> to_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string copy(text);  // strtod needs NUL termination
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace topkmon

@@ -26,7 +26,9 @@ class Table {
 
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t cols() const noexcept { return header_.size(); }
-  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
   const std::vector<std::string>& header() const noexcept { return header_; }
 
   /// Prints the table with aligned columns and a separator rule.

@@ -189,7 +189,8 @@ TEST(MaxProtocol, ExpectedReportsWithinTheorem42Bound) {
       reports.add(static_cast<double>(
           run_max_protocol(c, c.all_ids(), n).reports));
     }
-    const double bound = 2.0 * static_cast<double>(floor_log2(next_pow2(n))) + 1.0;
+    const double bound =
+        2.0 * static_cast<double>(floor_log2(next_pow2(n))) + 1.0;
     EXPECT_LE(reports.mean(), bound * 1.05) << "n=" << n;
     EXPECT_GE(reports.mean(), 1.0);
   }

@@ -96,9 +96,11 @@ TEST(SelectExtreme, CostScalesLinearlyInM) {
   double cost8 = 0;
   for (std::uint64_t seed = 0; seed < 60; ++seed) {
     auto c1 = make_cluster(values, seed);
-    cost1 += static_cast<double>(select_extreme(c1, c1.all_ids(), 1, 64).messages());
+    cost1 += static_cast<double>(
+        select_extreme(c1, c1.all_ids(), 1, 64).messages());
     auto c8 = make_cluster(values, seed);
-    cost8 += static_cast<double>(select_extreme(c8, c8.all_ids(), 8, 64).messages());
+    cost8 += static_cast<double>(
+        select_extreme(c8, c8.all_ids(), 8, 64).messages());
   }
   // 8 iterations should cost roughly 8x one iteration (within 2x slack).
   EXPECT_GT(cost8, 4.0 * cost1);

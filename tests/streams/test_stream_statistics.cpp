@@ -94,7 +94,8 @@ TEST(StreamStatistics, RotatingMaxGroundTruthPeriod) {
         argmax = i;
       }
     }
-    EXPECT_EQ(argmax, static_cast<NodeId>(static_cast<std::size_t>(t) % kN)) << "t=" << t;
+    EXPECT_EQ(argmax, static_cast<NodeId>(static_cast<std::size_t>(t) % kN))
+        << "t=" << t;
   }
 }
 

@@ -32,7 +32,9 @@ TEST(Sinusoidal, NoiselessRangeAndPeriodicity) {
     EXPECT_LE(v, 150);
   }
   // Next period repeats exactly (noiseless integer-rounded wave).
-  for (int i = 0; i < 40; ++i) EXPECT_EQ(s.next(), one_period[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(s.next(), one_period[static_cast<std::size_t>(i)]);
+  }
 }
 
 TEST(Sinusoidal, PhaseShiftsWave) {
