@@ -1,0 +1,98 @@
+#include "alloc_hook.hpp"
+
+// Never fight the sanitizer allocator, even if the build system asked for
+// the hook.
+#if defined(__SANITIZE_ADDRESS__)
+#undef TOPKMON_ALLOC_HOOK
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#undef TOPKMON_ALLOC_HOOK
+#endif
+#endif
+
+#ifdef TOPKMON_ALLOC_HOOK
+
+#include <cstdlib>
+#include <new>
+
+namespace topkmon::bench {
+namespace {
+
+thread_local std::uint64_t t_allocs = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++t_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  ++t_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : 1) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+bool alloc_hook_enabled() noexcept { return true; }
+std::uint64_t thread_alloc_count() noexcept { return t_allocs; }
+
+}  // namespace topkmon::bench
+
+void* operator new(std::size_t size) {
+  return topkmon::bench::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return topkmon::bench::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++topkmon::bench::t_allocs;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++topkmon::bench::t_allocs;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return topkmon::bench::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return topkmon::bench::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#else  // !TOPKMON_ALLOC_HOOK
+
+namespace topkmon::bench {
+
+bool alloc_hook_enabled() noexcept { return false; }
+std::uint64_t thread_alloc_count() noexcept { return 0; }
+
+}  // namespace topkmon::bench
+
+#endif  // TOPKMON_ALLOC_HOOK

@@ -1,0 +1,27 @@
+// Optional counting allocator hook for the perf suite.
+//
+// When compiled in (TOPKMON_ALLOC_HOOK, set for non-sanitized builds of
+// topkmon_bench), global operator new/new[] are replaced with counting
+// pass-throughs so a benchmark can measure how many heap allocations a
+// region of code performs — the observable behind the "zero allocations
+// at steady state" hot-path invariant. Under ASan/UBSan the overrides are
+// compiled out (the sanitizer owns the allocator) and the accessors
+// report the hook as disabled.
+//
+// The counter is thread-local: read it before and after a single-threaded
+// region on the same thread (the SweepRunner executes each benchmark case
+// on one worker thread, so per-case deltas are exact).
+#pragma once
+
+#include <cstdint>
+
+namespace topkmon::bench {
+
+/// True when the counting operator new/delete overrides are linked in.
+bool alloc_hook_enabled() noexcept;
+
+/// Number of allocations performed by the calling thread so far (0 when
+/// the hook is disabled).
+std::uint64_t thread_alloc_count() noexcept;
+
+}  // namespace topkmon::bench

@@ -129,6 +129,139 @@ void BM_StreamAdvance(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamAdvance);
 
+// ---------------------------------------------------------------------------
+// Hot-path before/after pairs: the "legacy" variants reproduce the
+// pre-optimization code shape (fresh vectors, full recompute, scalar
+// dispatch) against the same public API, so a single binary measures the
+// win of each hot-path change.
+// ---------------------------------------------------------------------------
+
+void BM_DrainLegacy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  Network net(n, &stats);
+  Message m;
+  m.kind = MsgKind::kValueReport;
+  for (auto _ : state) {
+    for (NodeId i = 0; i < n; ++i) net.node_send(i, m);
+    benchmark::DoNotOptimize(net.drain_coordinator());  // fresh vector
+    net.coord_broadcast(m);
+    for (NodeId i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(net.drain_node(i));  // fresh vectors
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_DrainLegacy)->Arg(64)->Arg(1024);
+
+void BM_DrainReuse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  Network net(n, &stats);
+  Message m;
+  m.kind = MsgKind::kValueReport;
+  std::vector<Message> mail;  // caller-owned scratch
+  for (auto _ : state) {
+    for (NodeId i = 0; i < n; ++i) net.node_send(i, m);
+    net.drain_coordinator(mail);
+    benchmark::DoNotOptimize(mail.data());
+    net.coord_broadcast(m);
+    for (NodeId i = 0; i < n; ++i) {
+      net.drain_node(i, mail);
+      benchmark::DoNotOptimize(mail.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_DrainReuse)->Arg(64)->Arg(1024);
+
+/// One shared value-update pattern for the validation pair: a slow
+/// deterministic rotation that crosses the k-boundary every few hundred
+/// updates (realistic mix of cheap steps and rebuild steps).
+void mutate_values(std::vector<Value>& values, std::uint64_t t) {
+  const std::size_t i = t % values.size();
+  values[i] = static_cast<Value>((values[i] + 7919 * (t % 13 + 1)) %
+                                 1'000'000);
+}
+
+void BM_ValidationFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Value> values(n);
+  Rng rng(17);
+  for (auto& v : values) v = rng.uniform_int(0, 1'000'000);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    mutate_values(values, ++t);
+    // Pre-tracker shape: fresh id vector + partial sort every step.
+    benchmark::DoNotOptimize(true_topk_set(values, 8));
+  }
+}
+BENCHMARK(BM_ValidationFull)->Arg(256)->Arg(4096);
+
+void BM_ValidationIncremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Value> values(n);
+  Rng rng(17);
+  for (auto& v : values) v = rng.uniform_int(0, 1'000'000);
+  GroundTruthTracker tracker(n, 8);
+  for (NodeId i = 0; i < n; ++i) tracker.set_value(i, values[i]);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    mutate_values(values, ++t);
+    const auto i = static_cast<NodeId>(t % n);
+    tracker.set_value(i, values[i]);
+    benchmark::DoNotOptimize(tracker.topk_set());
+  }
+}
+BENCHMARK(BM_ValidationIncremental)->Arg(256)->Arg(4096);
+
+void BM_StreamScalar(benchmark::State& state) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  auto streams = make_stream_set(spec, 64, 13);
+  std::vector<Value> out(64);
+  for (auto _ : state) {
+    streams.advance_all(out);  // no plan armed: one next() per value
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_StreamScalar);
+
+void BM_StreamBatch(benchmark::State& state) {
+  StreamSpec spec;
+  spec.family = StreamFamily::kRandomWalk;
+  auto streams = make_stream_set(spec, 64, 13);
+  streams.plan_steps(~std::uint64_t{0} >> 1);  // effectively unbounded
+  std::vector<Value> out(64);
+  for (auto _ : state) {
+    streams.advance_all(out);  // devirtualized 64-value refills
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_StreamBatch);
+
+void BM_EarliestPending(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  NetworkSpec spec;
+  spec.delay = 4;
+  spec.jitter = 8;
+  Network net(n, &stats, spec, 99);
+  Message m;
+  m.kind = MsgKind::kRoundBeacon;
+  // Realistic scheduled-mode state: several broadcasts in flight across
+  // all n+1 queues.
+  for (int b = 0; b < 4; ++b) net.coord_broadcast(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.earliest_pending());
+  }
+}
+BENCHMARK(BM_EarliestPending)->Arg(64)->Arg(1024);
+
 }  // namespace
 }  // namespace topkmon
 

@@ -1,0 +1,237 @@
+// perf — wall-clock perf suite tracking the simulator's hot-path speed
+// over time (BENCH_*.json trajectory).
+//
+// Times a fixed set of representative scenario configurations — instant
+// and scheduled networks, small and large n, validation on and off — over
+// a fixed step count and reports steps/sec, ns/step and (when the
+// counting allocator hook is compiled in) heap allocations per step.
+//
+// Two outputs with different determinism contracts:
+//
+//   * ctx.emit("perf"): the *fingerprint* table — message counts,
+//     error steps, configuration — is bit-deterministic and must be
+//     byte-identical across --jobs (CI diffs it like every other suite).
+//   * BENCH_<label>.json: the timing record appended to the repo's perf
+//     trajectory. Wall-clock numbers are machine-dependent by nature and
+//     are NOT diffed; <label> comes from $TOPKMON_BENCH_LABEL, falling
+//     back to `git describe --always --dirty`, falling back to the UTC
+//     date.
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "alloc_hook.hpp"
+#include "bench_common.hpp"
+
+namespace topkmon::bench {
+namespace {
+
+struct PerfCase {
+  const char* name;
+  const char* monitor;
+  StreamFamily family;
+  const char* network;     // parse_network_spec input
+  std::size_t n;
+  std::size_t k;
+  RunConfig::Validation validation;
+};
+
+const char* validation_name(RunConfig::Validation v) {
+  switch (v) {
+    case RunConfig::Validation::kStrict: return "strict";
+    case RunConfig::Validation::kWeak: return "weak";
+    case RunConfig::Validation::kOff: return "off";
+  }
+  return "?";
+}
+
+struct PerfOutcome {
+  RunResult run;
+  std::uint64_t allocs = 0;  // during the timed run (hook-enabled only)
+};
+
+/// Label for the BENCH file name: env override, else git describe, else
+/// the UTC date. Sanitized to [A-Za-z0-9._-].
+std::string bench_label() {
+  std::string label;
+  if (const char* env = std::getenv("TOPKMON_BENCH_LABEL")) {
+    label = env;
+  }
+  if (label.empty()) {
+    if (std::FILE* pipe =
+            popen("git describe --always --dirty 2>/dev/null", "r")) {
+      std::array<char, 128> buf{};
+      if (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+        label = buf.data();
+      }
+      pclose(pipe);
+    }
+  }
+  while (!label.empty() &&
+         (label.back() == '\n' || label.back() == '\r')) {
+    label.pop_back();
+  }
+  if (label.empty()) {
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    std::array<char, 32> buf{};
+    std::strftime(buf.data(), buf.size(), "%Y%m%d-%H%M%S", &tm);
+    label = buf.data();
+  }
+  for (char& c : label) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '.' && c != '_' && c != '-') c = '_';
+  }
+  return label;
+}
+
+void write_bench_json(const std::string& path, const std::string& label,
+                      std::uint64_t steps,
+                      const std::vector<PerfCase>& cases,
+                      const std::vector<PerfOutcome>& outcomes,
+                      std::ostream& log) {
+  std::ofstream out(path);
+  if (!out) {
+    log << "perf: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"topkmon-bench-v1\",\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  out << "  \"alloc_hook\": " << (alloc_hook_enabled() ? "true" : "false")
+      << ",\n";
+  out << "  \"steps\": " << steps << ",\n";
+  out << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const PerfCase& c = cases[i];
+    const RunResult& r = outcomes[i].run;
+    const double steps_per_sec =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.steps_executed) / r.wall_seconds
+            : 0.0;
+    const double ns_per_step =
+        r.steps_executed > 0
+            ? r.wall_seconds * 1e9 / static_cast<double>(r.steps_executed)
+            : 0.0;
+    out << "    {\"name\": \"" << c.name << "\", \"monitor\": \""
+        << c.monitor << "\", \"family\": \"" << family_name(c.family)
+        << "\", \"network\": \"" << c.network << "\", \"n\": " << c.n
+        << ", \"k\": " << c.k << ", \"validation\": \""
+        << validation_name(c.validation) << "\", \"wall_seconds\": "
+        << fmt(r.wall_seconds, 6) << ", \"steps_per_sec\": "
+        << fmt(steps_per_sec, 1) << ", \"ns_per_step\": "
+        << fmt(ns_per_step, 1) << ", \"messages_total\": "
+        << r.comm.total() << ", \"error_steps\": " << r.error_steps;
+    if (alloc_hook_enabled()) {
+      const double per_step =
+          r.steps_executed > 0
+              ? static_cast<double>(outcomes[i].allocs) /
+                    static_cast<double>(r.steps_executed)
+              : 0.0;
+      out << ", \"allocs\": " << outcomes[i].allocs
+          << ", \"allocs_per_step\": " << fmt(per_step, 3);
+    }
+    out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  log << "perf: wrote " << path << "\n";
+}
+
+TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
+  const std::uint64_t steps = ctx.opts().steps_or(2'000);
+  const std::uint64_t seed = ctx.opts().seed;
+
+  const std::vector<PerfCase> cases = {
+      {"instant_small_strict", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 64, 8, RunConfig::Validation::kStrict},
+      {"instant_small_off", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 64, 8, RunConfig::Validation::kOff},
+      {"instant_large_strict", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 1024, 16, RunConfig::Validation::kStrict},
+      {"instant_large_off", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 1024, 16, RunConfig::Validation::kOff},
+      {"instant_naive_weak", "naive", StreamFamily::kRandomWalk, "instant",
+       256, 8, RunConfig::Validation::kWeak},
+      {"instant_iid_strict", "topk_filter", StreamFamily::kIidUniform,
+       "instant", 256, 8, RunConfig::Validation::kStrict},
+      {"sched_delay_weak", "topk_filter", StreamFamily::kRandomWalk,
+       "delay=2,jitter=3,ticks=64", 64, 8, RunConfig::Validation::kWeak},
+      {"sched_drop_off", "topk_filter", StreamFamily::kRandomWalk,
+       "delay=1,drop=0.01,ticks=64", 256, 8, RunConfig::Validation::kOff},
+  };
+
+  // One scenario per case; each runs on one worker thread, so the
+  // thread-local allocation counter brackets the run exactly. Message
+  // counts and error steps are jobs-independent (fixed seeds).
+  const auto outcomes =
+      ctx.runner().map<PerfOutcome>(cases.size(), [&](std::size_t i) {
+        const PerfCase& c = cases[i];
+        StreamSpec stream;
+        stream.family = c.family;
+        Scenario sc = scenario(c.monitor, stream, c.n, c.k, steps, seed);
+        sc.network = parse_network_spec(c.network);
+        sc.validation = c.validation;
+        sc.throw_on_error = false;  // lossy networks may diverge; record it
+        PerfOutcome o;
+        const std::uint64_t allocs_before = thread_alloc_count();
+        o.run = run_scenario(sc);
+        o.allocs = thread_alloc_count() - allocs_before;
+        return o;
+      });
+
+  // Deterministic fingerprint (diffed across --jobs by CI).
+  Table fingerprint({"case", "monitor", "family", "network", "n", "k",
+                     "steps", "validation", "msgs_total", "msgs_per_step",
+                     "error_steps"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const PerfCase& c = cases[i];
+    const RunResult& r = outcomes[i].run;
+    fingerprint.add_row({c.name, c.monitor, std::string(family_name(c.family)),
+                         c.network, std::to_string(c.n), std::to_string(c.k),
+                         std::to_string(r.steps_executed),
+                         validation_name(c.validation),
+                         std::to_string(r.comm.total()),
+                         fmt(r.messages_per_step(), 3),
+                         std::to_string(r.error_steps)});
+  }
+  ctx.emit(fingerprint, "perf");
+
+  // Timing summary (console only: wall clock is machine-dependent).
+  Table timing({"case", "steps/sec", "ns/step", "allocs/step", "wall_s"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const RunResult& r = outcomes[i].run;
+    const double sps =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.steps_executed) / r.wall_seconds
+            : 0.0;
+    const double nsps =
+        r.steps_executed > 0
+            ? r.wall_seconds * 1e9 / static_cast<double>(r.steps_executed)
+            : 0.0;
+    const std::string allocs =
+        alloc_hook_enabled()
+            ? fmt(static_cast<double>(outcomes[i].allocs) /
+                      static_cast<double>(r.steps_executed ? r.steps_executed
+                                                           : 1),
+                  3)
+            : std::string("n/a");
+    timing.add_row({cases[i].name, fmt(sps, 0), fmt(nsps, 0), allocs,
+                    fmt(r.wall_seconds, 3)});
+  }
+  ctx.out() << "\n";
+  timing.print(ctx.out());
+
+  const std::string label = bench_label();
+  const std::string dir =
+      ctx.opts().out_dir.empty() ? std::string(".") : ctx.opts().out_dir;
+  write_bench_json(dir + "/BENCH_" + label + ".json", label, steps, cases,
+                   outcomes, ctx.out());
+}
+
+}  // namespace
+}  // namespace topkmon::bench

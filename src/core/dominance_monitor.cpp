@@ -27,7 +27,7 @@ void DominanceMonitor::initialize(Cluster& cluster) {
   shout.kind = MsgKind::kProtocolStart;
   net.coord_broadcast(shout);
   for (NodeId id = 0; id < n_; ++id) {
-    (void)net.drain_node(id);
+    net.drain_node(id, mail_);
     Message report;
     report.kind = MsgKind::kValueReport;
     report.a = to_w(id, cluster.value(id));
@@ -35,7 +35,8 @@ void DominanceMonitor::initialize(Cluster& cluster) {
   }
 
   std::vector<std::pair<Value, NodeId>> order;  // (w, id)
-  for (const Message& m : net.drain_coordinator()) {
+  net.drain_coordinator(mail_);
+  for (const Message& m : mail_) {
     if (m.kind != MsgKind::kValueReport) continue;
     order.emplace_back(m.a, m.from);
   }
@@ -66,7 +67,7 @@ void DominanceMonitor::assign_filter(Cluster& cluster, NodeId id, Value lo_w,
   assign.b = hi_w;
   cluster.net().coord_unicast(id, assign);
   // Node-side effect of receiving the assignment.
-  (void)cluster.net().drain_node(id);
+  cluster.net().drain_node(id, mail_);
   filters_[id] = Filter{lo_w, hi_w};
 }
 
@@ -91,7 +92,8 @@ std::size_t DominanceMonitor::find_slot(Value w) const {
 
 void DominanceMonitor::step(Cluster& cluster, TimeStep) {
   // Node-local violation checks in w-space.
-  std::vector<std::pair<Value, NodeId>> violators;  // (new w, id)
+  std::vector<std::pair<Value, NodeId>>& violators = violators_;
+  violators.clear();
   for (NodeId id = 0; id < n_; ++id) {
     const Value w = to_w(id, cluster.value(id));
     if (filters_[id].contains(w)) continue;
@@ -110,7 +112,7 @@ void DominanceMonitor::step(Cluster& cluster, TimeStep) {
     report.a = w;
     net.node_send(id, report);
   }
-  (void)net.drain_coordinator();  // coordinator absorbs the reports
+  net.drain_coordinator(mail_);  // coordinator absorbs the reports
 
   // Vacate all violators' slots first so violators can land in each
   // other's former positions, then place in descending w order.
@@ -166,14 +168,15 @@ void DominanceMonitor::place_violator(Cluster& cluster, NodeId id, Value w) {
   Message probe;
   probe.kind = MsgKind::kProbe;
   net.coord_unicast(other, probe);
-  (void)net.drain_node(other);
+  net.drain_node(other, mail_);
   Message reply;
   reply.kind = MsgKind::kValueReport;
   reply.a = to_w(other, cluster.value(other));
   net.node_send(other, reply);
   ++mstats_.polls;
   Value other_w = reply.a;
-  for (const Message& m : net.drain_coordinator()) {
+  net.drain_coordinator(mail_);
+  for (const Message& m : mail_) {
     if (m.kind == MsgKind::kValueReport && m.from == other) other_w = m.a;
   }
 

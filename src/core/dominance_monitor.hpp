@@ -17,9 +17,11 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 
 #include "core/filter.hpp"
 #include "core/monitor.hpp"
+#include "sim/message.hpp"
 
 namespace topkmon {
 
@@ -57,6 +59,10 @@ class DominanceMonitor final : public MonitorBase {
   std::vector<Slot> slots_;          ///< descending in w
   std::vector<Filter> filters_;      ///< node-side, in w-space
   std::vector<NodeId> topk_ids_;
+
+  // Hot-path scratch buffers, reused across steps.
+  std::vector<Message> mail_;
+  std::vector<std::pair<Value, NodeId>> violators_;  // (new w, id)
 };
 
 }  // namespace topkmon

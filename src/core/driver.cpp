@@ -66,7 +66,8 @@ void SimDriver::run_tick() {
   delivering_controls_.swap(pending_controls_);
   for (NodeId id = 0; id < cluster_.size(); ++id) {
     if (auto_deliver_) {
-      for (const Message& m : net.drain_node(id)) {
+      net.drain_node(id, mail_scratch_);
+      for (const Message& m : mail_scratch_) {
         nodes_[id]->on_message(node_ctxs_[id], m);
       }
     }
@@ -82,7 +83,8 @@ void SimDriver::run_tick() {
 
   // Phase 2: the coordinator's due mail, in arrival order.
   if (auto_deliver_) {
-    for (const Message& m : net.drain_coordinator()) {
+    net.drain_coordinator(mail_scratch_);
+    for (const Message& m : mail_scratch_) {
       coord_.on_message(coord_ctx_, m);
     }
   }

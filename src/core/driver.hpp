@@ -89,6 +89,7 @@ class SimDriver {
   std::vector<Signal> signals_;
   std::vector<Control> pending_controls_;
   std::vector<Control> delivering_controls_;  // double-buffer for phase 1
+  std::vector<Message> mail_scratch_;         // reused across drains/ticks
   std::vector<char> node_armed_;
   std::size_t armed_nodes_ = 0;
   bool coord_armed_ = false;

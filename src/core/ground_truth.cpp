@@ -54,15 +54,23 @@ std::vector<NodeId> true_topk_set(const Cluster& cluster, std::size_t k) {
   return true_topk_set(values, k);
 }
 
-Value nth_value(std::span<const Value> values, std::size_t j) {
+Value nth_value_inplace(std::span<Value> values, std::size_t j) {
   if (j == 0 || j > values.size()) {
     throw std::invalid_argument("nth_value: rank out of range");
   }
-  std::vector<Value> copy(values.begin(), values.end());
-  std::nth_element(copy.begin(),
-                   copy.begin() + static_cast<std::ptrdiff_t>(j - 1),
-                   copy.end(), std::greater<Value>());
-  return copy[j - 1];
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(j - 1),
+                   values.end(), std::greater<Value>());
+  return values[j - 1];
+}
+
+Value nth_value(std::span<const Value> values, std::size_t j) {
+  // Reusable per-thread scratch: repeated rank queries (the offline-OPT
+  // inner loop calls this twice per step) stop allocating once the scratch
+  // has grown to n.
+  thread_local std::vector<Value> scratch;
+  scratch.assign(values.begin(), values.end());
+  return nth_value_inplace(scratch, j);
 }
 
 bool is_valid_topk(std::span<const Value> values,

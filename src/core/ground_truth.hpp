@@ -26,8 +26,14 @@ std::vector<NodeId> true_topk_set(std::span<const Value> values,
 std::vector<NodeId> true_topk_ordered(const Cluster& cluster, std::size_t k);
 std::vector<NodeId> true_topk_set(const Cluster& cluster, std::size_t k);
 
-/// The j-th largest value (j is 1-based; j <= n).
+/// The j-th largest value (j is 1-based; j <= n). Copies into a reusable
+/// per-thread scratch buffer (no steady-state allocation).
 Value nth_value(std::span<const Value> values, std::size_t j);
+
+/// Allocation-free variant for callers that own a mutable buffer: selects
+/// via std::nth_element directly on `values` (partially reordering it)
+/// and returns the j-th largest.
+Value nth_value_inplace(std::span<Value> values, std::size_t j);
 
 /// Weak validity: `candidate` (any order) is *a* correct top-k answer iff
 /// every member's value >= every non-member's value. Under pairwise

@@ -1,0 +1,199 @@
+#include "core/ground_truth_tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topkmon {
+
+GroundTruthTracker::GroundTruthTracker(std::size_t n, std::size_t k)
+    : k_(k),
+      values_(n, 0),
+      member_(n, 0),
+      cand_member_(n, 0) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("GroundTruthTracker: k out of range");
+  }
+  sorted_set_.reserve(k);
+  ordered_topk_.reserve(k);
+  rank_scratch_.resize(n);
+}
+
+void GroundTruthTracker::set_value(NodeId id, Value v) {
+  const Value old = values_[id];
+  values_[id] = v;
+  if (!built_ || v == old) return;
+
+  if (member_[id]) {
+    if (id == member_min_id_) {
+      if (v < old) {
+        // The worst member got worse: still the worst, new key.
+        member_min_val_ = v;
+      } else {
+        member_dirty_ = true;  // may no longer be the minimum
+      }
+    } else if (ranks_before(member_min_val_, member_min_id_, v, id)) {
+      member_min_val_ = v;  // this member now ranks behind the old minimum
+      member_min_id_ = id;
+    }
+    return;
+  }
+  if (k_ == values_.size()) return;  // no non-members to track
+  if (id == nonmember_max_id_) {
+    if (v > old) {
+      nonmember_max_val_ = v;  // best outsider got better: still best
+    } else {
+      nonmember_dirty_ = true;  // may no longer be the maximum
+    }
+  } else if (ranks_before(v, id, nonmember_max_val_, nonmember_max_id_)) {
+    nonmember_max_val_ = v;  // this outsider now ranks ahead of the old max
+    nonmember_max_id_ = id;
+  }
+}
+
+void GroundTruthTracker::rescan_member_min() {
+  // Members are listed in sorted_set_: O(k).
+  bool first = true;
+  for (const NodeId id : sorted_set_) {
+    if (first || ranks_before(member_min_val_, member_min_id_, values_[id],
+                              id)) {
+      member_min_val_ = values_[id];
+      member_min_id_ = id;
+    }
+    first = false;
+  }
+  member_dirty_ = false;
+}
+
+void GroundTruthTracker::rescan_nonmember_max() {
+  ++boundary_rescans_;
+  bool first = true;
+  const auto n = static_cast<NodeId>(values_.size());
+  for (NodeId id = 0; id < n; ++id) {
+    if (member_[id]) continue;
+    if (first ||
+        ranks_before(values_[id], id, nonmember_max_val_, nonmember_max_id_)) {
+      nonmember_max_val_ = values_[id];
+      nonmember_max_id_ = id;
+    }
+    first = false;
+  }
+  nonmember_dirty_ = false;
+}
+
+void GroundTruthTracker::full_rebuild() {
+  ++full_rebuilds_;
+  const std::size_t n = values_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    rank_scratch_[i] = static_cast<NodeId>(i);
+  }
+  // Sort one past the boundary so position k (when it exists) is the
+  // best-ranked non-member — the tracked nonmember_max_.
+  const std::size_t sorted_prefix = std::min(k_ + 1, n);
+  std::partial_sort(
+      rank_scratch_.begin(),
+      rank_scratch_.begin() + static_cast<std::ptrdiff_t>(sorted_prefix),
+      rank_scratch_.end(), [&](NodeId a, NodeId b) {
+        return ranks_before(values_[a], a, values_[b], b);
+      });
+
+  for (const NodeId id : sorted_set_) member_[id] = 0;  // clear old members
+  if (!built_) std::fill(member_.begin(), member_.end(), char{0});
+  sorted_set_.clear();
+  for (std::size_t i = 0; i < k_; ++i) {
+    member_[rank_scratch_[i]] = 1;
+    sorted_set_.push_back(rank_scratch_[i]);
+  }
+  std::sort(sorted_set_.begin(), sorted_set_.end());
+
+  member_min_id_ = rank_scratch_[k_ - 1];
+  member_min_val_ = values_[member_min_id_];
+  if (k_ < n) {
+    nonmember_max_id_ = rank_scratch_[k_];
+    nonmember_max_val_ = values_[nonmember_max_id_];
+  }
+  built_ = true;
+  member_dirty_ = false;
+  nonmember_dirty_ = false;
+}
+
+void GroundTruthTracker::ensure_current() {
+  if (!built_) {
+    full_rebuild();
+    return;
+  }
+  if (k_ == values_.size()) return;  // the set can never change
+  if (member_dirty_) rescan_member_min();
+  if (nonmember_dirty_) rescan_nonmember_max();
+  // Boundary intact <=> every member still ranks before every non-member
+  // <=> the worst member ranks before the best non-member. (The ranking
+  // is a total order — ids break value ties — so this is exact even on
+  // tied values, matching true_topk_set's tie-break.)
+  if (!ranks_before(member_min_val_, member_min_id_, nonmember_max_val_,
+                    nonmember_max_id_)) {
+    full_rebuild();
+  }
+}
+
+const std::vector<NodeId>& GroundTruthTracker::topk_set() {
+  ensure_current();
+  return sorted_set_;
+}
+
+const std::vector<NodeId>& GroundTruthTracker::ordered_topk() {
+  ensure_current();
+  // Membership is exact; rank order within the set may drift without any
+  // boundary crossing, so (re-)sort the k members per query.
+  ordered_topk_.assign(sorted_set_.begin(), sorted_set_.end());
+  std::sort(ordered_topk_.begin(), ordered_topk_.end(),
+            [&](NodeId a, NodeId b) {
+              return ranks_before(values_[a], a, values_[b], b);
+            });
+  return ordered_topk_;
+}
+
+bool GroundTruthTracker::matches_strict(std::span<const NodeId> answer) {
+  ensure_current();
+  return answer.size() == sorted_set_.size() &&
+         std::equal(answer.begin(), answer.end(), sorted_set_.begin());
+}
+
+bool GroundTruthTracker::is_valid(std::span<const NodeId> answer) {
+  ensure_current();
+  // Fast path: the true top-k (canonical sorted form) is always a valid
+  // answer, and correct monitors emit exactly it on almost every step.
+  if (answer.size() == sorted_set_.size() &&
+      std::equal(answer.begin(), answer.end(), sorted_set_.begin())) {
+    return true;
+  }
+  // General path, mirroring is_valid_topk: reject bad/duplicate ids, then
+  // compare the candidate's boundary extrema by value only (any
+  // tie-break accepted). cand_member_ is tracker-owned and wiped after
+  // use, so the check allocates nothing.
+  const std::size_t n = values_.size();
+  bool ok = true;
+  std::size_t marked = 0;
+  for (const NodeId id : answer) {
+    if (id >= n || cand_member_[id]) {
+      ok = false;
+      break;
+    }
+    cand_member_[id] = 1;
+    ++marked;
+  }
+  if (ok && !answer.empty() && marked < n) {
+    Value min_in = kPlusInf;
+    Value max_out = kMinusInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cand_member_[i]) {
+        min_in = std::min(min_in, values_[i]);
+      } else {
+        max_out = std::max(max_out, values_[i]);
+      }
+    }
+    ok = min_in >= max_out;
+  }
+  for (std::size_t i = 0; i < marked; ++i) cand_member_[answer[i]] = 0;
+  return ok;
+}
+
+}  // namespace topkmon

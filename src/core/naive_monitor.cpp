@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "core/ground_truth.hpp"
-
 namespace topkmon {
 
 NaiveMonitor::NaiveMonitor(std::size_t k) : NaiveMonitor(k, Options{}) {}
@@ -17,6 +15,7 @@ void NaiveMonitor::initialize(Cluster& cluster) {
   if (k_ > n) throw std::invalid_argument("NaiveMonitor: k > n");
   known_values_.assign(n, 0);
   last_sent_.assign(n, std::nullopt);
+  truth_.emplace(n, k_);
   step(cluster, 0);
 }
 
@@ -31,15 +30,13 @@ void NaiveMonitor::step(Cluster& cluster, TimeStep) {
     net.node_send(id, report);
     last_sent_[id] = v;
   }
-  for (const Message& m : net.drain_coordinator()) {
+  net.drain_coordinator(mail_);
+  for (const Message& m : mail_) {
     if (m.kind != MsgKind::kValueReport) continue;
     known_values_[m.from] = m.a;
+    truth_->set_value(m.from, m.a);
   }
-  recompute_topk();
-}
-
-void NaiveMonitor::recompute_topk() {
-  topk_ids_ = true_topk_set(known_values_, k_);
+  topk_ids_ = truth_->topk_set();
 }
 
 }  // namespace topkmon

@@ -7,7 +7,9 @@
 
 #include <optional>
 
+#include "core/ground_truth_tracker.hpp"
 #include "core/monitor.hpp"
+#include "sim/message.hpp"
 
 namespace topkmon {
 
@@ -28,13 +30,15 @@ class NaiveMonitor final : public MonitorBase {
   const std::vector<NodeId>& topk() const override { return topk_ids_; }
 
  private:
-  void recompute_topk();
-
   std::size_t k_;
   Options opts_;
   std::vector<Value> known_values_;          ///< coordinator's replica
   std::vector<std::optional<Value>> last_sent_;  ///< node-side dedup state
   std::vector<NodeId> topk_ids_;
+  std::vector<Message> mail_;  ///< drain scratch, reused across steps
+  /// Incremental top-k over the replica: O(received reports) per step
+  /// instead of a fresh partial sort (identical answers by construction).
+  std::optional<GroundTruthTracker> truth_;
 };
 
 }  // namespace topkmon

@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "core/ground_truth.hpp"
-
 namespace topkmon {
 
 NaiveCoordinator::NaiveCoordinator(std::size_t k, bool send_on_change_only)
@@ -18,15 +16,17 @@ void NaiveCoordinator::on_init(CoordCtx& ctx) {
     throw std::invalid_argument("NaiveCoordinator: k > n");
   }
   known_values_.assign(ctx.n(), 0);
+  truth_.emplace(ctx.n(), k_);
 }
 
 void NaiveCoordinator::on_message(CoordCtx&, const Message& m) {
   if (m.kind != MsgKind::kValueReport) return;
   known_values_[m.from] = m.a;
+  truth_->set_value(m.from, m.a);
 }
 
 void NaiveCoordinator::on_step_end(CoordCtx&, TimeStep) {
-  topk_ids_ = true_topk_set(known_values_, k_);
+  topk_ids_ = truth_->topk_set();
 }
 
 }  // namespace topkmon

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/ground_truth_tracker.hpp"
 #include "core/roles.hpp"
 
 namespace topkmon {
@@ -53,6 +54,9 @@ class NaiveCoordinator final : public CoordinatorAlgo {
   bool send_on_change_only_;
   std::vector<Value> known_values_;  ///< coordinator's replica
   std::vector<NodeId> topk_ids_;
+  /// Incremental top-k over the replica: O(received reports) per step
+  /// instead of a fresh partial sort (identical answers by construction).
+  std::optional<GroundTruthTracker> truth_;
 };
 
 }  // namespace topkmon

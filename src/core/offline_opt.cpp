@@ -9,10 +9,10 @@ namespace topkmon {
 
 namespace {
 
-std::vector<Value> row_values(const TraceMatrix& trace, std::size_t t) {
-  std::vector<Value> values(trace.nodes());
+void row_values(const TraceMatrix& trace, std::size_t t,
+                std::vector<Value>& values) {
+  values.resize(trace.nodes());
   for (NodeId i = 0; i < trace.nodes(); ++i) values[i] = trace.at(t, i);
-  return values;
 }
 
 }  // namespace
@@ -36,9 +36,10 @@ OfflineOptResult compute_offline_opt(const TraceMatrix& trace, std::size_t k) {
   Value t_plus = 0;
   Value t_minus = 0;
   bool in_epoch = false;
+  std::vector<Value> values;
 
   for (std::size_t t = 0; t < trace.steps(); ++t) {
-    const auto values = row_values(trace, t);
+    row_values(trace, t, values);
 
     auto start_epoch = [&]() {
       const auto ids = true_topk_set(values, k);
@@ -94,10 +95,13 @@ Value trace_delta(const TraceMatrix& trace, std::size_t k) {
     throw std::invalid_argument("trace_delta: requires 1 <= k < n");
   }
   Value delta = 0;
+  std::vector<Value> values;
   for (std::size_t t = 0; t < trace.steps(); ++t) {
-    const auto values = row_values(trace, t);
-    const Value vk = nth_value(values, k);
-    const Value vk1 = nth_value(values, k + 1);
+    row_values(trace, t, values);
+    // nth_element only permutes the buffer, so the second rank query over
+    // the same (reused) buffer is still exact.
+    const Value vk = nth_value_inplace(values, k);
+    const Value vk1 = nth_value_inplace(values, k + 1);
     delta = std::max(delta, vk - vk1);
   }
   return delta;

@@ -95,15 +95,17 @@ RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
                       const RunConfig& cfg, bool throw_on_error = true);
 
 class OrderedTopkMonitor;
+class GroundTruthTracker;
 
 /// Shared per-step validation core of run_monitor and exp::run_scenario:
-/// checks `answer` against the cluster's ground truth under
-/// cfg.validation (plus the rank order when cfg.validate_order and
+/// checks `answer` against the incrementally maintained ground truth
+/// under cfg.validation (plus the rank order when cfg.validate_order and
 /// `ordered` is non-null), records any divergence on `result`
 /// (correct / error_steps / first_error_step), and throws
 /// std::logic_error when `throw_on_error`. `detail` is appended to the
-/// error message (e.g. " (network delay=2)").
-void check_answer_step(const Cluster& cluster,
+/// error message (e.g. " (network delay=2)"). The caller owns `truth`
+/// and must have fed it every value update (see GroundTruthTracker).
+void check_answer_step(GroundTruthTracker& truth,
                        const std::vector<NodeId>& answer,
                        const OrderedTopkMonitor* ordered, const RunConfig& cfg,
                        std::string_view monitor_name, std::string_view detail,

@@ -29,34 +29,37 @@ void SlackMonitor::initialize(Cluster& cluster) {
   reset(cluster);
 }
 
-std::vector<std::pair<NodeId, Value>> SlackMonitor::poll(
+const std::vector<std::pair<NodeId, Value>>& SlackMonitor::poll(
     Cluster& cluster, const std::vector<NodeId>& side) {
   Network& net = cluster.net();
   Message shout;
   shout.kind = MsgKind::kProtocolStart;
   net.coord_broadcast(shout);
   for (const NodeId id : side) {
-    (void)net.drain_node(id);
+    net.drain_node(id, mail_);
     Message report;
     report.kind = MsgKind::kValueReport;
     report.a = cluster.value(id);
     net.node_send(id, report);
   }
   mstats_.polls += side.size();
-  std::vector<std::pair<NodeId, Value>> out;
-  for (const Message& m : net.drain_coordinator()) {
+  poll_out_.clear();
+  net.drain_coordinator(mail_);
+  for (const Message& m : mail_) {
     if (m.kind != MsgKind::kValueReport) continue;
-    out.emplace_back(m.from, m.a);
+    poll_out_.emplace_back(m.from, m.a);
   }
-  return out;
+  return poll_out_;
 }
 
 void SlackMonitor::step(Cluster& cluster, TimeStep) {
   if (degenerate_) return;
   const std::size_t n = cluster.size();
 
-  std::vector<NodeId> viol_top;
-  std::vector<NodeId> viol_bot;
+  std::vector<NodeId>& viol_top = viol_top_;
+  std::vector<NodeId>& viol_bot = viol_bot_;
+  viol_top.clear();
+  viol_bot.clear();
   for (NodeId id = 0; id < n; ++id) {
     if (filters_[id].contains(cluster.value(id))) continue;
     (in_topk_[id] ? viol_top : viol_bot).push_back(id);
@@ -86,7 +89,8 @@ void SlackMonitor::step(Cluster& cluster, TimeStep) {
   }
   Value viol_min = kPlusInf;   // min over violating top-k values
   Value viol_max = kMinusInf;  // max over violating outsider values
-  for (const Message& m : net.drain_coordinator()) {
+  net.drain_coordinator(mail_);
+  for (const Message& m : mail_) {
     if (m.kind != MsgKind::kViolation) continue;
     if (m.b < 0) viol_min = std::min(viol_min, m.a);
     else viol_max = std::max(viol_max, m.a);
@@ -142,7 +146,7 @@ void SlackMonitor::reset(Cluster& cluster) {
   ++mstats_.filter_resets;
   // Poll everyone (B&O's resolution ultimately touches all participating
   // nodes), rank locally, place the boundary inside the (v_k, v_{k+1}) gap.
-  const auto all = poll(cluster, cluster.all_ids());
+  const auto& all = poll(cluster, cluster.all_ids());
   std::vector<std::pair<Value, NodeId>> order;
   order.reserve(all.size());
   for (const auto& [id, v] : all) order.emplace_back(v, id);

@@ -21,6 +21,7 @@
 
 #include "core/filter.hpp"
 #include "core/monitor.hpp"
+#include "sim/message.hpp"
 
 namespace topkmon {
 
@@ -46,9 +47,10 @@ class SlackMonitor final : public MonitorBase {
   Value boundary() const noexcept { return bound_; }
 
  private:
-  /// One shout-echo poll over `side`; returns (id, value) pairs.
-  std::vector<std::pair<NodeId, Value>> poll(Cluster& cluster,
-                                             const std::vector<NodeId>& side);
+  /// One shout-echo poll over `side`; returns (id, value) pairs in a
+  /// member scratch buffer reused across polls.
+  const std::vector<std::pair<NodeId, Value>>& poll(
+      Cluster& cluster, const std::vector<NodeId>& side);
   void reset(Cluster& cluster);
   void apply_boundary(Cluster& cluster, Value b);
   double effective_alpha() const noexcept;
@@ -68,6 +70,12 @@ class SlackMonitor final : public MonitorBase {
   Value bound_ = 0;
   std::uint64_t top_violations_ = 0;  ///< since last reset
   std::uint64_t bot_violations_ = 0;
+
+  // Hot-path scratch buffers, reused across steps (no per-step allocs).
+  std::vector<Message> mail_;
+  std::vector<std::pair<NodeId, Value>> poll_out_;
+  std::vector<NodeId> viol_top_;
+  std::vector<NodeId> viol_bot_;
 };
 
 }  // namespace topkmon

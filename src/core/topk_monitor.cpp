@@ -41,8 +41,10 @@ void TopkFilterMonitor::step(Cluster& cluster, TimeStep) {
   const std::size_t n = cluster.size();
 
   // Node-local violation checks (Algorithm 1, lines 2-9).
-  std::vector<NodeId> viol_top;
-  std::vector<NodeId> viol_bot;
+  std::vector<NodeId>& viol_top = viol_top_;
+  std::vector<NodeId>& viol_bot = viol_bot_;
+  viol_top.clear();
+  viol_bot.clear();
   for (NodeId id = 0; id < n; ++id) {
     const Value v = cluster.value(id);
     if (filters_[id].contains(v)) continue;

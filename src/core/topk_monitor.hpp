@@ -76,6 +76,11 @@ class TopkFilterMonitor final : public MonitorBase {
   Value tplus_ = 0;
   Value tminus_ = 0;
   Value mid_ = 0;
+
+  // Violation-list scratch, reused across steps (empty on settled steps,
+  // capacity retained across violation bursts).
+  std::vector<NodeId> viol_top_;
+  std::vector<NodeId> viol_bot_;
 };
 
 }  // namespace topkmon

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/driver.hpp"
+#include "core/ground_truth_tracker.hpp"
 #include "core/lockstep_adapter.hpp"
 #include "core/ordered_topk_monitor.hpp"
 #include "exp/monitor_registry.hpp"
@@ -36,28 +37,33 @@ RunResult run_scenario(const Scenario& sc) {
   result.network = sc.network.name();
   if (sc.record_trace) result.trace.emplace(sc.n, sc.steps + 1);
 
-  // Validation shares the legacy runner's core; the ordered-rank check
-  // applies when the adapter wraps the ordered monitor.
+  // Validation shares the legacy runner's core (incremental ground truth);
+  // the ordered-rank check applies when the adapter wraps the ordered
+  // monitor.
+  GroundTruthTracker truth(sc.n, sc.k);
+  const bool track = cfg.validation != RunConfig::Validation::kOff;
   const auto* ordered =
       sc.validate_order
           ? dynamic_cast<const OrderedTopkMonitor*>(pair.lockstep)
           : nullptr;
   const std::string detail = " (network " + sc.network.name() + ")";
   const auto check = [&](TimeStep t) {
-    check_answer_step(cluster, pair.coordinator->topk(), ordered, cfg,
+    check_answer_step(truth, pair.coordinator->topk(), ordered, cfg,
                       pair.coordinator->name(), detail, t, &result,
                       sc.throw_on_error);
   };
 
   SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native);
-  std::vector<Value> values(sc.on_step ? sc.n : 0);
+  streams.plan_steps(sc.steps + 1);
+  std::vector<Value> values(sc.n);
 
   const auto observe = [&](TimeStep t) {
+    streams.advance_all(values);
     for (NodeId id = 0; id < sc.n; ++id) {
-      const Value v = streams.advance(id);
+      const Value v = values[id];
       cluster.set_value(id, v);
+      if (track) truth.set_value(id, v);
       if (result.trace.has_value()) result.trace->at(t, id) = v;
-      if (sc.on_step) values[id] = v;
     }
   };
 

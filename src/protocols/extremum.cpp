@@ -32,6 +32,7 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
     NodeId beacon_holder = kNoHolder;
   };
   std::vector<NodeView> views(participants.size());
+  std::vector<Message> mail;  // drain scratch, reused across rounds
 
   for (const NodeId id : participants) cluster.node(id).active = true;
 
@@ -50,7 +51,8 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
       if (!node.active) continue;
 
       // Receive pending broadcasts; keep only beacons of this epoch.
-      for (const Message& m : net.drain_node(id)) {
+      net.drain_node(id, mail);
+      for (const Message& m : mail) {
         if (m.kind != MsgKind::kRoundBeacon) continue;
         const auto beacon = unpack_beacon_b(m.b);
         if (beacon.epoch != epoch) continue;
@@ -84,7 +86,8 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
 
     // --- coordinator phase --------------------------------------------------
     bool improved = false;
-    for (const Message& m : net.drain_coordinator()) {
+    net.drain_coordinator(mail);
+    for (const Message& m : mail) {
       if (m.kind != MsgKind::kValueReport) continue;
       if (!have_best || beats(dir, m.a, m.from, best_value, best_holder)) {
         have_best = true;

@@ -6,12 +6,14 @@ SequentialProbeResult run_sequential_probe_max(Cluster& cluster,
                                                std::span<const NodeId> order) {
   SequentialProbeResult result;
   Network& net = cluster.net();
+  std::vector<Message> mail;  // drain scratch, reused across probes
 
   for (const NodeId id : order) {
     // The node reads the best-so-far broadcasts before deciding to speak.
     Value best_known = kMinusInf;
     bool has_best = false;
-    for (const Message& m : net.drain_node(id)) {
+    net.drain_node(id, mail);
+    for (const Message& m : mail) {
       if (m.kind != MsgKind::kRoundBeacon) continue;
       best_known = m.a;
       has_best = true;
@@ -26,7 +28,8 @@ SequentialProbeResult run_sequential_probe_max(Cluster& cluster,
     net.node_send(id, report);
     ++result.reports;
 
-    for (const Message& m : net.drain_coordinator()) {
+    net.drain_coordinator(mail);
+    for (const Message& m : mail) {
       if (m.kind != MsgKind::kValueReport) continue;
       if (!result.found || m.a > result.maximum ||
           (m.a == result.maximum && m.from < result.winner)) {

@@ -18,9 +18,10 @@ std::vector<SelectionEntry> shout_collect(Cluster& cluster,
   net.coord_broadcast(shout);
   ++*shouts;
 
+  std::vector<Message> mail;  // drain scratch, reused across participants
   for (const NodeId id : participants) {
     // The node consumes its mailbox (the shout) and echoes its value.
-    (void)net.drain_node(id);
+    net.drain_node(id, mail);
     Message echo;
     echo.kind = MsgKind::kValueReport;
     echo.a = cluster.value(id);
@@ -29,7 +30,9 @@ std::vector<SelectionEntry> shout_collect(Cluster& cluster,
   }
 
   std::vector<SelectionEntry> received;
-  for (const Message& m : net.drain_coordinator()) {
+  net.drain_coordinator(mail);
+  received.reserve(mail.size());
+  for (const Message& m : mail) {
     if (m.kind != MsgKind::kValueReport) continue;
     received.push_back(SelectionEntry{m.from, m.a});
   }

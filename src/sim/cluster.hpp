@@ -7,6 +7,7 @@
 // on behalf of the currently deployed monitoring algorithm.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -46,8 +47,19 @@ class Cluster {
   NodeRuntime& node(NodeId id) { return nodes_.at(id); }
   const NodeRuntime& node(NodeId id) const { return nodes_.at(id); }
 
-  Value value(NodeId id) const { return nodes_.at(id).value; }
-  void set_value(NodeId id, Value v) { nodes_.at(id).value = v; }
+  /// Unchecked hot-path accessors: value()/set_value() run once per node
+  /// per step in every monitor's inner loop, so they index directly with
+  /// a debug-only assert. Range validation for untrusted ids lives in the
+  /// public Network entry points (node_send/coord_unicast/drain_node
+  /// throw) and in the checked node() accessor.
+  Value value(NodeId id) const {
+    assert(id < nodes_.size());
+    return nodes_[id].value;
+  }
+  void set_value(NodeId id, Value v) {
+    assert(id < nodes_.size());
+    nodes_[id].value = v;
+  }
 
   /// Randomness available to the coordinator (e.g. for baseline sampling).
   Rng& coordinator_rng() noexcept { return coord_rng_; }

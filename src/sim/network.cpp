@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -17,6 +18,14 @@ struct LaterDelivery {
     return a.seq > b.seq;
   }
 };
+
+/// Sort key of an empty recipient queue: sorts after every real delivery.
+constexpr SimTime kIdle = std::numeric_limits<SimTime>::max();
+
+/// Retained-log length that triggers a compaction scan. Large enough that
+/// the O(n) min-cursor scan and the O(tail) erase amortize to nothing per
+/// broadcast; small enough that long instant-mode runs stay flat in memory.
+constexpr std::size_t kLogCompactThreshold = 4096;
 
 }  // namespace
 
@@ -38,6 +47,16 @@ Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
   // link hash from the message sequence numbers.
   std::uint64_t state = seed ^ 0x6E65745F6C696E6Bull;  // "net_link"
   hash_seed_ = splitmix64(state);
+  if (!instant_) {
+    // Index-heap over the n node queues plus the coordinator queue (id n).
+    // All queues start empty, so any initial order is a valid heap.
+    qheap_.resize(n + 1);
+    qpos_.resize(n + 1);
+    for (std::size_t qi = 0; qi <= n; ++qi) {
+      qheap_[qi] = qi;
+      qpos_[qi] = qi;
+    }
+  }
 }
 
 std::optional<SimTime> Network::schedule_link(std::uint64_t seq,
@@ -64,20 +83,78 @@ std::optional<SimTime> Network::schedule_link(std::uint64_t seq,
   return due;
 }
 
-void Network::push_scheduled(std::vector<Scheduled>& inbox, Scheduled s) {
+std::pair<SimTime, std::size_t> Network::queue_key(std::size_t qi) const {
+  const auto& q = queue(qi);
+  return {q.empty() ? kIdle : q.front().due, qi};
+}
+
+void Network::heap_sift_up(std::size_t pos) {
+  const std::size_t qi = qheap_[pos];
+  const auto key = queue_key(qi);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (queue_key(qheap_[parent]) <= key) break;
+    qheap_[pos] = qheap_[parent];
+    qpos_[qheap_[pos]] = pos;
+    pos = parent;
+  }
+  qheap_[pos] = qi;
+  qpos_[qi] = pos;
+}
+
+void Network::heap_sift_down(std::size_t pos) {
+  const std::size_t qi = qheap_[pos];
+  const auto key = queue_key(qi);
+  const std::size_t size = qheap_.size();
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= size) break;
+    auto child_key = queue_key(qheap_[child]);
+    if (child + 1 < size) {
+      const auto right_key = queue_key(qheap_[child + 1]);
+      if (right_key < child_key) {
+        ++child;
+        child_key = right_key;
+      }
+    }
+    if (key <= child_key) break;
+    qheap_[pos] = qheap_[child];
+    qpos_[qheap_[pos]] = pos;
+    pos = child;
+  }
+  qheap_[pos] = qi;
+  qpos_[qi] = pos;
+}
+
+void Network::queue_front_changed(std::size_t qi) {
+  // The key may have moved either way (a push can lower it, pops raise
+  // it); one direction is always a no-op, so just try both.
+  const std::size_t pos = qpos_[qi];
+  heap_sift_up(pos);
+  heap_sift_down(qpos_[qi]);
+}
+
+void Network::push_scheduled(std::size_t qi, Scheduled s) {
+  auto& inbox = queue(qi);
+  const bool front_lowered =
+      inbox.empty() || LaterDelivery{}(inbox.front(), s);
   inbox.push_back(s);
   std::push_heap(inbox.begin(), inbox.end(), LaterDelivery{});
   ++pending_;
+  if (front_lowered) queue_front_changed(qi);
 }
 
-void Network::drain_scheduled(std::vector<Scheduled>& inbox,
-                              std::vector<Message>& out) {
+void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out) {
+  auto& inbox = queue(qi);
+  bool popped = false;
   while (!inbox.empty() && inbox.front().due <= now_) {
     std::pop_heap(inbox.begin(), inbox.end(), LaterDelivery{});
     out.push_back(inbox.back().msg);
     inbox.pop_back();
     --pending_;
+    popped = true;
   }
+  if (popped) queue_front_changed(qi);
 }
 
 void Network::node_send(NodeId from, Message m) {
@@ -96,7 +173,7 @@ void Network::node_send(NodeId from, Message m) {
   // The coordinator's "link" id is one past the node range.
   const auto coord_link = static_cast<std::uint32_t>(num_nodes());
   if (const auto due = schedule_link(seq, coord_link)) {
-    push_scheduled(coord_sched_, Scheduled{*due, seq, m});
+    push_scheduled(num_nodes(), Scheduled{*due, seq, m});
   } else {
     ++dropped_;
   }
@@ -115,7 +192,7 @@ void Network::coord_unicast(NodeId to, Message m) {
     return;
   }
   if (const auto due = schedule_link(seq, to)) {
-    push_scheduled(node_sched_[to], Scheduled{*due, seq, m});
+    push_scheduled(to, Scheduled{*due, seq, m});
   } else {
     ++dropped_;
   }
@@ -139,7 +216,7 @@ void Network::coord_broadcast(Message m) {
   ++broadcasts_issued_;
   for (NodeId id = 0; id < num_nodes(); ++id) {
     if (const auto due = schedule_link(seq, id)) {
-      push_scheduled(node_sched_[id], Scheduled{*due, seq, m});
+      push_scheduled(id, Scheduled{*due, seq, m});
     } else {
       ++dropped_;
     }
@@ -151,11 +228,25 @@ bool Network::coordinator_has_mail() const noexcept {
   return !coord_sched_.empty() && coord_sched_.front().due <= now_;
 }
 
+void Network::drain_coordinator(std::vector<Message>& out) {
+  out.clear();
+  if (instant_) {
+    // Swap the burst out: both the caller's scratch and the inbox keep
+    // their capacities, so steady-state protocol rounds allocate nothing
+    // on either side.
+    std::swap(out, coord_inbox_);
+    pending_ -= out.size();
+    return;
+  }
+  drain_scheduled(num_nodes(), out);
+}
+
 std::vector<Message> Network::drain_coordinator() {
   std::vector<Message> out;
   if (instant_) {
-    // Move the burst out while keeping the inbox buffer's capacity, so
-    // steady-state protocol rounds allocate nothing on the send side.
+    // Copy-and-clear (not swap): the returning overload must keep the
+    // inbox's send-side capacity, or every call would reset it and the
+    // next burst of node_sends would regrow the buffer from scratch.
     out.reserve(coord_inbox_.size());
     out.insert(out.end(), std::make_move_iterator(coord_inbox_.begin()),
                std::make_move_iterator(coord_inbox_.end()));
@@ -163,26 +254,26 @@ std::vector<Message> Network::drain_coordinator() {
     coord_inbox_.clear();
     return out;
   }
-  drain_scheduled(coord_sched_, out);
+  drain_scheduled(num_nodes(), out);
   return out;
 }
 
-std::vector<Message> Network::drain_node(NodeId id) {
+void Network::drain_node(NodeId id, std::vector<Message>& out) {
   if (id >= num_nodes()) {
     throw std::out_of_range("Network::drain_node: bad node id");
   }
-  std::vector<Message> out;
+  out.clear();
   if (!instant_) {
-    drain_scheduled(node_sched_[id], out);
-    return out;
+    drain_scheduled(id, out);
+    return;
   }
   // Both sources are already seq-ascending (push order), so a two-pointer
   // merge replaces the old collect-then-sort pass and the intermediate
-  // vector; the unicast buffer keeps its capacity across drains.
+  // vector; the unicast buffer and `out` keep their capacity across
+  // drains.
   std::vector<Stamped>& uni = unicasts_[id];
-  const std::size_t bstart = cursors_[id];
-  const std::size_t bcount = broadcast_log_.size() - bstart;
-  out.reserve(uni.size() + bcount);
+  const std::size_t bstart = cursors_[id] - log_offset_;
+  out.reserve(uni.size() + (broadcast_log_.size() - bstart));
   std::size_t u = 0;
   std::size_t b = bstart;
   while (u < uni.size() && b < broadcast_log_.size()) {
@@ -196,22 +287,37 @@ std::vector<Message> Network::drain_node(NodeId id) {
   for (; b < broadcast_log_.size(); ++b) out.push_back(broadcast_log_[b].msg);
   pending_ -= out.size();
   uni.clear();
-  cursors_[id] = broadcast_log_.size();
+  cursors_[id] = log_offset_ + broadcast_log_.size();
+  maybe_compact_broadcast_log();
+}
+
+std::vector<Message> Network::drain_node(NodeId id) {
+  std::vector<Message> out;
+  drain_node(id, out);
   return out;
+}
+
+void Network::maybe_compact_broadcast_log() {
+  if (broadcast_log_.size() < kLogCompactThreshold) return;
+  std::size_t min_cursor = log_offset_ + broadcast_log_.size();
+  for (const std::size_t c : cursors_) min_cursor = std::min(min_cursor, c);
+  const std::size_t read_prefix = min_cursor - log_offset_;
+  // Only pay the erase when it reclaims at least half the retained log;
+  // a straggler node that never drains simply defers compaction.
+  if (read_prefix < broadcast_log_.size() / 2) return;
+  broadcast_log_.erase(
+      broadcast_log_.begin(),
+      broadcast_log_.begin() + static_cast<std::ptrdiff_t>(read_prefix));
+  log_offset_ += read_prefix;
 }
 
 std::optional<SimTime> Network::earliest_pending() const {
   if (pending_ == 0) return std::nullopt;
   if (instant_) return now_;  // everything deliverable immediately
-  std::optional<SimTime> best;
-  const auto consider = [&best](const std::vector<Scheduled>& heap) {
-    if (!heap.empty() && (!best || heap.front().due < *best)) {
-      best = heap.front().due;
-    }
-  };
-  consider(coord_sched_);
-  for (const auto& heap : node_sched_) consider(heap);
-  return best;
+  // The index-heap root is the queue with the earliest front delivery;
+  // with pending_ > 0 at least one queue is non-empty, so the root's key
+  // is a real tick, never the idle sentinel.
+  return queue(qheap_.front()).front().due;
 }
 
 }  // namespace topkmon

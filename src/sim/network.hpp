@@ -11,14 +11,23 @@
 //     moment it is sent and the transport reproduces the paper's
 //     lock-step semantics exactly. Broadcasts are stored once in a shared
 //     log with a per-node read cursor, so a broadcast costs O(1)
-//     regardless of n.
+//     regardless of n; the log prefix every node has read is compacted
+//     away so long runs stay in bounded memory.
 //   * Under a delay/jitter/drop/batch spec, each (message, link) pair is
 //     assigned a deterministic delivery tick (or dropped) at send time;
 //     drains only surface messages whose delivery tick has been reached.
-//     Broadcasts fan out into per-link scheduled deliveries.
+//     Broadcasts fan out into per-link scheduled deliveries. A global
+//     min index-heap over the per-recipient queues keeps
+//     earliest_pending() O(1) instead of scanning all n+1 queues.
 //
 // Message *sends* are always charged to CommStats — the paper's objective
 // counts transmissions; a dropped message still cost its sender one unit.
+//
+// Hot-path drains: the `drain_*(buffer&)` overloads fill a caller-owned
+// scratch buffer (cleared first, capacity retained across calls), so a
+// settled simulation tick performs zero heap allocations at steady state.
+// The returning overloads remain as thin conveniences for tests and
+// cold paths.
 #pragma once
 
 #include <cstddef>
@@ -76,23 +85,31 @@ class Network {
   void coord_broadcast(Message m);
 
   // -- receiving ------------------------------------------------------------
-  /// Drains and returns every deliverable message in the coordinator's
-  /// inbox, in arrival order.
+  /// Drains every deliverable message in the coordinator's inbox into
+  /// `out` (cleared first; capacity retained), in arrival order. This is
+  /// the allocation-free hot path: at steady state neither `out` nor the
+  /// internal inbox reallocates.
+  void drain_coordinator(std::vector<Message>& out);
+
+  /// Convenience overload returning a fresh vector (tests / cold paths).
   std::vector<Message> drain_coordinator();
 
   /// True if the coordinator has deliverable messages.
   bool coordinator_has_mail() const noexcept;
 
-  /// Drains and returns node `id`'s deliverable messages: unicasts
-  /// addressed to it plus all broadcasts issued since its last drain, in
-  /// send order (broadcasts and unicasts interleaved by issue time; under
-  /// jitter, by delivery tick first).
+  /// Drains node `id`'s deliverable messages into `out` (cleared first;
+  /// capacity retained): unicasts addressed to it plus all broadcasts
+  /// issued since its last drain, in send order (broadcasts and unicasts
+  /// interleaved by issue time; under jitter, by delivery tick first).
+  void drain_node(NodeId id, std::vector<Message>& out);
+
+  /// Convenience overload returning a fresh vector (tests / cold paths).
   std::vector<Message> drain_node(NodeId id);
 
-  /// Total broadcasts ever issued. Under the instant policy this equals
-  /// the shared log length; scheduled modes count without logging.
+  /// Total broadcasts ever issued (compaction does not lower this; under
+  /// scheduled policies broadcasts are counted without logging).
   std::size_t broadcast_log_size() const noexcept {
-    return instant_ ? broadcast_log_.size()
+    return instant_ ? log_offset_ + broadcast_log_.size()
                     : static_cast<std::size_t>(broadcasts_issued_);
   }
 
@@ -102,6 +119,8 @@ class Network {
   std::uint64_t pending_deliveries() const noexcept { return pending_; }
 
   /// Earliest delivery tick among pending messages (nullopt when idle).
+  /// O(1): instant mode is trivially "now", scheduled mode reads the root
+  /// of the maintained queue index-heap.
   std::optional<SimTime> earliest_pending() const;
 
   /// Total messages lost to the drop policy so far (per link).
@@ -115,9 +134,10 @@ class Network {
     tap_ = std::move(tap);
   }
 
-  /// Copy of the broadcast log messages in issue order (tests / tracing).
-  /// Maintained under the instant policy only — scheduled modes return an
-  /// empty log (deliveries live in the per-link queues instead).
+  /// Copy of the *retained* broadcast log messages in issue order (tests /
+  /// tracing). Maintained under the instant policy only — scheduled modes
+  /// return an empty log (deliveries live in the per-link queues instead),
+  /// and a prefix already read by every node may have been compacted away.
   std::vector<Message> broadcast_log() const {
     std::vector<Message> out;
     out.reserve(broadcast_log_.size());
@@ -142,9 +162,30 @@ class Network {
   /// when the drop policy loses the message on this link.
   std::optional<SimTime> schedule_link(std::uint64_t seq, std::uint32_t link);
 
-  void push_scheduled(std::vector<Scheduled>& inbox, Scheduled s);
-  void drain_scheduled(std::vector<Scheduled>& inbox,
-                       std::vector<Message>& out);
+  /// Recipient queue index: nodes are 0..n-1, the coordinator is n.
+  std::vector<Scheduled>& queue(std::size_t qi) {
+    return qi == num_nodes() ? coord_sched_ : node_sched_[qi];
+  }
+  const std::vector<Scheduled>& queue(std::size_t qi) const {
+    return qi == num_nodes() ? coord_sched_ : node_sched_[qi];
+  }
+
+  /// (front due, queue index) sort key of queue `qi`; empty queues sort
+  /// last via the kIdle sentinel.
+  std::pair<SimTime, std::size_t> queue_key(std::size_t qi) const;
+
+  /// Re-establishes the index-heap invariant after queue `qi`'s front
+  /// changed (push with a new minimum, or pops).
+  void queue_front_changed(std::size_t qi);
+  void heap_sift_up(std::size_t pos);
+  void heap_sift_down(std::size_t pos);
+
+  void push_scheduled(std::size_t qi, Scheduled s);
+  void drain_scheduled(std::size_t qi, std::vector<Message>& out);
+
+  /// Drops the broadcast-log prefix every node has already read once the
+  /// retained log grows past the compaction threshold.
+  void maybe_compact_broadcast_log();
 
   NetworkSpec spec_;
   bool instant_ = true;   ///< pure lock-step fast path
@@ -159,15 +200,23 @@ class Network {
   std::uint64_t broadcasts_issued_ = 0;  // scheduled-mode broadcast counter
 
   // Instant mode: flat inboxes + shared broadcast log with read cursors.
+  // Cursors are absolute (count of broadcasts read since construction);
+  // log_offset_ is the absolute index of broadcast_log_[0] after prefix
+  // compaction.
   std::vector<Message> coord_inbox_;
   std::vector<Stamped> broadcast_log_;          // stamped for interleaving
   std::vector<std::vector<Stamped>> unicasts_;  // per-node pending unicasts
   std::vector<std::size_t> cursors_;            // per-node broadcast cursor
+  std::size_t log_offset_ = 0;
 
   // Scheduled mode: per-recipient delivery queues kept as min-heaps
-  // ordered by (due, seq).
+  // ordered by (due, seq), plus a global index-heap of queue ids ordered
+  // by each queue's front due (the maintained minimum earliest_pending
+  // reads in O(1)).
   std::vector<Scheduled> coord_sched_;
   std::vector<std::vector<Scheduled>> node_sched_;
+  std::vector<std::size_t> qheap_;  // queue ids, min-heap by queue_key
+  std::vector<std::size_t> qpos_;   // qpos_[qi] = position of qi in qheap_
 };
 
 }  // namespace topkmon

@@ -29,6 +29,7 @@ class RotatingMaxStream final : public Stream {
   RotatingMaxStream(RotatingMaxParams params, NodeId id);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   RotatingMaxParams p_;
@@ -51,6 +52,7 @@ class CrossingPairsStream final : public Stream {
   CrossingPairsStream(CrossingPairsParams params, NodeId id);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   CrossingPairsParams p_;

@@ -26,4 +26,8 @@ Value BurstyStream::next() {
   return current_;
 }
 
+void BurstyStream::next_batch(std::span<Value> out) {
+  detail::generate_batch(*this, out);
+}
+
 }  // namespace topkmon

@@ -23,6 +23,7 @@ class BurstyStream final : public Stream {
   BurstyStream(BurstyParams params, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
   bool in_burst() const noexcept { return bursting_; }
 

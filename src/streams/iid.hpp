@@ -13,6 +13,7 @@ class IidUniformStream final : public Stream {
   IidUniformStream(Value lo, Value hi, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   Value lo_;
@@ -26,6 +27,7 @@ class IidGaussianStream final : public Stream {
   IidGaussianStream(double mean, double sigma, Value lo, Value hi, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   double mean_;

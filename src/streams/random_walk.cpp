@@ -32,4 +32,8 @@ Value RandomWalkStream::next() {
   return current_;
 }
 
+void RandomWalkStream::next_batch(std::span<Value> out) {
+  detail::generate_batch(*this, out);
+}
+
 }  // namespace topkmon

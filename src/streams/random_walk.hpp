@@ -21,6 +21,7 @@ class RandomWalkStream final : public Stream {
   RandomWalkStream(RandomWalkParams params, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   RandomWalkParams p_;

@@ -37,4 +37,8 @@ Value SensorStream::next() {
   return std::clamp(rounded, p_.lo, p_.hi);
 }
 
+void SensorStream::next_batch(std::span<Value> out) {
+  detail::generate_batch(*this, out);
+}
+
 }  // namespace topkmon

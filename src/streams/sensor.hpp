@@ -25,6 +25,7 @@ class SensorStream final : public Stream {
   SensorStream(SensorParams params, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   SensorParams p_;

@@ -22,4 +22,8 @@ Value SinusoidalStream::next() {
   return static_cast<Value>(std::llround(v));
 }
 
+void SinusoidalStream::next_batch(std::span<Value> out) {
+  detail::generate_batch(*this, out);
+}
+
 }  // namespace topkmon

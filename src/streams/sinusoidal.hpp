@@ -21,6 +21,7 @@ class SinusoidalStream final : public Stream {
   SinusoidalStream(SinusoidalParams params, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   SinusoidalParams p_;

@@ -5,10 +5,19 @@
 // `next()` exactly once per node per time step, so generators that model
 // global time (adversarial rotations, sinusoids) may keep an internal step
 // counter and stay synchronized across nodes.
+//
+// Batched generation: `next_batch(out)` fills `out` with the next
+// out.size() values of the sequence — identical values to out.size()
+// repeated next() calls, just cheaper. Families override it with a
+// devirtualized inner loop (one virtual dispatch per batch instead of per
+// value); the base-class default falls back to per-call next(). Streams
+// are independent per node (each owns its RNG), so generating a node's
+// values ahead of the observation clock is observationally equivalent.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -23,7 +32,35 @@ class Stream {
 
   /// Advances the stream by one observation and returns the new value.
   virtual Value next() = 0;
+
+  /// Advances by out.size() observations, writing them in order.
+  /// Equivalent to (but typically much faster than) repeated next().
+  virtual void next_batch(std::span<Value> out) {
+    for (Value& v : out) v = next();
+  }
+
+  /// How many values may safely be generated ahead of demand. Infinite
+  /// generators (the default) allow any lookahead; a finite strict
+  /// stream (TraceEnd::kThrow) returns its remaining length so a
+  /// prefetching caller never triggers the end-of-trace throw earlier
+  /// than per-call next() would.
+  virtual std::uint64_t prefetch_limit() const {
+    return ~std::uint64_t{0};
+  }
 };
+
+namespace detail {
+
+/// Shared devirtualized batch loop: instantiated inside each family's
+/// .cpp (next to its next() definition), so the qualified per-value call
+/// is bound statically AND inlined — one dispatch per batch, not per
+/// value.
+template <typename ConcreteStream>
+void generate_batch(ConcreteStream& s, std::span<Value> out) {
+  for (Value& v : out) v = s.ConcreteStream::next();
+}
+
+}  // namespace detail
 
 /// Order-preserving distinctness transform (the paper assumes pairwise
 /// distinct values): v' = v*n + (n-1-id). Raw-value order is preserved;
@@ -37,6 +74,18 @@ class DistinctStream final : public Stream {
     return inner_->next() * n_ + (n_ - 1 - static_cast<Value>(id_));
   }
 
+  /// The transform folds into the inner stream's batch pass: one inner
+  /// next_batch + an in-place affine sweep, no per-value dispatch.
+  void next_batch(std::span<Value> out) override {
+    inner_->next_batch(out);
+    const Value off = n_ - 1 - static_cast<Value>(id_);
+    for (Value& v : out) v = v * n_ + off;
+  }
+
+  std::uint64_t prefetch_limit() const override {
+    return inner_->prefetch_limit();
+  }
+
  private:
   std::unique_ptr<Stream> inner_;
   NodeId id_;
@@ -44,18 +93,88 @@ class DistinctStream final : public Stream {
 };
 
 /// A collection of n per-node streams (one per node id).
+///
+/// By default every advance calls straight into the stream (exactly the
+/// legacy behavior). After plan_steps(T) the set may prefetch up to
+/// kLookahead future values per node through next_batch, amortizing the
+/// virtual dispatch. The prefetch never generates beyond the planned T
+/// advances per node nor past a stream's prefetch_limit(), so finite
+/// replay streams keep their exact end-of-trace semantics (including
+/// the step at which TraceEnd::kThrow throws).
 class StreamSet {
  public:
   explicit StreamSet(std::vector<std::unique_ptr<Stream>> streams)
-      : streams_(std::move(streams)) {}
+      : streams_(std::move(streams)),
+        buffered_(streams_.size(), 0),
+        cursor_(streams_.size(), 0),
+        budget_(streams_.size(), 0) {}
 
   std::size_t size() const noexcept { return streams_.size(); }
 
+  /// Declares that each node will be advanced at most `total` more times,
+  /// enabling batched prefetch up to that horizon. Values are identical
+  /// with or without a plan; only the generation cost changes. Safe to
+  /// call once per run (repeated calls re-arm the budget).
+  void plan_steps(std::uint64_t total) {
+    for (auto& b : budget_) b = total;
+    if (lookahead_buf_.empty()) {
+      lookahead_buf_.resize(streams_.size() * kLookahead);
+    }
+  }
+
   /// Advances node `id`'s stream and returns the new observation.
-  Value advance(NodeId id) { return streams_.at(id)->next(); }
+  /// Throws std::out_of_range for a bad id.
+  Value advance(NodeId id) {
+    if (cursor_.at(id) == buffered_[id]) refill(id);
+    return lookahead_buf_.empty()
+               ? single_[id]
+               : lookahead_buf_[id * kLookahead + cursor_[id]++];
+  }
+
+  /// Advances every stream once: out[id] receives node id's observation.
+  /// Requires out.size() == size().
+  void advance_all(std::span<Value> out) {
+    for (NodeId id = 0; id < streams_.size(); ++id) out[id] = advance(id);
+  }
 
  private:
+  /// Values prefetched per node once a plan is armed. One cache line's
+  /// worth of look-ahead already reduces virtual dispatch 64-fold; deeper
+  /// buffers only add memory.
+  static constexpr std::size_t kLookahead = 64;
+
+  void refill(NodeId id) {
+    Stream& s = *streams_.at(id);
+    if (lookahead_buf_.empty()) {
+      // No plan armed: generate exactly one value (legacy path).
+      if (single_.empty()) single_.resize(streams_.size());
+      single_[id] = s.next();
+      buffered_[id] = 0;  // stays "empty": every advance regenerates
+      cursor_[id] = 0;
+      return;
+    }
+    std::uint64_t chunk = budget_[id] == 0
+                              ? 1
+                              : std::min<std::uint64_t>(kLookahead,
+                                                        budget_[id]);
+    // Never generate past a finite strict stream's end: once exhausted,
+    // fall back to one-at-a-time so the end-of-trace throw surfaces at
+    // exactly the advance where per-call next() would throw.
+    const std::uint64_t limit = s.prefetch_limit();
+    if (chunk > limit) chunk = limit > 0 ? limit : 1;
+    budget_[id] -= std::min(budget_[id], chunk);
+    s.next_batch(std::span<Value>(
+        lookahead_buf_.data() + id * kLookahead, chunk));
+    buffered_[id] = static_cast<std::uint32_t>(chunk);
+    cursor_[id] = 0;
+  }
+
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<Value> lookahead_buf_;       ///< empty until plan_steps()
+  std::vector<Value> single_;              ///< unplanned fallback slots
+  std::vector<std::uint32_t> buffered_;    ///< valid prefix per node
+  std::vector<std::uint32_t> cursor_;      ///< next unread index per node
+  std::vector<std::uint64_t> budget_;      ///< planned advances left
 };
 
 }  // namespace topkmon

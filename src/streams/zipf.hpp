@@ -37,6 +37,7 @@ class ZipfStream final : public Stream {
   ZipfStream(std::size_t num_ranks, double s, Value peak, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   ZipfSampler sampler_;
@@ -52,6 +53,7 @@ class ParetoStream final : public Stream {
   ParetoStream(Value xm, double alpha, Value cap, Rng rng);
 
   Value next() override;
+  void next_batch(std::span<Value> out) override;
 
  private:
   Value xm_;

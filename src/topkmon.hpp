@@ -32,6 +32,7 @@
 
 #include "core/filter.hpp"               // IWYU pragma: export
 #include "core/ground_truth.hpp"         // IWYU pragma: export
+#include "core/ground_truth_tracker.hpp" // IWYU pragma: export
 #include "core/monitor.hpp"              // IWYU pragma: export
 #include "core/roles.hpp"                // IWYU pragma: export
 #include "core/driver.hpp"               // IWYU pragma: export

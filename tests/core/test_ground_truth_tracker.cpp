@@ -1,0 +1,168 @@
+// GroundTruthTracker must be observationally identical to the batch
+// helpers (true_topk_set / true_topk_ordered / is_valid_topk) at every
+// step of any trajectory — that equivalence is what lets the runners
+// validate through it without changing a single experiment byte.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ground_truth.hpp"
+#include "core/ground_truth_tracker.hpp"
+#include "streams/factory.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+/// A candidate near the true answer: the true set with one member swapped
+/// for a random outsider (sorted, as monitors emit). Exercises both
+/// accept-and-reject paths of the weak check.
+std::vector<NodeId> perturbed_candidate(const std::vector<NodeId>& truth,
+                                        std::size_t n, Rng& rng) {
+  std::vector<NodeId> cand = truth;
+  const auto victim =
+      static_cast<std::size_t>(rng.uniform_below(cand.size()));
+  for (int tries = 0; tries < 16; ++tries) {
+    const auto outsider = static_cast<NodeId>(rng.uniform_below(n));
+    bool member = false;
+    for (const NodeId id : truth) member = member || id == outsider;
+    if (!member) {
+      cand[victim] = outsider;
+      break;
+    }
+  }
+  std::sort(cand.begin(), cand.end());
+  return cand;
+}
+
+void expect_equivalent(GroundTruthTracker& tracker,
+                       const std::vector<Value>& values, std::size_t k,
+                       Rng& rng, const char* context) {
+  const auto expected_set = true_topk_set(values, k);
+  const auto expected_ordered = true_topk_ordered(values, k);
+  ASSERT_EQ(tracker.topk_set(), expected_set) << context;
+  ASSERT_EQ(tracker.ordered_topk(), expected_ordered) << context;
+
+  // Weak check agreement on: the truth, a perturbation, and garbage.
+  ASSERT_TRUE(tracker.is_valid(expected_set)) << context;
+  const auto cand = perturbed_candidate(expected_set, values.size(), rng);
+  ASSERT_EQ(tracker.is_valid(cand), is_valid_topk(values, cand)) << context;
+  const std::vector<NodeId> dup(k, expected_set.front());
+  if (k > 1) ASSERT_FALSE(tracker.is_valid(dup)) << context;
+  const std::vector<NodeId> bad = {static_cast<NodeId>(values.size())};
+  ASSERT_FALSE(tracker.is_valid(bad)) << context;
+
+  // Strict check agreement.
+  ASSERT_TRUE(tracker.matches_strict(expected_set)) << context;
+  if (cand != expected_set) {
+    ASSERT_FALSE(tracker.matches_strict(cand)) << context;
+  }
+}
+
+TEST(GroundTruthTracker, MatchesBatchOverAllStreamFamilies) {
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kSteps = 200;
+  for (const StreamFamily family : all_families()) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5}, kN}) {
+      StreamSpec spec;
+      spec.family = family;
+      auto streams = make_stream_set(spec, kN, 1234);
+      GroundTruthTracker tracker(kN, k);
+      Rng rng(99);
+      std::vector<Value> values(kN);
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        for (NodeId id = 0; id < kN; ++id) {
+          values[id] = streams.advance(id);
+          tracker.set_value(id, values[id]);
+        }
+        expect_equivalent(tracker, values, k, rng,
+                          family_name(family).data());
+      }
+    }
+  }
+}
+
+TEST(GroundTruthTracker, SparseUpdatesStayExact) {
+  constexpr std::size_t kN = 64;
+  constexpr std::size_t kK = 8;
+  Rng rng(7);
+  std::vector<Value> values(kN);
+  GroundTruthTracker tracker(kN, kK);
+  for (NodeId id = 0; id < kN; ++id) {
+    values[id] = rng.uniform_int(0, 1'000'000);
+    tracker.set_value(id, values[id]);
+  }
+  Rng cand_rng(8);
+  for (int round = 0; round < 2'000; ++round) {
+    // Change a single node per round — the O(changed nodes) regime.
+    const auto id = static_cast<NodeId>(rng.uniform_below(kN));
+    values[id] = rng.uniform_int(0, 1'000'000);
+    tracker.set_value(id, values[id]);
+    if (round % 7 == 0) {
+      expect_equivalent(tracker, values, kK, cand_rng, "sparse");
+    }
+  }
+  // A single-node-change workload must not rebuild on anything close to
+  // every update.
+  EXPECT_LT(tracker.full_rebuilds(), 2'000u);
+}
+
+TEST(GroundTruthTracker, ExactUnderBoundaryTies) {
+  // Tied values across the k-boundary: the tracker must reproduce the
+  // batch helpers' id tie-break exactly.
+  constexpr std::size_t kN = 6;
+  constexpr std::size_t kK = 3;
+  GroundTruthTracker tracker(kN, kK);
+  Rng rng(3);
+  std::vector<Value> values(kN);
+  Rng cand_rng(4);
+  for (int round = 0; round < 500; ++round) {
+    for (NodeId id = 0; id < kN; ++id) {
+      // Tiny value domain: ties everywhere, including at the boundary.
+      values[id] = rng.uniform_int(0, 3);
+      tracker.set_value(id, values[id]);
+    }
+    expect_equivalent(tracker, values, kK, cand_rng, "ties");
+  }
+}
+
+TEST(GroundTruthTracker, UnchangedValuesNeverRebuild) {
+  constexpr std::size_t kN = 16;
+  GroundTruthTracker tracker(kN, 4);
+  for (NodeId id = 0; id < kN; ++id) {
+    tracker.set_value(id, 1'000 - static_cast<Value>(id));
+  }
+  (void)tracker.topk_set();
+  const auto rebuilds = tracker.full_rebuilds();
+  for (int round = 0; round < 100; ++round) {
+    for (NodeId id = 0; id < kN; ++id) {
+      tracker.set_value(id, 1'000 - static_cast<Value>(id));  // same values
+    }
+    (void)tracker.topk_set();
+  }
+  EXPECT_EQ(tracker.full_rebuilds(), rebuilds);
+}
+
+TEST(GroundTruthTracker, KEqualsNIsAlwaysValid) {
+  constexpr std::size_t kN = 5;
+  GroundTruthTracker tracker(kN, kN);
+  Rng rng(11);
+  std::vector<NodeId> all(kN);
+  for (NodeId id = 0; id < kN; ++id) all[id] = id;
+  for (int round = 0; round < 50; ++round) {
+    for (NodeId id = 0; id < kN; ++id) {
+      tracker.set_value(id, rng.uniform_int(-100, 100));
+    }
+    EXPECT_EQ(tracker.topk_set(), all);
+    EXPECT_TRUE(tracker.is_valid(all));
+    EXPECT_TRUE(tracker.matches_strict(all));
+  }
+}
+
+TEST(GroundTruthTracker, RejectsBadK) {
+  EXPECT_THROW(GroundTruthTracker(4, 0), std::invalid_argument);
+  EXPECT_THROW(GroundTruthTracker(4, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topkmon

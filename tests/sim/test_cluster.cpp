@@ -67,10 +67,14 @@ TEST(Cluster, ProtocolEpochsMonotone) {
 }
 
 TEST(Cluster, BoundsChecked) {
+  // value()/set_value() are unchecked hot-path accessors (debug assert
+  // only); range validation for untrusted ids lives in node() and in the
+  // Network entry points.
   Cluster c(2, 1);
-  EXPECT_THROW(c.value(2), std::out_of_range);
-  EXPECT_THROW(c.set_value(5, 1), std::out_of_range);
   EXPECT_THROW(c.node(9), std::out_of_range);
+  EXPECT_THROW(c.net().node_send(7, Message{}), std::out_of_range);
+  EXPECT_THROW(c.net().coord_unicast(7, Message{}), std::out_of_range);
+  EXPECT_THROW(c.net().drain_node(7), std::out_of_range);
 }
 
 }  // namespace

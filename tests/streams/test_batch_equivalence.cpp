@@ -1,0 +1,162 @@
+// Batched generation must be a pure optimization: next_batch() and the
+// StreamSet lookahead (plan_steps + advance_all) produce exactly the
+// per-call next() sequences for every family, including the DistinctStream
+// fold and finite replay traces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "streams/factory.hpp"
+#include "streams/trace.hpp"
+
+namespace topkmon {
+namespace {
+
+constexpr std::size_t kN = 9;
+constexpr std::size_t kSteps = 300;
+constexpr std::uint64_t kSeed = 321;
+
+StreamSpec spec_for(StreamFamily family, bool distinct) {
+  StreamSpec spec;
+  spec.family = family;
+  spec.enforce_distinct = distinct;
+  return spec;
+}
+
+TEST(BatchEquivalence, AdvanceAllMatchesScalarAdvancePerFamily) {
+  for (const StreamFamily family : all_families()) {
+    for (const bool distinct : {false, true}) {
+      auto scalar = make_stream_set(spec_for(family, distinct), kN, kSeed);
+      auto batched = make_stream_set(spec_for(family, distinct), kN, kSeed);
+      batched.plan_steps(kSteps);
+
+      std::vector<Value> got(kN);
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        batched.advance_all(got);
+        for (NodeId id = 0; id < kN; ++id) {
+          ASSERT_EQ(got[id], scalar.advance(id))
+              << family_name(family) << " distinct=" << distinct
+              << " t=" << t << " node=" << id;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, MixedAdvanceAndAdvanceAllStayConsistent) {
+  auto scalar = make_stream_set(spec_for(StreamFamily::kRandomWalk, true),
+                                kN, kSeed);
+  auto mixed = make_stream_set(spec_for(StreamFamily::kRandomWalk, true),
+                               kN, kSeed);
+  mixed.plan_steps(2 * kSteps);
+  std::vector<Value> got(kN);
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    if (t % 3 == 0) {
+      for (NodeId id = 0; id < kN; ++id) {
+        ASSERT_EQ(mixed.advance(id), scalar.advance(id)) << "t=" << t;
+      }
+    } else {
+      mixed.advance_all(got);
+      for (NodeId id = 0; id < kN; ++id) {
+        ASSERT_EQ(got[id], scalar.advance(id)) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, AdvancingPastThePlanStillWorks) {
+  auto scalar = make_stream_set(spec_for(StreamFamily::kZipf, false), kN,
+                                kSeed);
+  auto planned = make_stream_set(spec_for(StreamFamily::kZipf, false), kN,
+                                 kSeed);
+  planned.plan_steps(10);  // deliberately shorter than the run
+  std::vector<Value> got(kN);
+  for (std::size_t t = 0; t < 50; ++t) {
+    planned.advance_all(got);
+    for (NodeId id = 0; id < kN; ++id) {
+      ASSERT_EQ(got[id], scalar.advance(id)) << "t=" << t;
+    }
+  }
+}
+
+TEST(BatchEquivalence, NextBatchMatchesNextOnBareStreams) {
+  // Direct Stream-level check (no StreamSet): batch sizes that straddle
+  // internal chunk boundaries.
+  for (const StreamFamily family : all_families()) {
+    auto a = make_stream_set(spec_for(family, false), 1, kSeed);
+    StreamSpec spec = spec_for(family, false);
+    auto b_set = make_stream_set(spec, 1, kSeed);
+    b_set.plan_steps(kSteps);
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      ASSERT_EQ(b_set.advance(0), a.advance(0))
+          << family_name(family) << " t=" << t;
+    }
+  }
+}
+
+TEST(BatchEquivalence, TraceStreamBatchHonorsEndBehavior) {
+  const std::vector<Value> vals = {5, 6, 7};
+
+  {
+    TraceStream hold(vals, TraceEnd::kHoldLast);
+    std::vector<Value> out(7);
+    hold.next_batch(out);
+    EXPECT_EQ(out, (std::vector<Value>{5, 6, 7, 7, 7, 7, 7}));
+  }
+  {
+    TraceStream cycle(vals, TraceEnd::kCycle);
+    std::vector<Value> out(7);
+    cycle.next_batch(out);
+    EXPECT_EQ(out, (std::vector<Value>{5, 6, 7, 5, 6, 7, 5}));
+  }
+  {
+    TraceStream strict(vals, TraceEnd::kThrow);
+    std::vector<Value> ok(3);
+    strict.next_batch(ok);
+    EXPECT_EQ(ok, vals);
+    std::vector<Value> over(1);
+    EXPECT_THROW(strict.next_batch(over), std::out_of_range);
+  }
+}
+
+TEST(BatchEquivalence, PlanLongerThanStrictTraceThrowsAtTheExactStep) {
+  // A kThrow trace shorter than the plan must behave exactly like the
+  // scalar path: all recorded values are delivered, and the throw
+  // surfaces at the first advance past the end — never earlier because
+  // of prefetching (prefetch_limit caps the lookahead).
+  TraceMatrix trace(2, 5);
+  Value v = 0;
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (NodeId i = 0; i < 2; ++i) trace.at(t, i) = ++v;
+  }
+  auto planned = trace.to_stream_set(TraceEnd::kThrow);
+  planned.plan_steps(100);  // way past the trace end
+  std::vector<Value> got(2);
+  for (std::size_t t = 0; t < 5; ++t) {
+    planned.advance_all(got);
+    EXPECT_EQ(got[0], static_cast<Value>(2 * t + 1)) << "t=" << t;
+    EXPECT_EQ(got[1], static_cast<Value>(2 * t + 2)) << "t=" << t;
+  }
+  EXPECT_THROW(planned.advance(0), std::out_of_range);
+}
+
+TEST(BatchEquivalence, PlannedTraceMatrixReplayIsExact) {
+  TraceMatrix trace(3, 20);
+  Value v = 0;
+  for (std::size_t t = 0; t < 20; ++t) {
+    for (NodeId i = 0; i < 3; ++i) trace.at(t, i) = ++v;
+  }
+  auto scalar = trace.to_stream_set(TraceEnd::kThrow);
+  auto planned = trace.to_stream_set(TraceEnd::kThrow);
+  planned.plan_steps(20);  // exactly the trace length: no overrun, no throw
+  std::vector<Value> got(3);
+  for (std::size_t t = 0; t < 20; ++t) {
+    planned.advance_all(got);
+    for (NodeId i = 0; i < 3; ++i) {
+      ASSERT_EQ(got[i], scalar.advance(i)) << "t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkmon
