@@ -1,0 +1,35 @@
+// Minimal reader for the BENCH_*.json files this binary writes
+// (schema "topkmon-bench-v1"): just enough structure to diff two perf
+// runs without pulling a JSON library into the tree. Tolerant of
+// whitespace and field order; not a general-purpose parser.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace topkmon::bench {
+
+struct BenchRecord {
+  std::string name;
+  double steps_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t error_steps = 0;
+  /// Absent when the writing binary had the alloc hook compiled out.
+  std::optional<std::uint64_t> allocs;
+};
+
+struct BenchFile {
+  std::string label;
+  bool alloc_hook = false;
+  std::uint64_t steps = 0;
+  std::vector<BenchRecord> scenarios;
+};
+
+/// Parses `path`. Returns nullopt when the file cannot be read or is not
+/// a topkmon-bench-v1 document.
+std::optional<BenchFile> read_bench_file(const std::string& path);
+
+}  // namespace topkmon::bench

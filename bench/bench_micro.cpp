@@ -244,6 +244,167 @@ void BM_StreamBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamBatch);
 
+// -- PR4 pairs: activity-driven loop, timing wheel, lazy non-member heap --
+
+/// One full simulation step (observe + event loop) of the native filter
+/// monitor under a sparse workload, through either the activity-driven
+/// sparse path or the legacy dense scan (state.range: n, activity %,
+/// dense flag).
+void BM_SimulationStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double activity = static_cast<double>(state.range(1)) / 100.0;
+  const bool dense = state.range(2) != 0;
+  StreamSpec spec;
+  spec.family = StreamFamily::kSparse;
+  spec.sparse.rate = activity;
+  spec.sparse_inner = StreamFamily::kRandomWalk;
+  spec.walk.hi = 100'000'000;
+  spec.walk.max_step = 64;
+  auto streams = make_stream_set(spec, n, 7);
+  Cluster cluster(n, 7);
+  auto pair = exp::make_role_pair(cluster, "topk_filter?nobeacon", 8);
+  SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native);
+  driver.set_dense_loop(dense);
+  std::vector<Value> values(n, 0);
+  std::vector<NodeId> changed;
+  const auto observe = [&] {
+    streams.advance_all_active(values, changed);
+    for (const NodeId id : changed) cluster.set_value(id, values[id]);
+  };
+  cluster.stats().begin_step(0);
+  observe();
+  driver.initialize();
+  TimeStep t = 0;
+  for (auto _ : state) {
+    ++t;
+    cluster.stats().begin_step(t);
+    observe();
+    driver.step(t, changed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulationStep)
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 100, 0})
+    ->Args({1024, 100, 1})
+    ->Args({65536, 1, 0})
+    ->Args({65536, 1, 1})
+    ->Args({65536, 100, 0})
+    ->Args({65536, 100, 1});
+
+/// Pre-PR4 scheduled transport shape: a binary heap per recipient
+/// (push_heap/pop_heap by (due, seq)), here collapsed to one queue — the
+/// per-message cost the timing wheel replaces.
+void BM_SchedHeapPushPop(benchmark::State& state) {
+  struct Entry {
+    SimTime due;
+    std::uint64_t seq;
+    Message msg;
+  };
+  const auto cmp = [](const Entry& a, const Entry& b) noexcept {
+    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+  };
+  std::vector<Entry> heap;
+  Rng rng(3);
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  Message m;
+  for (auto _ : state) {
+    ++now;
+    for (int i = 0; i < 8; ++i) {
+      heap.push_back(
+          Entry{now + 1 + rng.uniform_below(12), ++seq, m});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+    while (!heap.empty() && heap.front().due <= now) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      benchmark::DoNotOptimize(heap.back().msg);
+      heap.pop_back();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_SchedHeapPushPop);
+
+/// The timing-wheel transport on the same send/advance/drain cadence.
+void BM_SchedWheelPushPop(benchmark::State& state) {
+  CommStats stats;
+  NetworkSpec spec;
+  spec.delay = 1;
+  spec.jitter = 12;
+  Network net(8, &stats, spec, 3);
+  Message m;
+  m.kind = MsgKind::kValueReport;
+  std::vector<Message> buf;
+  for (auto _ : state) {
+    net.advance_clock();
+    for (int i = 0; i < 8; ++i) net.node_send(static_cast<NodeId>(i), m);
+    net.drain_coordinator(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_SchedWheelPushPop);
+
+/// Shared decay schedule for the non-member boundary pair: the current
+/// best outsider keeps sinking, so every query must re-find the maximum
+/// over the n-k outsiders — the pre-PR4 tracker paid an O(n) scan per
+/// decay, the lazy heap pays amortized pops.
+void BM_NonmemberRescanScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kK = 8;
+  std::vector<Value> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<Value>(2 * n - i);
+  }
+  std::size_t victim = kK;
+  for (auto _ : state) {
+    values[victim] = 0;  // the boundary outsider decays
+    Value best = kMinusInf;
+    std::size_t best_id = kK;
+    for (std::size_t i = kK; i < n; ++i) {  // O(n) rescan
+      if (values[i] > best) {
+        best = values[i];
+        best_id = i;
+      }
+    }
+    benchmark::DoNotOptimize(best_id);
+    if (++victim + 1 >= n) {  // nearly everyone decayed: restart
+      for (std::size_t i = 0; i < n; ++i) {
+        values[i] = static_cast<Value>(2 * n - i);
+      }
+      victim = kK;
+    }
+  }
+}
+BENCHMARK(BM_NonmemberRescanScan)->Arg(1024)->Arg(65536);
+
+void BM_NonmemberRescanLazy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kK = 8;
+  GroundTruthTracker tracker(n, kK);
+  const auto reset = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      tracker.set_value(static_cast<NodeId>(i),
+                        static_cast<Value>(2 * n - i));
+    }
+    benchmark::DoNotOptimize(tracker.topk_set());
+  };
+  reset();
+  std::size_t victim = kK;
+  for (auto _ : state) {
+    tracker.set_value(static_cast<NodeId>(victim), 0);  // boundary decay
+    benchmark::DoNotOptimize(tracker.topk_set());       // lazy repair
+    if (++victim + 1 >= n) {
+      reset();
+      victim = kK;
+    }
+  }
+}
+BENCHMARK(BM_NonmemberRescanLazy)->Arg(1024)->Arg(65536);
+
 void BM_EarliestPending(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   CommStats stats;

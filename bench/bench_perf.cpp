@@ -18,13 +18,16 @@
 //     date.
 #include <array>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "alloc_hook.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace topkmon::bench {
 namespace {
@@ -52,42 +55,6 @@ struct PerfOutcome {
   RunResult run;
   std::uint64_t allocs = 0;  // during the timed run (hook-enabled only)
 };
-
-/// Label for the BENCH file name: env override, else git describe, else
-/// the UTC date. Sanitized to [A-Za-z0-9._-].
-std::string bench_label() {
-  std::string label;
-  if (const char* env = std::getenv("TOPKMON_BENCH_LABEL")) {
-    label = env;
-  }
-  if (label.empty()) {
-    if (std::FILE* pipe =
-            popen("git describe --always --dirty 2>/dev/null", "r")) {
-      std::array<char, 128> buf{};
-      if (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
-        label = buf.data();
-      }
-      pclose(pipe);
-    }
-  }
-  while (!label.empty() &&
-         (label.back() == '\n' || label.back() == '\r')) {
-    label.pop_back();
-  }
-  if (label.empty()) {
-    std::time_t now = std::time(nullptr);
-    std::tm tm{};
-    gmtime_r(&now, &tm);
-    std::array<char, 32> buf{};
-    std::strftime(buf.data(), buf.size(), "%Y%m%d-%H%M%S", &tm);
-    label = buf.data();
-  }
-  for (char& c : label) {
-    const auto u = static_cast<unsigned char>(c);
-    if (!std::isalnum(u) && c != '.' && c != '_' && c != '-') c = '_';
-  }
-  return label;
-}
 
 void write_bench_json(const std::string& path, const std::string& label,
                       std::uint64_t steps,
@@ -142,6 +109,90 @@ void write_bench_json(const std::string& path, const std::string& label,
   log << "perf: wrote " << path << "\n";
 }
 
+/// Regression gate of `--compare OLD.json`. Wall-clock numbers are noisy
+/// (shared CI runners), so only a large steps/sec drop fails, and only
+/// for cases whose wall time is long enough to measure at all —
+/// sub-10ms runs are scheduler-granularity noise; allocation counts are
+/// deterministic, so any material per-step growth always fails.
+constexpr double kMaxSlowdown = 0.30;      ///< tolerated steps/sec drop
+constexpr double kMaxAllocGrowth = 0.10;   ///< tolerated allocs/step growth
+constexpr double kMinJudgeableWall = 0.01; ///< s; below: timing verdicts off
+
+void compare_against(const std::string& path,
+                     const std::vector<PerfCase>& cases,
+                     const std::vector<PerfOutcome>& outcomes,
+                     SuiteContext& ctx) {
+  const auto old = read_bench_file(path);
+  if (!old) {
+    throw std::runtime_error("perf --compare: cannot read '" + path +
+                             "' as a topkmon-bench-v1 file");
+  }
+  Table diff({"case", "steps/s old", "steps/s new", "Δ%", "allocs/step old",
+              "allocs/step new", "verdict"});
+  std::vector<std::string> regressions;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const RunResult& r = outcomes[i].run;
+    const BenchRecord* prev = nullptr;
+    for (const BenchRecord& rec : old->scenarios) {
+      if (rec.name == cases[i].name) {
+        prev = &rec;
+        break;
+      }
+    }
+    const double sps_new =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.steps_executed) / r.wall_seconds
+            : 0.0;
+    const double aps_new =
+        alloc_hook_enabled() && r.steps_executed > 0
+            ? static_cast<double>(outcomes[i].allocs) /
+                  static_cast<double>(r.steps_executed)
+            : -1.0;
+    if (prev == nullptr) {
+      diff.add_row({cases[i].name, "-", fmt(sps_new, 0), "-", "-",
+                    aps_new < 0 ? "n/a" : fmt(aps_new, 3), "new case"});
+      continue;
+    }
+    const double sps_old = prev->steps_per_sec;
+    const double delta =
+        sps_old > 0.0 ? (sps_new - sps_old) / sps_old : 0.0;
+    // Old per-step allocs: the old file records its own step count
+    // (steps + the init step), matching its allocs total.
+    const double aps_old =
+        prev->allocs && old->steps > 0
+            ? static_cast<double>(*prev->allocs) /
+                  static_cast<double>(old->steps + 1)
+            : -1.0;
+    const bool judgeable = r.wall_seconds >= kMinJudgeableWall &&
+                           prev->wall_seconds >= kMinJudgeableWall;
+    std::string verdict = judgeable ? "ok" : "ok (short)";
+    if (judgeable && sps_old > 0.0 && delta < -kMaxSlowdown) {
+      verdict = "SLOWER";
+      regressions.push_back(std::string(cases[i].name) + ": steps/sec " +
+                            fmt(sps_old, 0) + " -> " + fmt(sps_new, 0));
+    }
+    // Allocation gate only when both builds carried the hook; a one-alloc
+    // absolute floor keeps tiny counts from tripping on rounding.
+    if (aps_old >= 0.0 && aps_new >= 0.0 &&
+        aps_new > aps_old * (1.0 + kMaxAllocGrowth) + 1.0) {
+      verdict = verdict == "ok" ? "ALLOCS" : verdict + "+ALLOCS";
+      regressions.push_back(std::string(cases[i].name) + ": allocs/step " +
+                            fmt(aps_old, 3) + " -> " + fmt(aps_new, 3));
+    }
+    diff.add_row({cases[i].name, fmt(sps_old, 0), fmt(sps_new, 0),
+                  fmt(delta * 100.0, 1), aps_old < 0 ? "n/a" : fmt(aps_old, 3),
+                  aps_new < 0 ? "n/a" : fmt(aps_new, 3), verdict});
+  }
+  ctx.out() << "\nperf: diff vs " << path << " (label '" << old->label
+            << "')\n";
+  diff.print(ctx.out());
+  if (!regressions.empty()) {
+    std::string msg = "perf regression vs " + path + ":";
+    for (const std::string& r : regressions) msg += "\n  " + r;
+    throw std::runtime_error(msg);
+  }
+}
+
 TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
   const std::uint64_t steps = ctx.opts().steps_or(2'000);
   const std::uint64_t seed = ctx.opts().seed;
@@ -163,6 +214,11 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
        "delay=2,jitter=3,ticks=64", 64, 8, RunConfig::Validation::kWeak},
       {"sched_drop_off", "topk_filter", StreamFamily::kRandomWalk,
        "delay=1,drop=0.01,ticks=64", 256, 8, RunConfig::Validation::kOff},
+      // Burst-heavy scheduled traffic: naive pushes n reports per step
+      // through the timing wheel — the slab free list must make sustained
+      // bursts allocation-free after warm-up.
+      {"sched_burst_naive", "naive", StreamFamily::kRandomWalk,
+       "delay=2,jitter=4,ticks=8", 256, 8, RunConfig::Validation::kWeak},
   };
 
   // One scenario per case; each runs on one worker thread, so the
@@ -231,6 +287,12 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
       ctx.opts().out_dir.empty() ? std::string(".") : ctx.opts().out_dir;
   write_bench_json(dir + "/BENCH_" + label + ".json", label, steps, cases,
                    outcomes, ctx.out());
+
+  // Built-in trajectory diff: compare against a previous BENCH file and
+  // fail the suite (non-zero topkmon_bench exit) on regression.
+  if (!ctx.opts().compare.empty()) {
+    compare_against(ctx.opts().compare, cases, outcomes, ctx);
+  }
 }
 
 }  // namespace

@@ -43,6 +43,8 @@ void print_usage(std::ostream& out) {
          "  --steps N      override each suite's default step count\n"
          "  --seed N       base seed (default 1)\n"
          "  --out-dir DIR  write each table as DIR/<name>.csv and .json\n"
+         "  --compare F    perf suite: diff against a previous BENCH_*.json\n"
+         "                 and exit non-zero on regression\n"
          "  --help         this message\n";
 }
 
@@ -141,6 +143,8 @@ int main(int argc, char** argv) {
         opts.seed = parse_u64(next());
       } else if (flag == "--out-dir" || flag == "--csv-dir") {
         opts.out_dir = next();
+      } else if (flag == "--compare") {
+        opts.compare = next();
       } else if (flag == "--help" || flag == "-h") {
         print_usage(std::cout);
         return 0;

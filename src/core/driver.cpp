@@ -19,6 +19,10 @@ void NodeCtx::signal(std::int64_t code) {
 
 void NodeCtx::arm_timer() { driver_.arm_node(id_); }
 
+void NodeCtx::set_needs_observe(bool needs) {
+  driver_.set_needs_observe(id_, needs);
+}
+
 void CoordCtx::control_broadcast(const Control& c) { driver_.queue_control(c); }
 
 const std::vector<Signal>& CoordCtx::signals() const {
@@ -35,10 +39,16 @@ SimDriver::SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
       nodes_(nodes),
       auto_deliver_(auto_deliver),
       coord_ctx_(*this, cluster),
-      node_armed_(cluster.size(), 0) {
+      armed_(cluster.size()),
+      needs_observe_(cluster.size()),
+      scan_scratch_(cluster.size()) {
   if (nodes_.size() != cluster_.size()) {
     throw std::invalid_argument("SimDriver: node algo count != cluster size");
   }
+  // Every node starts in the needs-observe set: an algorithm must opt out
+  // (NodeCtx::set_needs_observe(false)) to certify that its on_observe is
+  // a no-op on an unchanged value.
+  needs_observe_.set_all();
   node_ctxs_.reserve(cluster_.size());
   for (NodeId id = 0; id < cluster_.size(); ++id) {
     node_ctxs_.emplace_back(*this, cluster_, id);
@@ -52,48 +62,81 @@ bool SimDriver::anything_scheduled() const noexcept {
   return auto_deliver_ && cluster_.net().pending_deliveries() > 0;
 }
 
-void SimDriver::run_tick() {
+void SimDriver::service_node(NodeId id) {
+  // Phase 1 for one node: due charged mail first, then the tick's control
+  // broadcasts, then the armed timer. Messages precede controls because a
+  // control queued in the same coordinator phase as a broadcast (e.g.
+  // "next selection iteration starts" after a winner announcement)
+  // logically follows it — the lock-step semantics exclude the announced
+  // winner before the next iteration convenes.
   Network& net = cluster_.net();
-  net.advance_clock();
-
-  // Phase 1, per node in id order: due charged mail first, then the
-  // tick's control broadcasts, then the armed timer. Messages precede
-  // controls because a control queued in the same coordinator phase as a
-  // broadcast (e.g. "next selection iteration starts" after a winner
-  // announcement) logically follows it — the lock-step semantics exclude
-  // the announced winner before the next iteration convenes.
-  delivering_controls_.clear();
-  delivering_controls_.swap(pending_controls_);
-  for (NodeId id = 0; id < cluster_.size(); ++id) {
-    if (auto_deliver_) {
-      net.drain_node(id, mail_scratch_);
-      for (const Message& m : mail_scratch_) {
-        nodes_[id]->on_message(node_ctxs_[id], m);
-      }
-    }
-    for (const Control& c : delivering_controls_) {
-      nodes_[id]->on_control(node_ctxs_[id], c);
-    }
-    if (node_armed_[id]) {
-      node_armed_[id] = 0;
-      --armed_nodes_;
-      nodes_[id]->on_timer(node_ctxs_[id]);
+  if (auto_deliver_ && net.node_has_mail(id)) {
+    net.drain_node(id, mail_scratch_);
+    for (const Message& m : mail_scratch_) {
+      nodes_[id]->on_message(node_ctxs_[id], m);
     }
   }
+  for (const Control& c : delivering_controls_) {
+    nodes_[id]->on_control(node_ctxs_[id], c);
+  }
+  if (armed_.test(id)) {
+    armed_.clear(id);
+    --armed_nodes_;
+    nodes_[id]->on_timer(node_ctxs_[id]);
+  }
+}
 
+void SimDriver::service_coordinator() {
   // Phase 2: the coordinator's due mail, in arrival order.
   if (auto_deliver_) {
-    net.drain_coordinator(mail_scratch_);
+    cluster_.net().drain_coordinator(mail_scratch_);
     for (const Message& m : mail_scratch_) {
       coord_.on_message(coord_ctx_, m);
     }
   }
-
   // Phase 3: the coordinator's armed timer.
   if (coord_armed_) {
     coord_armed_ = false;
     coord_.on_timer(coord_ctx_);
   }
+}
+
+void SimDriver::run_tick_dense() {
+  for (NodeId id = 0; id < cluster_.size(); ++id) service_node(id);
+  service_coordinator();
+}
+
+void SimDriver::run_tick() {
+  Network& net = cluster_.net();
+  net.advance_clock();
+
+  delivering_controls_.clear();
+  delivering_controls_.swap(pending_controls_);
+  if (dense_ || !delivering_controls_.empty()) {
+    // A Control broadcast reaches every node by definition; control ticks
+    // (and the diagnostic dense mode) keep the full id scan.
+    run_tick_dense();
+    return;
+  }
+
+  // Sparse phase 1: only nodes with due mail or an armed timer can react
+  // this tick — for everyone else all sub-phases are provably no-ops.
+  // Per-word union of the two bitsets, visited in ascending id order.
+  // Callbacks can only mutate bits of the node being serviced (drain
+  // clears its mail bit, on_timer may re-arm itself), so the per-word
+  // snapshot taken by the scan stays exact.
+  const auto mail = net.due_mail_words();
+  const auto armed = armed_.words();
+  for (std::size_t w = 0; w < armed.size(); ++w) {
+    std::uint64_t bits = armed[w];
+    if (auto_deliver_) bits |= mail[w];
+    while (bits != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      service_node(static_cast<NodeId>(w * 64 + bit));
+    }
+  }
+  service_coordinator();
 }
 
 void SimDriver::settle(bool respect_budget) {
@@ -143,6 +186,26 @@ void SimDriver::step(TimeStep t) {
   for (NodeId id = 0; id < cluster_.size(); ++id) {
     nodes_[id]->on_observe(node_ctxs_[id], cluster_.value(id), t);
   }
+  coord_.on_step_begin(coord_ctx_, t);
+  settle(/*respect_budget=*/true);
+  coord_.on_step_end(coord_ctx_, t);
+}
+
+void SimDriver::step(TimeStep t, std::span<const NodeId> changed) {
+  if (dense_) {
+    step(t);
+    return;
+  }
+  signals_.clear();
+  // Observe set = changed nodes ∪ needs-observe nodes, ascending id. For
+  // a skipped node the value is unchanged AND its algorithm certified
+  // that on_observe is then a no-op, so the outcome (messages, signals,
+  // coin flips, counters) is identical to the dense loop's.
+  scan_scratch_.copy_from(needs_observe_);
+  for (const NodeId id : changed) scan_scratch_.set(id);
+  for_each_set_bit(scan_scratch_.words(), [&](NodeId id) {
+    nodes_[id]->on_observe(node_ctxs_[id], cluster_.value(id), t);
+  });
   coord_.on_step_begin(coord_ctx_, t);
   settle(/*respect_budget=*/true);
   coord_.on_step_end(coord_ctx_, t);

@@ -22,6 +22,20 @@
 // and reports sent there reach the coordinator in phase 2 of the same
 // tick — the paper's node-phase / coordinator-phase alternation.
 //
+// Sparse scan: phase 1 only *visits* the union of {nodes with due mail,
+// nodes with an armed timer} — for every other node all three sub-phases
+// are no-ops, so skipping them is output-identical while making a settled
+// tick O(active) instead of O(n). Ticks that deliver a Control broadcast
+// fall back to the dense scan (a control reaches every node by
+// definition), as does set_dense_loop(true), the benchmark/diagnostic
+// escape hatch.
+//
+// Observation sparsity follows the same contract: step(t, changed) runs
+// on_observe only for nodes whose value changed this step plus nodes that
+// requested unconditional observation via NodeCtx::set_needs_observe —
+// the flag every algorithm whose on_observe is not a no-op on an
+// unchanged value must keep set (it starts set; see roles.hpp).
+//
 // Timer semantics: arming from a node's on_message/on_control fires in
 // the same tick's node timer slot; arming from within on_timer fires next
 // tick (ditto for the coordinator in phases 2-3). This is what lets a
@@ -35,6 +49,7 @@
 
 #include "core/roles.hpp"
 #include "sim/cluster.hpp"
+#include "util/bitset.hpp"
 
 namespace topkmon {
 
@@ -58,6 +73,17 @@ class SimDriver {
   /// node, on_step_begin, the tick loop, then on_step_end.
   void step(TimeStep t);
 
+  /// One observation step with activity information: `changed` lists the
+  /// nodes whose value differs from the previous step (any order — the
+  /// observe scan re-sorts by id via its bitset). on_observe runs only
+  /// for those nodes plus the needs-observe set — identical outcomes,
+  /// O(active) cost. Ignored (dense observe) under set_dense_loop(true).
+  void step(TimeStep t, std::span<const NodeId> changed);
+
+  /// Forces the legacy dense per-tick scan and dense observe loop
+  /// (diagnostics / sparse-vs-dense benchmarking; output-identical).
+  void set_dense_loop(bool dense) noexcept { dense_ = dense; }
+
   /// Ticks consumed so far (diagnostics; grows monotonically).
   SimTime now() const noexcept { return cluster_.net().now(); }
 
@@ -66,22 +92,31 @@ class SimDriver {
   const std::vector<Signal>& signals() const noexcept { return signals_; }
   void queue_control(const Control& c) { pending_controls_.push_back(c); }
   void arm_node(NodeId id) {
-    if (!node_armed_[id]) {
-      node_armed_[id] = 1;
+    if (!armed_.test(id)) {
+      armed_.set(id);
       ++armed_nodes_;
     }
   }
   void arm_coordinator() noexcept { coord_armed_ = true; }
+  void set_needs_observe(NodeId id, bool needs) {
+    needs_observe_.assign(id, needs);
+  }
 
  private:
   void settle(bool respect_budget);
   void run_tick();
+  void run_tick_dense();
+  /// Phase-1 body for one node (mail -> controls -> timer).
+  void service_node(NodeId id);
+  /// Phases 2-3 (coordinator mail, coordinator timer).
+  void service_coordinator();
   bool anything_scheduled() const noexcept;
 
   Cluster& cluster_;
   CoordinatorAlgo& coord_;
   std::span<const std::unique_ptr<NodeAlgo>> nodes_;
   bool auto_deliver_;
+  bool dense_ = false;
 
   CoordCtx coord_ctx_;
   std::vector<NodeCtx> node_ctxs_;
@@ -90,7 +125,9 @@ class SimDriver {
   std::vector<Control> pending_controls_;
   std::vector<Control> delivering_controls_;  // double-buffer for phase 1
   std::vector<Message> mail_scratch_;         // reused across drains/ticks
-  std::vector<char> node_armed_;
+  IdBitset armed_;                            // nodes with an armed timer
+  IdBitset needs_observe_;      // nodes observed even when unchanged
+  IdBitset scan_scratch_;       // per-tick/step union scratch
   std::size_t armed_nodes_ = 0;
   bool coord_armed_ = false;
 };

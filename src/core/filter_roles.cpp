@@ -21,10 +21,25 @@ constexpr std::int64_t pack_session_c(std::uint32_t epoch,
 // FilterNode
 // ---------------------------------------------------------------------------
 
+void FilterNode::on_init(NodeCtx& ctx, Value) {
+  // The initial filter is [-inf, +inf]: every value is contained, so an
+  // unchanged value can never need an observe until a boundary arrives.
+  ctx.set_needs_observe(false);
+}
+
 void FilterNode::on_observe(NodeCtx& ctx, Value v, TimeStep) {
   // Algorithm 1, lines 2-9 (node side): check the filter locally; a
   // violation is free knowledge in the model, raised as a control signal.
-  if (filter_.contains(v)) return;
+  // Needs-observe contract: while the value violates the filter the node
+  // re-raises its signal every step (the coordinator counts every one,
+  // and under message loss a re-raise is what restarts an aborted
+  // repair), so it must stay in the observe set even when the value is
+  // unchanged; a contained value makes on_observe a no-op.
+  if (filter_.contains(v)) {
+    ctx.set_needs_observe(false);
+    return;
+  }
+  ctx.set_needs_observe(true);
   pending_ = member_ ? Pending::kTop : Pending::kBot;
   ctx.signal(member_ ? 1 : 0);
 }
@@ -57,9 +72,12 @@ void FilterNode::on_message(NodeCtx& ctx, const Message& m) {
     }
     case MsgKind::kFilterUpdate: {
       // Node-side effect of the boundary broadcast: rebuild the filter
-      // from (M, own membership belief). Ends any selection phase.
+      // from (M, own membership belief). Ends any selection phase. The
+      // new boundary may exclude the current value — the next step's
+      // observe must then run (and signal) even if the value is static.
       selecting_ = false;
       filter_ = member_ ? Filter{m.a, kPlusInf} : Filter{kMinusInf, m.a};
+      ctx.set_needs_observe(!filter_.contains(ctx.value()));
       break;
     }
     default:

@@ -63,6 +63,7 @@ class FilterNode final : public NodeAlgo {
  public:
   explicit FilterNode(std::size_t k) : k_(k) {}
 
+  void on_init(NodeCtx& ctx, Value v0) override;
   void on_observe(NodeCtx& ctx, Value v, TimeStep t) override;
   void on_message(NodeCtx& ctx, const Message& m) override;
   void on_control(NodeCtx& ctx, const Control& c) override;

@@ -38,6 +38,9 @@ void GroundTruthTracker::set_value(NodeId id, Value v) {
     return;
   }
   if (k_ == values_.size()) return;  // no non-members to track
+  // Keep the lazy heap's invariant — every non-member's *current* value
+  // is on the heap — so a later decay repair is pops, not an O(n) scan.
+  nm_heap_push(v, id);
   if (id == nonmember_max_id_) {
     if (v > old) {
       nonmember_max_val_ = v;  // best outsider got better: still best
@@ -64,19 +67,52 @@ void GroundTruthTracker::rescan_member_min() {
   member_dirty_ = false;
 }
 
-void GroundTruthTracker::rescan_nonmember_max() {
-  ++boundary_rescans_;
-  bool first = true;
+namespace {
+
+/// Max-heap comparator under the canonical order: `a` sorts below `b`
+/// when `b` ranks before it, so the heap top is the best-ranked snapshot.
+struct RanksAfter {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    return b.value != a.value ? b.value > a.value : b.id < a.id;
+  }
+};
+
+}  // namespace
+
+void GroundTruthTracker::nm_heap_push(Value v, NodeId id) {
+  // Compact once stale snapshots outnumber live non-members 2:1; the
+  // O(n) rebuild amortizes against the >= n pushes since the last one,
+  // and afterwards the vector's capacity is retained (no steady-state
+  // allocations).
+  if (nm_heap_.size() >= 3 * (values_.size() - k_) + 64) nm_heap_rebuild();
+  nm_heap_.push_back(HeapEntry{v, id});
+  std::push_heap(nm_heap_.begin(), nm_heap_.end(), RanksAfter{});
+}
+
+void GroundTruthTracker::nm_heap_rebuild() {
+  nm_heap_.clear();
   const auto n = static_cast<NodeId>(values_.size());
   for (NodeId id = 0; id < n; ++id) {
-    if (member_[id]) continue;
-    if (first ||
-        ranks_before(values_[id], id, nonmember_max_val_, nonmember_max_id_)) {
-      nonmember_max_val_ = values_[id];
-      nonmember_max_id_ = id;
-    }
-    first = false;
+    if (!member_[id]) nm_heap_.push_back(HeapEntry{values_[id], id});
   }
+  std::make_heap(nm_heap_.begin(), nm_heap_.end(), RanksAfter{});
+}
+
+void GroundTruthTracker::repair_nonmember_max() {
+  ++boundary_rescans_;
+  // Membership is fixed between full rebuilds and every non-member's
+  // current value is on the heap, so popping snapshots that are stale
+  // (value changed since the push) or shadowed (node joined the top-k —
+  // only via a rebuild that also rebuilt the heap, but kept for safety)
+  // leaves the true non-member maximum on top.
+  while (!nm_heap_.empty()) {
+    const HeapEntry& top = nm_heap_.front();
+    if (!member_[top.id] && values_[top.id] == top.value) break;
+    std::pop_heap(nm_heap_.begin(), nm_heap_.end(), RanksAfter{});
+    nm_heap_.pop_back();
+  }
+  nonmember_max_val_ = nm_heap_.front().value;
+  nonmember_max_id_ = nm_heap_.front().id;
   nonmember_dirty_ = false;
 }
 
@@ -110,6 +146,10 @@ void GroundTruthTracker::full_rebuild() {
   if (k_ < n) {
     nonmember_max_id_ = rank_scratch_[k_];
     nonmember_max_val_ = values_[nonmember_max_id_];
+    // Membership changed: reseed the lazy heap so every (possibly new)
+    // non-member has its current value on it. O(n), dominated by the
+    // partial sort above.
+    nm_heap_rebuild();
   }
   built_ = true;
   member_dirty_ = false;
@@ -123,7 +163,7 @@ void GroundTruthTracker::ensure_current() {
   }
   if (k_ == values_.size()) return;  // the set can never change
   if (member_dirty_) rescan_member_min();
-  if (nonmember_dirty_) rescan_nonmember_max();
+  if (nonmember_dirty_) repair_nonmember_max();
   // Boundary intact <=> every member still ranks before every non-member
   // <=> the worst member ranks before the best non-member. (The ranking
   // is a total order — ids break value ties — so this is exact even on

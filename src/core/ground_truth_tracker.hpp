@@ -19,12 +19,17 @@
 // true_topk_set / true_topk_ordered at every query — the equivalence the
 // unit tests enforce over randomized trajectories of every stream family.
 //
-// Cost model: set_value() is O(1). A query first repairs the extrema —
-// O(k) when a member update stalled the member minimum, O(n) when the
-// boundary non-member decayed (boundary_rescans counts these) — and only
-// when the boundary was actually crossed performs a full O(n log k)
-// rebuild (full_rebuilds). No query or update allocates at steady state:
-// all scratch is owned by the tracker and reused.
+// Cost model: set_value() is O(1) for members and O(log n) for
+// non-members (their updates also push a snapshot onto a lazy max-heap).
+// A query first repairs the extrema — O(k) when a member update stalled
+// the member minimum, amortized O(log n) when the boundary non-member
+// decayed (the lazy heap pops stale snapshots until its top is current;
+// boundary_rescans counts these repair events) — and only when the
+// boundary was actually crossed performs a full O(n log k) rebuild
+// (full_rebuilds). The heap is compacted back to one entry per
+// non-member when stale snapshots outnumber live ones 2:1, so its size
+// stays O(n) and, at steady state, no query or update allocates: all
+// scratch is owned by the tracker and reused.
 #pragma once
 
 #include <cstdint>
@@ -72,8 +77,9 @@ class GroundTruthTracker {
   /// build).
   std::uint64_t full_rebuilds() const noexcept { return full_rebuilds_; }
 
-  /// O(n) non-member rescans performed because the boundary non-member's
-  /// value decayed (no membership change).
+  /// Boundary repairs performed because the boundary non-member's value
+  /// decayed (no membership change) — amortized O(log n) lazy-heap pops
+  /// each, where the pre-PR4 implementation paid an O(n) rescan.
   std::uint64_t boundary_rescans() const noexcept { return boundary_rescans_; }
 
  private:
@@ -86,8 +92,22 @@ class GroundTruthTracker {
   /// crossed; afterwards member flags / sorted set / extrema are exact.
   void ensure_current();
   void rescan_member_min();
-  void rescan_nonmember_max();
+  void repair_nonmember_max();
   void full_rebuild();
+
+  /// One lazy-heap snapshot: node `id` had value `value` when pushed.
+  /// Valid iff the value is still current and the node is a non-member.
+  struct HeapEntry {
+    Value value;
+    NodeId id;
+  };
+
+  /// Pushes a snapshot for a non-member update (compacts when stale
+  /// entries dominate).
+  void nm_heap_push(Value v, NodeId id);
+
+  /// Rebuilds the heap to exactly one live snapshot per non-member.
+  void nm_heap_rebuild();
 
   std::size_t k_;
   std::vector<Value> values_;
@@ -110,6 +130,11 @@ class GroundTruthTracker {
   std::vector<NodeId> rank_scratch_;    ///< rebuild / ordered-query ids
   std::vector<NodeId> ordered_topk_;
   std::vector<char> cand_member_;       ///< is_valid() candidate flags
+
+  /// Lazy max-heap of non-member value snapshots under the canonical
+  /// order; between full rebuilds each non-member always has its current
+  /// value on the heap, so the first non-stale top is nonmember_max.
+  std::vector<HeapEntry> nm_heap_;
 };
 
 }  // namespace topkmon

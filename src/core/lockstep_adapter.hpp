@@ -20,8 +20,12 @@
 namespace topkmon {
 
 /// Placeholder node algorithm: the wrapped MonitorBase already simulates
-/// the node side internally.
-class LockstepNode final : public NodeAlgo {};
+/// the node side internally, so per-node observes are no-ops and the node
+/// opts out of the sparse driver's observe set entirely.
+class LockstepNode final : public NodeAlgo {
+ public:
+  void on_init(NodeCtx& ctx, Value) override { ctx.set_needs_observe(false); }
+};
 
 class LockstepAdapter final : public CoordinatorAlgo {
  public:

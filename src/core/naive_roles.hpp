@@ -20,7 +20,14 @@ class NaiveNode final : public NodeAlgo {
   explicit NaiveNode(bool send_on_change_only)
       : send_on_change_only_(send_on_change_only) {}
 
-  void on_init(NodeCtx& ctx, Value v0) override { report(ctx, v0); }
+  void on_init(NodeCtx& ctx, Value v0) override {
+    // Change-only reporting makes on_observe a no-op on an unchanged
+    // value (last_sent_ always equals the last observed value), so the
+    // node can leave the sparse driver's needs-observe set; the plain
+    // naive baseline sends every step and must stay in it.
+    if (send_on_change_only_) ctx.set_needs_observe(false);
+    report(ctx, v0);
+  }
   void on_observe(NodeCtx& ctx, Value v, TimeStep) override { report(ctx, v); }
 
  private:

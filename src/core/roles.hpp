@@ -78,6 +78,18 @@ class NodeCtx {
   /// current tick's timer phase; within on_timer itself, for the next tick.
   void arm_timer();
 
+  /// Declares whether this node must receive on_observe even when its
+  /// value did not change since the previous step. Every node starts in
+  /// the needs-observe set (the safe default: the driver then observes it
+  /// every step, exactly like the dense loop). An algorithm whose
+  /// on_observe is a no-op on an unchanged value — no message, no signal,
+  /// no coin flip, no state change — may clear the flag and re-set it
+  /// whenever that stops holding (e.g. a filter node while its value
+  /// violates the filter must keep re-signalling each step). Getting this
+  /// wrong silently diverges from the dense loop; the sparse/dense
+  /// equivalence tests pin the contract for the in-tree algorithms.
+  void set_needs_observe(bool needs);
+
  private:
   SimDriver& driver_;
   Cluster& cluster_;

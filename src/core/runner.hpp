@@ -54,6 +54,11 @@ struct RunResult {
   /// Wall-clock duration of the run in seconds (steady clock).
   double wall_seconds = 0.0;
 
+  /// Portion of wall_seconds spent in step-0 initialization (stream/
+  /// cluster construction and the initial protocol selection). Scale
+  /// benchmarks subtract it to report steady-state steps/sec.
+  double init_seconds = 0.0;
+
   // Communication totals (copied from the cluster at the end of the run).
   CommStats comm;
   MonitorStats monitor;

@@ -54,16 +54,47 @@ RunResult run_scenario(const Scenario& sc) {
   };
 
   SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native);
-  streams.plan_steps(sc.steps + 1);
-  std::vector<Value> values(sc.n);
+  driver.set_dense_loop(sc.dense_loop);
+  // Two observation paths producing identical values and an identical
+  // changed-id list:
+  //  * quiet-capable stream sets (the sparse wrapper family) advance
+  //    through the activity interface — untouched nodes cost one counter
+  //    decrement, nothing is materialized;
+  //  * everything else uses the batched lookahead plus a flat
+  //    previous-value compare (contiguous, so the scan streams through
+  //    two arrays instead of striding the NodeRuntime structs).
+  // Either way, per-node work beyond the change test happens only for
+  // nodes whose value moved — identical values land in identical
+  // cluster/tracker/trace state, byte-equivalent to a dense write loop.
+  const bool quiet_streams = streams.quiet_capable();
+  if (!quiet_streams) streams.plan_steps(sc.steps + 1);
+  std::vector<Value> values(sc.n, 0);  // mirrors the (all-zero) cluster
+  std::vector<Value> incoming(sc.n);
+  std::vector<NodeId> changed;
+  changed.reserve(sc.n);
 
   const auto observe = [&](TimeStep t) {
-    streams.advance_all(values);
-    for (NodeId id = 0; id < sc.n; ++id) {
-      const Value v = values[id];
-      cluster.set_value(id, v);
-      if (track) truth.set_value(id, v);
-      if (result.trace.has_value()) result.trace->at(t, id) = v;
+    if (quiet_streams) {
+      streams.advance_all_active(values, changed);
+      for (const NodeId id : changed) {
+        cluster.set_value(id, values[id]);
+        if (track) truth.set_value(id, values[id]);
+      }
+    } else {
+      streams.advance_all(incoming);
+      changed.clear();
+      for (NodeId id = 0; id < sc.n; ++id) {
+        const Value v = incoming[id];
+        if (v != values[id]) {
+          changed.push_back(id);
+          cluster.set_value(id, v);
+          if (track) truth.set_value(id, v);
+        }
+      }
+      values.swap(incoming);
+    }
+    if (result.trace.has_value()) {
+      for (NodeId id = 0; id < sc.n; ++id) result.trace->at(t, id) = values[id];
     }
   };
 
@@ -74,12 +105,16 @@ RunResult run_scenario(const Scenario& sc) {
   check(0);
   ++result.steps_executed;
   if (sc.on_step) sc.on_step(0, values, pair.coordinator->topk());
+  result.init_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   // Steps 1..steps.
   for (TimeStep t = 1; t <= sc.steps; ++t) {
     cluster.stats().begin_step(t);
     observe(t);
-    driver.step(t);
+    driver.step(t, changed);
     check(t);
     ++result.steps_executed;
     if (sc.on_step) sc.on_step(t, values, pair.coordinator->topk());

@@ -50,6 +50,13 @@ struct Scenario {
   /// in RunResult::error_steps — the right mode for lossy networks).
   bool throw_on_error = true;
 
+  /// Diagnostic / benchmark escape hatch: run the driver's legacy dense
+  /// per-tick scan and dense observe loop instead of the activity-driven
+  /// sparse path. Output-identical by contract (the sparse/dense
+  /// equivalence tests enforce it); the e16 scale suite uses it as the
+  /// before side of its speedup measurements.
+  bool dense_loop = false;
+
   /// Optional per-step observer called after each validated step with the
   /// step index, the true values and the coordinator's current answer
   /// (custom metrics such as regret; not part of the declarative core).
@@ -63,7 +70,10 @@ struct Scenario {
     return *this;
   }
   Scenario& with_stream_family(std::string_view family) {
-    stream.family = family_from_name(family);
+    // Param-aware: bare names keep their legacy meaning, and wrapper
+    // specs such as "sparse?rate=0.01,inner=random_walk" patch the
+    // current StreamSpec in place.
+    stream = parse_stream_spec(family, stream);
     return *this;
   }
   Scenario& with_network(std::string_view spec) {

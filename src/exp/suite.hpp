@@ -25,6 +25,9 @@ struct SuiteOptions {
   std::uint64_t seed = 1;    ///< base seed
   std::size_t jobs = 1;      ///< worker threads (0: hardware concurrency)
   std::string out_dir;       ///< empty: don't write CSV/JSON artifacts
+  /// Path to a previous BENCH_*.json; the perf suite diffs against it
+  /// (Δ steps/sec, Δ allocs) and fails on regressions. Empty: no diff.
+  std::string compare;
 
   std::uint64_t trials_or(std::uint64_t dflt) const {
     return trials ? trials : dflt;

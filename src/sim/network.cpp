@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 
@@ -10,8 +11,9 @@ namespace topkmon {
 
 namespace {
 
-/// Min-heap comparator: the entry with the smallest (due, seq) is popped
-/// first, so deliveries surface in arrival order.
+/// Min-heap comparator for the overflow heap: the entry with the
+/// smallest (due, seq) is popped first, so deliveries surface in send
+/// order within a tick.
 struct LaterDelivery {
   bool operator()(const auto& a, const auto& b) const noexcept {
     if (a.due != b.due) return a.due > b.due;
@@ -19,13 +21,19 @@ struct LaterDelivery {
   }
 };
 
-/// Sort key of an empty recipient queue: sorts after every real delivery.
-constexpr SimTime kIdle = std::numeric_limits<SimTime>::max();
+/// "No scheduled tick" sentinel.
+constexpr SimTime kNoTick = std::numeric_limits<SimTime>::max();
 
 /// Retained-log length that triggers a compaction scan. Large enough that
 /// the O(n) min-cursor scan and the O(tail) erase amortize to nothing per
 /// broadcast; small enough that long instant-mode runs stay flat in memory.
 constexpr std::size_t kLogCompactThreshold = 4096;
+
+/// Upper bound on the timing-wheel span in ticks. Specs whose worst-case
+/// delay fits under this bound (all realistic ones) never touch the
+/// overflow heap; larger delays merely fall back to O(log pending) pushes
+/// for the far-future tail.
+constexpr std::uint64_t kMaxWheelSpan = 4096;
 
 }  // namespace
 
@@ -37,9 +45,9 @@ Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
     : spec_(spec),
       instant_(spec.is_instant()),
       stats_(stats),
+      due_mail_(n),
       unicasts_(n),
-      cursors_(n, 0),
-      node_sched_(instant_ ? 0 : n) {
+      cursors_(n, 0) {
   if (stats_ == nullptr) {
     throw std::invalid_argument("Network requires a CommStats sink");
   }
@@ -48,14 +56,17 @@ Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
   std::uint64_t state = seed ^ 0x6E65745F6C696E6Bull;  // "net_link"
   hash_seed_ = splitmix64(state);
   if (!instant_) {
-    // Index-heap over the n node queues plus the coordinator queue (id n).
-    // All queues start empty, so any initial order is a valid heap.
-    qheap_.resize(n + 1);
-    qpos_.resize(n + 1);
-    for (std::size_t qi = 0; qi <= n; ++qi) {
-      qheap_[qi] = qi;
-      qpos_[qi] = qi;
-    }
+    // Wheel span: one bucket per tick of the spec's worst-case schedule
+    // offset (delay + jitter, plus batch-window rounding), power-of-two
+    // sized for mask indexing and capped so a pathological delay cannot
+    // allocate an unbounded wheel (the overflow heap absorbs the rest).
+    std::uint64_t span = spec_.max_delay() + 2;
+    if (spec_.batch_window > 1) span += spec_.batch_window - 1;
+    const std::uint64_t size = next_pow2(std::min(span, kMaxWheelSpan));
+    wheel_.assign(size, MsgList{});
+    wheel_bits_.assign((size + 63) / 64, 0);
+    wheel_mask_ = size - 1;
+    ready_.assign(n + 1, MsgList{});
   }
 }
 
@@ -83,78 +94,134 @@ std::optional<SimTime> Network::schedule_link(std::uint64_t seq,
   return due;
 }
 
-std::pair<SimTime, std::size_t> Network::queue_key(std::size_t qi) const {
-  const auto& q = queue(qi);
-  return {q.empty() ? kIdle : q.front().due, qi};
-}
-
-void Network::heap_sift_up(std::size_t pos) {
-  const std::size_t qi = qheap_[pos];
-  const auto key = queue_key(qi);
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / 2;
-    if (queue_key(qheap_[parent]) <= key) break;
-    qheap_[pos] = qheap_[parent];
-    qpos_[qheap_[pos]] = pos;
-    pos = parent;
+std::uint32_t Network::slab_alloc(const Message& m, std::uint32_t recipient) {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
   }
-  qheap_[pos] = qi;
-  qpos_[qi] = pos;
+  slab_[idx].msg = m;
+  slab_[idx].next = kNil;
+  slab_[idx].recipient = recipient;
+  return idx;
 }
 
-void Network::heap_sift_down(std::size_t pos) {
-  const std::size_t qi = qheap_[pos];
-  const auto key = queue_key(qi);
-  const std::size_t size = qheap_.size();
-  for (;;) {
-    std::size_t child = 2 * pos + 1;
-    if (child >= size) break;
-    auto child_key = queue_key(qheap_[child]);
-    if (child + 1 < size) {
-      const auto right_key = queue_key(qheap_[child + 1]);
-      if (right_key < child_key) {
-        ++child;
-        child_key = right_key;
-      }
-    }
-    if (key <= child_key) break;
-    qheap_[pos] = qheap_[child];
-    qpos_[qheap_[pos]] = pos;
-    pos = child;
+void Network::slab_free(std::uint32_t idx) {
+  slab_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+void Network::append_ready(std::uint32_t recipient, std::uint32_t idx) {
+  MsgList& list = ready_[recipient];
+  if (list.tail == kNil) {
+    list.head = idx;
+  } else {
+    slab_[list.tail].next = idx;
   }
-  qheap_[pos] = qi;
-  qpos_[qi] = pos;
+  list.tail = idx;
+  ++ready_count_;
+  if (recipient < num_nodes()) due_mail_.set(static_cast<NodeId>(recipient));
 }
 
-void Network::queue_front_changed(std::size_t qi) {
-  // The key may have moved either way (a push can lower it, pops raise
-  // it); one direction is always a no-op, so just try both.
-  const std::size_t pos = qpos_[qi];
-  heap_sift_up(pos);
-  heap_sift_down(qpos_[qi]);
-}
-
-void Network::push_scheduled(std::size_t qi, Scheduled s) {
-  auto& inbox = queue(qi);
-  const bool front_lowered =
-      inbox.empty() || LaterDelivery{}(inbox.front(), s);
-  inbox.push_back(s);
-  std::push_heap(inbox.begin(), inbox.end(), LaterDelivery{});
+void Network::schedule_delivery(std::uint32_t recipient, SimTime due,
+                                std::uint64_t seq, const Message& m) {
   ++pending_;
-  if (front_lowered) queue_front_changed(qi);
+  if (due <= now_) {
+    append_ready(recipient, slab_alloc(m, recipient));
+    return;
+  }
+  if (due - now_ <= wheel_mask_) {
+    const std::uint32_t idx = slab_alloc(m, recipient);
+    const auto slot = static_cast<std::size_t>(due & wheel_mask_);
+    MsgList& bucket = wheel_[slot];
+    // Sends happen in global seq order, so each bucket's list is
+    // automatically (due, seq)-sorted by appending.
+    if (bucket.tail == kNil) {
+      bucket.head = idx;
+    } else {
+      slab_[bucket.tail].next = idx;
+    }
+    bucket.tail = idx;
+    wheel_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    return;
+  }
+  overflow_.push_back(Overflow{due, seq, recipient, m});
+  std::push_heap(overflow_.begin(), overflow_.end(), LaterDelivery{});
 }
 
-void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out) {
-  auto& inbox = queue(qi);
-  bool popped = false;
-  while (!inbox.empty() && inbox.front().due <= now_) {
-    std::pop_heap(inbox.begin(), inbox.end(), LaterDelivery{});
-    out.push_back(inbox.back().msg);
-    inbox.pop_back();
-    --pending_;
-    popped = true;
+SimTime Network::next_wheel_tick() const {
+  // Every occupied bucket holds the unique in-span due tick congruent to
+  // its slot index, so the first occupied slot in circular order starting
+  // at (now_ + 1) is the earliest wheel delivery. Two linear word-wise
+  // passes ([start, size) then the wrapped [0, start)) — O(span/64),
+  // independent of n and of pending message count.
+  const std::uint64_t size = wheel_mask_ + 1;
+  const std::uint64_t start = (now_ + 1) & wheel_mask_;
+  const auto first_set_in = [&](std::uint64_t from,
+                                std::uint64_t to) -> std::uint64_t {
+    // First occupied slot in [from, to), or `size` when none. Only the
+    // range's first word needs masking; a hit in its last word may belong
+    // to the other pass and is rejected by the `< to` check (the word's
+    // lowest set bit being >= to implies no set bit below it).
+    for (std::uint64_t w = from >> 6; w <= (to - 1) >> 6; ++w) {
+      std::uint64_t word = wheel_bits_[w];
+      if (w == (from >> 6)) word &= (~std::uint64_t{0}) << (from & 63);
+      if (word == 0) continue;
+      const std::uint64_t slot =
+          w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+      return slot < to ? slot : size;
+    }
+    return size;
+  };
+  std::uint64_t slot = first_set_in(start, size);
+  if (slot == size && start != 0) slot = first_set_in(0, start);
+  if (slot == size) return kNoTick;
+  return now_ + 1 + ((slot - start) & wheel_mask_);
+}
+
+void Network::flush_tick(SimTime t) {
+  // Overflow entries first: a tick-t overflow message was necessarily
+  // sent before any tick-t wheel message (its schedule offset exceeded
+  // the wheel span, so its send tick — and hence its seq — is smaller),
+  // and heap pops with equal due come out in seq order.
+  while (!overflow_.empty() && overflow_.front().due == t) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), LaterDelivery{});
+    const Overflow& o = overflow_.back();
+    append_ready(o.recipient, slab_alloc(o.msg, o.recipient));
+    overflow_.pop_back();
   }
-  if (popped) queue_front_changed(qi);
+  const auto slot = static_cast<std::size_t>(t & wheel_mask_);
+  std::uint32_t idx = wheel_[slot].head;
+  while (idx != kNil) {
+    const std::uint32_t next = slab_[idx].next;
+    slab_[idx].next = kNil;
+    append_ready(slab_[idx].recipient, idx);
+    idx = next;
+  }
+  wheel_[slot] = MsgList{};
+  wheel_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+}
+
+void Network::advance_clock_to(SimTime t) {
+  if (instant_ || wheel_.empty()) {
+    if (t > now_) now_ = t;
+    return;
+  }
+  while (now_ < t) {
+    // Next event tick: min of the wheel's first occupied bucket and the
+    // overflow top. Empty tick ranges are skipped in one step.
+    SimTime e = next_wheel_tick();
+    if (!overflow_.empty()) e = std::min(e, overflow_.front().due);
+    if (e > t) {
+      now_ = t;
+      return;
+    }
+    now_ = e;
+    flush_tick(e);
+  }
 }
 
 void Network::node_send(NodeId from, Message m) {
@@ -173,7 +240,7 @@ void Network::node_send(NodeId from, Message m) {
   // The coordinator's "link" id is one past the node range.
   const auto coord_link = static_cast<std::uint32_t>(num_nodes());
   if (const auto due = schedule_link(seq, coord_link)) {
-    push_scheduled(num_nodes(), Scheduled{*due, seq, m});
+    schedule_delivery(coord_link, *due, seq, m);
   } else {
     ++dropped_;
   }
@@ -189,10 +256,11 @@ void Network::coord_unicast(NodeId to, Message m) {
   if (instant_) {
     unicasts_[to].push_back(Stamped{seq, m});
     ++pending_;
+    due_mail_.set(to);
     return;
   }
   if (const auto due = schedule_link(seq, to)) {
-    push_scheduled(to, Scheduled{*due, seq, m});
+    schedule_delivery(to, *due, seq, m);
   } else {
     ++dropped_;
   }
@@ -203,10 +271,12 @@ void Network::coord_broadcast(Message m) {
   if (tap_) tap_(MsgDirection::kBroadcast, m);
   const std::uint64_t seq = seq_++;
   if (instant_) {
-    // Shared log + per-node cursors: O(1) regardless of n. Every node has
-    // one pending delivery until it next drains.
+    // Shared log + per-node cursors: O(1) regardless of n (the word-wise
+    // due-bit fill is n/64). Every node has one pending delivery until it
+    // next drains.
     broadcast_log_.push_back(Stamped{seq, m});
     pending_ += num_nodes();
+    due_mail_.set_all();
     return;
   }
   // Scheduled mode fans the broadcast out per link so each receiver gets
@@ -216,7 +286,7 @@ void Network::coord_broadcast(Message m) {
   ++broadcasts_issued_;
   for (NodeId id = 0; id < num_nodes(); ++id) {
     if (const auto due = schedule_link(seq, id)) {
-      push_scheduled(id, Scheduled{*due, seq, m});
+      schedule_delivery(id, *due, seq, m);
     } else {
       ++dropped_;
     }
@@ -225,7 +295,22 @@ void Network::coord_broadcast(Message m) {
 
 bool Network::coordinator_has_mail() const noexcept {
   if (instant_) return !coord_inbox_.empty();
-  return !coord_sched_.empty() && coord_sched_.front().due <= now_;
+  return ready_[num_nodes()].head != kNil;
+}
+
+void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out) {
+  MsgList& list = ready_[qi];
+  std::uint32_t idx = list.head;
+  while (idx != kNil) {
+    out.push_back(slab_[idx].msg);
+    const std::uint32_t next = slab_[idx].next;
+    slab_free(idx);
+    idx = next;
+  }
+  pending_ -= out.size();
+  ready_count_ -= out.size();
+  list = MsgList{};
+  if (qi < num_nodes()) due_mail_.clear(static_cast<NodeId>(qi));
 }
 
 void Network::drain_coordinator(std::vector<Message>& out) {
@@ -288,6 +373,7 @@ void Network::drain_node(NodeId id, std::vector<Message>& out) {
   pending_ -= out.size();
   uni.clear();
   cursors_[id] = log_offset_ + broadcast_log_.size();
+  due_mail_.clear(id);
   maybe_compact_broadcast_log();
 }
 
@@ -313,11 +399,10 @@ void Network::maybe_compact_broadcast_log() {
 
 std::optional<SimTime> Network::earliest_pending() const {
   if (pending_ == 0) return std::nullopt;
-  if (instant_) return now_;  // everything deliverable immediately
-  // The index-heap root is the queue with the earliest front delivery;
-  // with pending_ > 0 at least one queue is non-empty, so the root's key
-  // is a real tick, never the idle sentinel.
-  return queue(qheap_.front()).front().due;
+  if (instant_ || ready_count_ > 0) return now_;  // deliverable right away
+  SimTime e = next_wheel_tick();
+  if (!overflow_.empty()) e = std::min(e, overflow_.front().due);
+  return e;
 }
 
 }  // namespace topkmon

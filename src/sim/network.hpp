@@ -16,12 +16,21 @@
 //   * Under a delay/jitter/drop/batch spec, each (message, link) pair is
 //     assigned a deterministic delivery tick (or dropped) at send time;
 //     drains only surface messages whose delivery tick has been reached.
-//     Broadcasts fan out into per-link scheduled deliveries. A global
-//     min index-heap over the per-recipient queues keeps
-//     earliest_pending() O(1) instead of scanning all n+1 queues.
+//     Broadcasts fan out into per-link scheduled deliveries. In-flight
+//     messages live in a slab of arena-allocated nodes threaded through a
+//     bucketed timing wheel keyed by delivery tick (far-future ticks
+//     overflow into a small heap); advancing the clock moves each tick's
+//     bucket onto per-recipient ready lists. Pushes and pops are O(1) and
+//     allocation-free at steady state (the slab free list recycles
+//     nodes), and earliest_pending() costs O(1) in n.
 //
 // Message *sends* are always charged to CommStats — the paper's objective
 // counts transmissions; a dropped message still cost its sender one unit.
+//
+// Activity tracking: the network maintains a per-node "has due mail"
+// bitset (`due_mail_words()`), set when a delivery becomes drainable and
+// cleared by drain_node(). The SimDriver's sparse event loop visits only
+// flagged nodes, making a settled tick O(active), not O(n).
 //
 // Hot-path drains: the `drain_*(buffer&)` overloads fill a caller-owned
 // scratch buffer (cleared first, capacity retained across calls), so a
@@ -39,6 +48,7 @@
 #include "sim/event_log.hpp"
 #include "sim/message.hpp"
 #include "sim/network_model.hpp"
+#include "util/bitset.hpp"
 #include "util/types.hpp"
 
 namespace topkmon {
@@ -67,12 +77,12 @@ class Network {
   SimTime now() const noexcept { return now_; }
 
   /// Advances the clock by one tick.
-  void advance_clock() noexcept { ++now_; }
+  void advance_clock() { advance_clock_to(now_ + 1); }
 
-  /// Advances the clock to `t` (no-op if `t` is in the past).
-  void advance_clock_to(SimTime t) noexcept {
-    if (t > now_) now_ = t;
-  }
+  /// Advances the clock to `t` (no-op if `t` is in the past). Under a
+  /// scheduled policy, every timing-wheel bucket passed on the way is
+  /// moved onto the recipients' ready lists in delivery order.
+  void advance_clock_to(SimTime t);
 
   // -- sending --------------------------------------------------------------
   /// Node `from` sends `m` to the coordinator (cost 1).
@@ -106,6 +116,16 @@ class Network {
   /// Convenience overload returning a fresh vector (tests / cold paths).
   std::vector<Message> drain_node(NodeId id);
 
+  /// Bitset over node ids: bit `id` is set iff drain_node(id) would
+  /// deliver at least one message at the current tick. Maintained under
+  /// every policy; drives the SimDriver's sparse per-tick scan.
+  std::span<const std::uint64_t> due_mail_words() const noexcept {
+    return due_mail_.words();
+  }
+
+  /// Single-node view of due_mail_words() (no bounds check; hot path).
+  bool node_has_mail(NodeId id) const noexcept { return due_mail_.test(id); }
+
   /// Total broadcasts ever issued (compaction does not lower this; under
   /// scheduled policies broadcasts are counted without logging).
   std::size_t broadcast_log_size() const noexcept {
@@ -118,9 +138,9 @@ class Network {
   /// counts once per receiving link; dropped links never count).
   std::uint64_t pending_deliveries() const noexcept { return pending_; }
 
-  /// Earliest delivery tick among pending messages (nullopt when idle).
-  /// O(1): instant mode is trivially "now", scheduled mode reads the root
-  /// of the maintained queue index-heap.
+  /// Earliest tick at which a pending message can be drained: `now()`
+  /// when something is already deliverable, else the next occupied
+  /// timing-wheel bucket / overflow entry; nullopt when idle. O(1) in n.
   std::optional<SimTime> earliest_pending() const;
 
   /// Total messages lost to the drop policy so far (per link).
@@ -136,8 +156,8 @@ class Network {
 
   /// Copy of the *retained* broadcast log messages in issue order (tests /
   /// tracing). Maintained under the instant policy only — scheduled modes
-  /// return an empty log (deliveries live in the per-link queues instead),
-  /// and a prefix already read by every node may have been compacted away.
+  /// return an empty log (deliveries live in the slab instead), and a
+  /// prefix already read by every node may have been compacted away.
   std::vector<Message> broadcast_log() const {
     std::vector<Message> out;
     out.reserve(broadcast_log_.size());
@@ -151,10 +171,31 @@ class Network {
     Message msg;
   };
 
-  /// A message instance scheduled on one link.
-  struct Scheduled {
+  /// Slab index sentinel (empty list / end of list).
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  /// One in-flight scheduled message, arena-allocated in the slab and
+  /// threaded through exactly one list (a wheel bucket, then a ready
+  /// list). Recipient queues are nodes 0..n-1, the coordinator is n.
+  struct MsgNode {
+    Message msg;
+    std::uint32_t next = kNil;
+    std::uint32_t recipient = 0;
+  };
+
+  /// Intrusive singly-linked FIFO into the slab.
+  struct MsgList {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  /// A message scheduled beyond the wheel horizon (rare: only when the
+  /// spec's worst-case delay exceeds the wheel span). Min-heap by
+  /// (due, seq) so pops replay send order within a tick.
+  struct Overflow {
     SimTime due;
     std::uint64_t seq;
+    std::uint32_t recipient;
     Message msg;
   };
 
@@ -162,25 +203,23 @@ class Network {
   /// when the drop policy loses the message on this link.
   std::optional<SimTime> schedule_link(std::uint64_t seq, std::uint32_t link);
 
-  /// Recipient queue index: nodes are 0..n-1, the coordinator is n.
-  std::vector<Scheduled>& queue(std::size_t qi) {
-    return qi == num_nodes() ? coord_sched_ : node_sched_[qi];
-  }
-  const std::vector<Scheduled>& queue(std::size_t qi) const {
-    return qi == num_nodes() ? coord_sched_ : node_sched_[qi];
-  }
+  /// Routes one scheduled delivery: ready list if already due, wheel
+  /// bucket within the horizon, overflow heap beyond it.
+  void schedule_delivery(std::uint32_t recipient, SimTime due,
+                         std::uint64_t seq, const Message& m);
 
-  /// (front due, queue index) sort key of queue `qi`; empty queues sort
-  /// last via the kIdle sentinel.
-  std::pair<SimTime, std::size_t> queue_key(std::size_t qi) const;
+  std::uint32_t slab_alloc(const Message& m, std::uint32_t recipient);
+  void slab_free(std::uint32_t idx);
+  void append_ready(std::uint32_t recipient, std::uint32_t idx);
 
-  /// Re-establishes the index-heap invariant after queue `qi`'s front
-  /// changed (push with a new minimum, or pops).
-  void queue_front_changed(std::size_t qi);
-  void heap_sift_up(std::size_t pos);
-  void heap_sift_down(std::size_t pos);
+  /// Due tick of the next occupied wheel bucket strictly after now()
+  /// (kNoTick when the wheel is empty).
+  SimTime next_wheel_tick() const;
 
-  void push_scheduled(std::size_t qi, Scheduled s);
+  /// Moves tick `t`'s deliveries (overflow first — they were sent
+  /// earlier, see the seq argument in network.cpp) onto the ready lists.
+  void flush_tick(SimTime t);
+
   void drain_scheduled(std::size_t qi, std::vector<Message>& out);
 
   /// Drops the broadcast-log prefix every node has already read once the
@@ -199,6 +238,9 @@ class Network {
   std::uint64_t dropped_ = 0;
   std::uint64_t broadcasts_issued_ = 0;  // scheduled-mode broadcast counter
 
+  /// Per-node "a drain would deliver something now" flags (all policies).
+  IdBitset due_mail_;
+
   // Instant mode: flat inboxes + shared broadcast log with read cursors.
   // Cursors are absolute (count of broadcasts read since construction);
   // log_offset_ is the absolute index of broadcast_log_[0] after prefix
@@ -209,14 +251,21 @@ class Network {
   std::vector<std::size_t> cursors_;            // per-node broadcast cursor
   std::size_t log_offset_ = 0;
 
-  // Scheduled mode: per-recipient delivery queues kept as min-heaps
-  // ordered by (due, seq), plus a global index-heap of queue ids ordered
-  // by each queue's front due (the maintained minimum earliest_pending
-  // reads in O(1)).
-  std::vector<Scheduled> coord_sched_;
-  std::vector<std::vector<Scheduled>> node_sched_;
-  std::vector<std::size_t> qheap_;  // queue ids, min-heap by queue_key
-  std::vector<std::size_t> qpos_;   // qpos_[qi] = position of qi in qheap_
+  // Scheduled mode: slab + timing wheel + per-recipient ready lists.
+  // wheel_[due & (wheel_mask_)] holds the deliveries of exactly one due
+  // tick (every in-wheel due lies within `wheel span` of the clock, so
+  // buckets never mix ticks); wheel_bits_ mirrors bucket occupancy for
+  // O(span/64) next-event scans. ready_[qi] is (due, seq)-ordered by
+  // construction: buckets are flushed in tick order and each bucket's
+  // list is appended in send order.
+  std::vector<MsgNode> slab_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<MsgList> wheel_;
+  std::vector<std::uint64_t> wheel_bits_;
+  std::uint64_t wheel_mask_ = 0;
+  std::vector<Overflow> overflow_;  // min-heap by (due, seq)
+  std::vector<MsgList> ready_;      // per recipient; index n = coordinator
+  std::uint64_t ready_count_ = 0;
 };
 
 }  // namespace topkmon

@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace topkmon {
 
 std::string_view family_name(StreamFamily family) noexcept {
@@ -17,6 +19,7 @@ std::string_view family_name(StreamFamily family) noexcept {
     case StreamFamily::kRotatingMax: return "rotating_max";
     case StreamFamily::kCrossingPairs: return "crossing_pairs";
     case StreamFamily::kSensor: return "sensor";
+    case StreamFamily::kSparse: return "sparse";
   }
   return "?";
 }
@@ -26,7 +29,8 @@ std::vector<StreamFamily> all_families() {
           StreamFamily::kIidGaussian,   StreamFamily::kZipf,
           StreamFamily::kPareto,        StreamFamily::kSinusoidal,
           StreamFamily::kBursty,        StreamFamily::kRotatingMax,
-          StreamFamily::kCrossingPairs, StreamFamily::kSensor};
+          StreamFamily::kCrossingPairs, StreamFamily::kSensor,
+          StreamFamily::kSparse};
 }
 
 StreamFamily family_from_name(std::string_view name) {
@@ -89,11 +93,59 @@ std::unique_ptr<Stream> make_one(const StreamSpec& spec, NodeId id,
                 static_cast<double>(n);
       return std::make_unique<SensorStream>(p, rng);
     }
+    case StreamFamily::kSparse: {
+      if (spec.sparse_inner == StreamFamily::kSparse) {
+        throw std::invalid_argument(
+            "make_stream_set: sparse cannot wrap itself");
+      }
+      StreamSpec inner_spec = spec;
+      inner_spec.family = spec.sparse_inner;
+      auto inner = make_one(inner_spec, id, n, root);
+      // Activity phases are striped id % period: every window of `period`
+      // consecutive ids covers all phases once, so exactly
+      // floor/ceil(rate * n) nodes draw fresh values on any given step.
+      const std::uint64_t period = SparseStream::period_for(spec.sparse.rate);
+      return std::make_unique<SparseStream>(std::move(inner),
+                                            spec.sparse.rate, id % period);
+    }
   }
   throw std::invalid_argument("make_stream_set: unknown family");
 }
 
 }  // namespace
+
+StreamSpec parse_stream_spec(std::string_view text, StreamSpec base) {
+  const std::size_t q = text.find('?');
+  base.family = family_from_name(text.substr(0, q));
+  if (q == std::string_view::npos) return base;
+  if (base.family != StreamFamily::kSparse) {
+    throw std::invalid_argument("stream spec '" + std::string(text) +
+                                "': family has no parameter grammar");
+  }
+  for (const std::string_view item : split(text.substr(q + 1), ',')) {
+    const std::size_t eq = item.find('=');
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : item.substr(eq + 1);
+    if (key == "rate") {
+      const auto rate = to_double(value);
+      if (!rate || !(*rate > 0.0) || *rate > 1.0) {
+        throw std::invalid_argument("stream spec: '" + std::string(value) +
+                                    "' is not a rate in (0, 1]");
+      }
+      base.sparse.rate = *rate;
+    } else if (key == "inner") {
+      base.sparse_inner = family_from_name(value);
+      if (base.sparse_inner == StreamFamily::kSparse) {
+        throw std::invalid_argument("stream spec: sparse cannot wrap itself");
+      }
+    } else {
+      throw std::invalid_argument("stream spec: unknown parameter '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return base;
+}
 
 StreamSet make_stream_set(const StreamSpec& spec, std::size_t n,
                           std::uint64_t seed) {

@@ -13,6 +13,7 @@
 #include "streams/random_walk.hpp"
 #include "streams/sensor.hpp"
 #include "streams/sinusoidal.hpp"
+#include "streams/sparse.hpp"
 #include "streams/stream.hpp"
 #include "streams/zipf.hpp"
 
@@ -29,6 +30,7 @@ enum class StreamFamily {
   kRotatingMax,
   kCrossingPairs,
   kSensor,
+  kSparse,
 };
 
 /// Display name ("random_walk", ...).
@@ -83,11 +85,24 @@ struct StreamSpec {
 
   /// kSensor: diurnal phases spread evenly per node.
   SensorParams sensor{};
+
+  /// kSparse: activity-gated wrapper around `sparse_inner` — each step
+  /// exactly a `sparse.rate` fraction of the nodes draws a fresh inner
+  /// value (activity phases striped as id % period); the rest repeat.
+  SparseParams sparse{};
+  StreamFamily sparse_inner = StreamFamily::kRandomWalk;
 };
 
 /// Builds the n per-node streams described by `spec`, deterministically
 /// from `seed`.
 StreamSet make_stream_set(const StreamSpec& spec, std::size_t n,
                           std::uint64_t seed);
+
+/// Parses a workload spec string into `base`: a bare family name
+/// ("random_walk"), or a parameterized one in the monitor-registry style
+/// — currently "sparse?rate=0.01,inner=random_walk". Unknown families,
+/// malformed parameters, or parameters on families without a grammar
+/// throw std::invalid_argument.
+StreamSpec parse_stream_spec(std::string_view text, StreamSpec base = {});
 
 }  // namespace topkmon

@@ -1,0 +1,53 @@
+#include "streams/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace topkmon {
+
+std::uint64_t SparseStream::period_for(double rate) {
+  if (!(rate > 0.0) || rate > 1.0) {
+    throw std::invalid_argument("SparseStream: rate must be in (0, 1]");
+  }
+  const auto period = static_cast<std::uint64_t>(std::llround(1.0 / rate));
+  return period == 0 ? 1 : period;
+}
+
+SparseStream::SparseStream(std::unique_ptr<Stream> inner, double rate,
+                           std::uint64_t phase)
+    : inner_(std::move(inner)), period_(period_for(rate)), phase_(phase) {
+  if (phase >= period_) {
+    throw std::invalid_argument("SparseStream: phase out of range");
+  }
+}
+
+void SparseStream::draw() {
+  current_ = inner_->next();
+  // Step 0 always draws (every node needs a real initial value); the
+  // next activity step is then the first t > 0 with
+  // (t + phase) % period == 0, i.e. period - phase (or a full period for
+  // phase 0). Afterwards draws recur every `period` advances.
+  until_ = first_ && phase_ != 0 ? period_ - phase_ : period_;
+  first_ = false;
+}
+
+Value SparseStream::next() {
+  if (until_ == 0) draw();
+  --until_;
+  return current_;
+}
+
+void SparseStream::next_batch(std::span<Value> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (until_ == 0) draw();
+    const auto run = static_cast<std::size_t>(
+        std::min<std::uint64_t>(until_, out.size() - i));
+    std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(i), run, current_);
+    until_ -= run;
+    i += run;
+  }
+}
+
+}  // namespace topkmon

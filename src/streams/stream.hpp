@@ -15,9 +15,11 @@
 // values ahead of the observation clock is observationally equivalent.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -46,6 +48,22 @@ class Stream {
   /// than per-call next() would.
   virtual std::uint64_t prefetch_limit() const {
     return ~std::uint64_t{0};
+  }
+
+  /// True when the stream can certify quiet runs (advance_quiet below):
+  /// the activity-gated wrapper family. Lets StreamSet::advance_all_active
+  /// skip untouched nodes in O(1) per step instead of materializing their
+  /// repeated values.
+  virtual bool supports_quiet_runs() const { return false; }
+
+  /// Consumes up to `max_steps` upcoming advances whose values are
+  /// guaranteed equal to the last produced value, returning how many were
+  /// consumed (0: the next advance may change the value). The default —
+  /// and any generator without change tracking — never certifies a quiet
+  /// step.
+  virtual std::uint64_t advance_quiet(std::uint64_t max_steps) {
+    (void)max_steps;
+    return 0;
   }
 };
 
@@ -86,6 +104,15 @@ class DistinctStream final : public Stream {
     return inner_->prefetch_limit();
   }
 
+  /// The affine map is stateless and injective, so inner quiet runs are
+  /// outer quiet runs.
+  bool supports_quiet_runs() const override {
+    return inner_->supports_quiet_runs();
+  }
+  std::uint64_t advance_quiet(std::uint64_t max_steps) override {
+    return inner_->advance_quiet(max_steps);
+  }
+
  private:
   std::unique_ptr<Stream> inner_;
   NodeId id_;
@@ -123,18 +150,79 @@ class StreamSet {
   }
 
   /// Advances node `id`'s stream and returns the new observation.
-  /// Throws std::out_of_range for a bad id.
+  /// Throws std::out_of_range for a bad id, std::logic_error after
+  /// advance_all_active took over the set.
   Value advance(NodeId id) {
+    if (active_mode_) throw_mixed_mode();
     if (cursor_.at(id) == buffered_[id]) refill(id);
     return lookahead_buf_.empty()
                ? single_[id]
                : lookahead_buf_[id * kLookahead + cursor_[id]++];
   }
 
+  /// True when every stream certifies quiet runs (see Stream::
+  /// supports_quiet_runs) — the precondition of advance_all_active.
+  bool quiet_capable() const {
+    for (const auto& s : streams_) {
+      if (!s->supports_quiet_runs()) return false;
+    }
+    return !streams_.empty();
+  }
+
+  /// Activity-driven advance: `values` must hold every node's previous
+  /// observation on entry (all zeros before the first call, matching a
+  /// fresh cluster) and is updated in place; `changed` (cleared first)
+  /// receives exactly the nodes whose value differs from the previous
+  /// step, in no particular order. Nodes inside a certified quiet run are
+  /// not visited at all — a calendar ring keyed by next-activity step
+  /// makes a step cost O(active), independent of n. Requires
+  /// quiet_capable(); the per-id/batched interfaces are disabled
+  /// afterwards (the lookahead machinery would double-generate).
+  void advance_all_active(std::span<Value> values,
+                          std::vector<NodeId>& changed) {
+    changed.clear();
+    if (!active_mode_) {
+      active_mode_ = true;
+      calendar_.assign(kCalendarSlots, {});
+      due_step_.assign(streams_.size(), 0);
+      // Every node is due at step 0 (the initial draw).
+      calendar_[0].reserve(streams_.size());
+      for (NodeId id = 0; id < streams_.size(); ++id) {
+        calendar_[0].push_back(id);
+      }
+    }
+    calendar_scratch_.clear();
+    calendar_scratch_.swap(calendar_[active_step_ % kCalendarSlots]);
+    for (const NodeId id : calendar_scratch_) {
+      if (due_step_[id] > active_step_) {
+        // Quiet run longer than the ring: parked at the horizon, hop on.
+        reschedule(id, due_step_[id]);
+        continue;
+      }
+      Stream& s = *streams_[id];
+      const Value v = s.next();
+      if (v != values[id]) {
+        values[id] = v;
+        changed.push_back(id);
+      }
+      reschedule(id, active_step_ + 1 + s.advance_quiet(~std::uint64_t{0}));
+    }
+    ++active_step_;
+  }
+
   /// Advances every stream once: out[id] receives node id's observation.
-  /// Requires out.size() == size().
+  /// Requires out.size() == size(). Identical values to per-id advance();
+  /// the loop body skips advance()'s bounds check (ids are generated) —
+  /// at large n this is the simulation's per-step floor, so every ns
+  /// counts.
   void advance_all(std::span<Value> out) {
-    for (NodeId id = 0; id < streams_.size(); ++id) out[id] = advance(id);
+    if (active_mode_) throw_mixed_mode();
+    const bool planned = !lookahead_buf_.empty();
+    for (NodeId id = 0; id < streams_.size(); ++id) {
+      if (cursor_[id] == buffered_[id]) refill(id);
+      out[id] = planned ? lookahead_buf_[id * kLookahead + cursor_[id]++]
+                        : single_[id];
+    }
   }
 
  private:
@@ -169,12 +257,36 @@ class StreamSet {
     cursor_[id] = 0;
   }
 
+  [[noreturn]] static void throw_mixed_mode() {
+    throw std::logic_error(
+        "StreamSet: advance()/advance_all() cannot follow "
+        "advance_all_active() (the lookahead would double-generate)");
+  }
+
+  /// Calendar ring size: quiet runs shorter than this take one hop;
+  /// longer ones park at the horizon and hop every kCalendarSlots steps.
+  static constexpr std::uint64_t kCalendarSlots = 512;
+
+  void reschedule(NodeId id, std::uint64_t due) {
+    due_step_[id] = due;
+    const std::uint64_t hop =
+        std::min<std::uint64_t>(due - active_step_, kCalendarSlots - 1);
+    calendar_[(active_step_ + hop) % kCalendarSlots].push_back(id);
+  }
+
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<Value> lookahead_buf_;       ///< empty until plan_steps()
   std::vector<Value> single_;              ///< unplanned fallback slots
   std::vector<std::uint32_t> buffered_;    ///< valid prefix per node
   std::vector<std::uint32_t> cursor_;      ///< next unread index per node
   std::vector<std::uint64_t> budget_;      ///< planned advances left
+
+  // Activity-driven mode (advance_all_active) state.
+  std::vector<std::vector<NodeId>> calendar_;  ///< ring of due-node lists
+  std::vector<NodeId> calendar_scratch_;       ///< current slot, detached
+  std::vector<std::uint64_t> due_step_;        ///< absolute next-draw step
+  std::uint64_t active_step_ = 0;
+  bool active_mode_ = false;               ///< advance_all_active took over
 };
 
 }  // namespace topkmon

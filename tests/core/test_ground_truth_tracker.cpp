@@ -159,6 +159,43 @@ TEST(GroundTruthTracker, KEqualsNIsAlwaysValid) {
   }
 }
 
+TEST(GroundTruthTracker, LazyHeapSurvivesBoundaryDecayStorm) {
+  // Adversarial workload for the non-member lazy heap: the best outsider
+  // decays over and over, so every query repairs the boundary (the old
+  // implementation paid O(n) per repair; the heap pays amortized pops).
+  // Equivalence to the batch helpers must hold throughout, and the
+  // rescan counter must actually count the repairs.
+  constexpr std::size_t kN = 48;
+  constexpr std::size_t kK = 6;
+  std::vector<Value> values(kN);
+  GroundTruthTracker tracker(kN, kK);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = static_cast<Value>(10'000 - static_cast<Value>(i));
+    tracker.set_value(static_cast<NodeId>(i), values[i]);
+  }
+  Rng rng(42);
+  Value floor_value = 0;
+  for (int round = 0; round < 1'500; ++round) {
+    // The current boundary non-member (k-th outsider by construction of
+    // the batch helper) sinks below everyone.
+    const auto ordered = true_topk_ordered(values, kK + 1);
+    const NodeId boundary = ordered.back();
+    values[boundary] = floor_value--;
+    tracker.set_value(boundary, values[boundary]);
+    ASSERT_EQ(tracker.topk_set(), true_topk_set(values, kK)) << round;
+    // Occasionally revive a random node so full rebuilds interleave with
+    // the decay-only repairs (heap reseeding path).
+    if (round % 97 == 0) {
+      const auto id = static_cast<NodeId>(rng.uniform_below(kN));
+      values[id] = rng.uniform_int(5'000, 20'000);
+      tracker.set_value(id, values[id]);
+      ASSERT_EQ(tracker.topk_set(), true_topk_set(values, kK)) << round;
+    }
+  }
+  EXPECT_GT(tracker.boundary_rescans(), 100u);
+  EXPECT_GT(tracker.full_rebuilds(), 0u);
+}
+
 TEST(GroundTruthTracker, RejectsBadK) {
   EXPECT_THROW(GroundTruthTracker(4, 0), std::invalid_argument);
   EXPECT_THROW(GroundTruthTracker(4, 5), std::invalid_argument);

@@ -1,0 +1,142 @@
+// The PR4 bit-compatibility contract: the activity-driven sparse event
+// loop (sparse per-tick scan + needs-observe-gated on_observe + changed-
+// node detection) must be indistinguishable from the legacy dense loop —
+// same messages by direction and kind, same monitor counters (which see
+// every re-raised violation signal), same per-step answers, same error
+// pattern — for every monitor on every network policy it can run on,
+// across both quiet-capable (sparse wrapper) and arbitrary workloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "sim/message.hpp"
+
+namespace topkmon {
+namespace {
+
+using exp::Scenario;
+using exp::run_scenario;
+
+struct LoopTrace {
+  RunResult result;
+  std::vector<std::vector<NodeId>> answers;
+};
+
+LoopTrace run_loop(const std::string& monitor, const std::string& family,
+                   const std::string& network, bool dense) {
+  Scenario sc;
+  sc.monitor = monitor;
+  sc.with_stream_family(family);
+  sc.stream.walk.max_step = 5'000;
+  sc.with_network(network);
+  sc.n = 24;
+  sc.k = 5;
+  sc.steps = 120;
+  sc.seed = 77;
+  sc.dense_loop = dense;
+  // Lossy / budgeted networks legitimately diverge from the ground truth;
+  // the invariant under test is that both loops diverge identically.
+  sc.validation = RunConfig::Validation::kWeak;
+  sc.throw_on_error = false;
+  LoopTrace trace;
+  sc.on_step = [&trace](TimeStep, const std::vector<Value>&,
+                        const std::vector<NodeId>& answer) {
+    trace.answers.push_back(answer);
+  };
+  trace.result = run_scenario(sc);
+  return trace;
+}
+
+void expect_equivalent(const std::string& monitor, const std::string& family,
+                       const std::string& network) {
+  SCOPED_TRACE(monitor + " / " + family + " / " + network);
+  const LoopTrace sparse = run_loop(monitor, family, network, false);
+  const LoopTrace dense = run_loop(monitor, family, network, true);
+
+  // Messages: totals, directions, and every kind (beacons, announces,
+  // filter updates, probes ... — a missed coin flip or skipped signal
+  // shifts these immediately).
+  EXPECT_EQ(sparse.result.comm.total(), dense.result.comm.total());
+  EXPECT_EQ(sparse.result.comm.upstream(), dense.result.comm.upstream());
+  EXPECT_EQ(sparse.result.comm.unicast(), dense.result.comm.unicast());
+  EXPECT_EQ(sparse.result.comm.broadcast(), dense.result.comm.broadcast());
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k) {
+    EXPECT_EQ(sparse.result.comm.by_kind(static_cast<MsgKind>(k)),
+              dense.result.comm.by_kind(static_cast<MsgKind>(k)))
+        << msg_kind_name(static_cast<MsgKind>(k));
+  }
+
+  // Monitor counters, including the violation counts fed by per-step
+  // signals (a node in violation must re-signal every step even when its
+  // value is unchanged — the needs-observe contract).
+  EXPECT_EQ(sparse.result.monitor.violation_steps,
+            dense.result.monitor.violation_steps);
+  EXPECT_EQ(sparse.result.monitor.violations, dense.result.monitor.violations);
+  EXPECT_EQ(sparse.result.monitor.protocol_runs,
+            dense.result.monitor.protocol_runs);
+  EXPECT_EQ(sparse.result.monitor.filter_resets,
+            dense.result.monitor.filter_resets);
+  EXPECT_EQ(sparse.result.monitor.full_rebuilds,
+            dense.result.monitor.full_rebuilds);
+
+  // Validation outcome and the answer itself, step by step.
+  EXPECT_EQ(sparse.result.error_steps, dense.result.error_steps);
+  EXPECT_EQ(sparse.result.correct, dense.result.correct);
+  EXPECT_EQ(sparse.result.first_error_step, dense.result.first_error_step);
+  ASSERT_EQ(sparse.answers.size(), dense.answers.size());
+  for (std::size_t t = 0; t < sparse.answers.size(); ++t) {
+    EXPECT_EQ(sparse.answers[t], dense.answers[t]) << "step " << t;
+  }
+}
+
+const std::vector<std::string>& workloads() {
+  // One quiet-capable family (activity interface + sparse observe) and
+  // one dense stochastic family (previous-value compare path).
+  static const std::vector<std::string> w{
+      "sparse?rate=0.2,inner=random_walk", "random_walk"};
+  return w;
+}
+
+TEST(SparseDenseLoop, AllMonitorsOnInstant) {
+  for (const char* monitor :
+       {"topk_filter", "topk_filter?nobeacon", "ordered", "slack", "dominance",
+        "recompute", "naive", "naive_chg", "approx?eps=1000",
+        "multi_k?ks=2+5"}) {
+    for (const std::string& family : workloads()) {
+      expect_equivalent(monitor, family, "instant");
+    }
+  }
+}
+
+TEST(SparseDenseLoop, NativeMonitorsOnScheduledNetworks) {
+  for (const char* monitor : {"topk_filter", "naive", "naive_chg"}) {
+    for (const char* network :
+         {"delay=2,jitter=1", "drop=0.1", "batch=2", "delay=1,drop=0.05",
+          "delay=3,ticks=4", "delay=1,jitter=2,ticks=8"}) {
+      for (const std::string& family : workloads()) {
+        expect_equivalent(monitor, family, network);
+      }
+    }
+  }
+}
+
+TEST(SparseDenseLoop, StrictValidationStaysExactOnInstant) {
+  // Beyond mutual equivalence: on the instant network the sparse loop
+  // must also stay exactly correct against the ground truth.
+  Scenario sc;
+  sc.monitor = "topk_filter";
+  sc.with_stream_family("sparse?rate=0.1,inner=random_walk");
+  sc.stream.walk.max_step = 20'000;
+  sc.n = 32;
+  sc.k = 6;
+  sc.steps = 250;
+  sc.seed = 5;
+  sc.validation = RunConfig::Validation::kStrict;
+  const RunResult r = run_scenario(sc);  // throws on divergence
+  EXPECT_TRUE(r.correct);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,4 +1,4 @@
-// Coverage for all 10 stream generator families:
+// Coverage for all registered stream generator families:
 //  * per-seed determinism goldens — the exact first values each family
 //    produces from a fixed seed, pinned so that any change to generator
 //    arithmetic, per-node parameter spreading or RNG derivation is caught
@@ -63,6 +63,14 @@ const std::vector<Golden>& goldens() {
       {StreamFamily::kSensor,
        "sensor",
        {727, 966, 729, 488, 731, 966, 713, 472, 735, 974, 721, 488}},
+      // Default sparse spec: rate 0.1 over random_walk. Step 0 draws the
+      // inner walk's first values (identical to the random_walk golden's
+      // first row); with phases id % 10 no node in {0..3} is active at
+      // steps 1-2, so both repeat step 0 verbatim.
+      {StreamFamily::kSparse,
+       "sparse",
+       {800015, 1600010, 2400021, 3200016, 800015, 1600010, 2400021, 3200016,
+        800015, 1600010, 2400021, 3200016}},
   };
   return g;
 }
