@@ -29,14 +29,19 @@ struct ScaleCase {
   double activity;
   const char* network;
   bool dense;
+  /// Broadcast-burst workload: a volatile inner walk keeps the top-k
+  /// churning, so the coordinator convenes selection protocols whose
+  /// beacons broadcast to all n nodes — the violation-burst regime the
+  /// bulk instant-broadcast fan-out targets.
+  bool burst = false;
 };
 
 std::string case_name(std::size_t n, double activity, const char* network,
-                      bool dense) {
+                      bool dense, bool burst) {
   std::string net = parse_network_spec(network).is_instant() ? "instant"
                                                              : "sched";
   return "n" + std::to_string(n) + "_act" + fmt(activity, 2) + "_" + net +
-         (dense ? "_dense" : "_sparse");
+         (burst ? "_burst" : "") + (dense ? "_dense" : "_sparse");
 }
 
 TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
@@ -58,10 +63,21 @@ TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
     for (const double act : activities) {
       for (const char* net : networks) {
         for (const bool dense : {false, true}) {
-          cases.push_back(
-              ScaleCase{case_name(n, act, net, dense), n, act, net, dense});
+          cases.push_back(ScaleCase{case_name(n, act, net, dense, false), n,
+                                    act, net, dense, false});
         }
       }
+    }
+  }
+  // Broadcast-burst column (instant only — that is where the bulk fan-out
+  // applies): 1% of nodes move per step, but each move is violent enough
+  // to keep violating filters, so most steps trigger protocol beacons
+  // that fan out to all n nodes. Laid out sparse/dense adjacent like the
+  // drift cases so the equivalence check below covers the burst rows too.
+  for (const std::size_t n : ns) {
+    for (const bool dense : {false, true}) {
+      cases.push_back(ScaleCase{case_name(n, 0.01, "instant", dense, true), n,
+                                0.01, "instant", dense, true});
     }
   }
 
@@ -72,12 +88,20 @@ TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
         stream.family = StreamFamily::kSparse;
         stream.sparse.rate = c.activity;
         stream.sparse_inner = StreamFamily::kRandomWalk;
-        // Wide value range relative to the walk step: nodes drift without
-        // constantly reshuffling the top-k — the paper's "no news is good
-        // news" regime the activity-driven loop is built for (violation
-        // bursts still occur, just not every step).
-        stream.walk.hi = 100'000'000;
-        stream.walk.max_step = 64;
+        if (c.burst) {
+          // Narrow range, violent steps: the active 1% of nodes crosses
+          // filter bounds nearly every step, so the coordinator's
+          // selection beacons broadcast constantly.
+          stream.walk.hi = 1'000'000;
+          stream.walk.max_step = 10'000;
+        } else {
+          // Wide value range relative to the walk step: nodes drift
+          // without constantly reshuffling the top-k — the paper's "no
+          // news is good news" regime the activity-driven loop is built
+          // for (violation bursts still occur, just not every step).
+          stream.walk.hi = 100'000'000;
+          stream.walk.max_step = 64;
+        }
         Scenario sc =
             scenario("topk_filter?nobeacon", stream, c.n, kK, steps, seed);
         sc.network = parse_network_spec(c.network);
@@ -96,7 +120,8 @@ TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
 
   // Sparse and dense runs of the same configuration must be functionally
   // indistinguishable — same messages, same divergence pattern. Cases are
-  // laid out sparse/dense adjacent.
+  // laid out sparse/dense adjacent; the loop therefore also pins the
+  // broadcast-burst rows (where the bulk fan-out dominates) sparse≡dense.
   for (std::size_t i = 0; i + 1 < cases.size(); i += 2) {
     const RunResult& sparse = outcomes[i];
     const RunResult& dense = outcomes[i + 1];
@@ -107,14 +132,15 @@ TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
     }
   }
 
-  Table fingerprint({"case", "n", "k", "activity", "network", "loop", "steps",
-                     "msgs_total", "msgs_per_step", "error_steps"});
+  Table fingerprint({"case", "n", "k", "activity", "network", "workload",
+                     "loop", "steps", "msgs_total", "msgs_per_step",
+                     "error_steps"});
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const ScaleCase& c = cases[i];
     const RunResult& r = outcomes[i];
     fingerprint.add_row(
         {c.name, std::to_string(c.n), std::to_string(kK), fmt(c.activity, 2),
-         c.network, c.dense ? "dense" : "sparse",
+         c.network, c.burst ? "burst" : "drift", c.dense ? "dense" : "sparse",
          std::to_string(r.steps_executed), std::to_string(r.comm.total()),
          fmt(r.messages_per_step(), 3), std::to_string(r.error_steps)});
   }
@@ -165,7 +191,8 @@ TOPKMON_SUITE(e16, "scale sweep: steps/sec vs n x activity (sparse vs dense "
     const double nsps = sps > 0.0 ? 1e9 / sps : 0.0;
     out << "    {\"name\": \"" << c.name << "\", \"n\": " << c.n
         << ", \"k\": " << kK << ", \"activity\": " << fmt(c.activity, 2)
-        << ", \"network\": \"" << c.network << "\", \"loop\": \""
+        << ", \"network\": \"" << c.network << "\", \"workload\": \""
+        << (c.burst ? "burst" : "drift") << "\", \"loop\": \""
         << (c.dense ? "dense" : "sparse") << "\", \"wall_seconds\": "
         << fmt(r.wall_seconds, 6) << ", \"init_seconds\": "
         << fmt(r.init_seconds, 6) << ", \"steps_per_sec\": " << fmt(sps, 1)

@@ -48,6 +48,49 @@ void BM_NetworkBroadcastDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkBroadcastDrain)->Arg(64)->Arg(1024);
 
+// Before/after pair for the bulk instant-broadcast fan-out: one
+// broadcast delivered to n clean nodes through n individual buffer
+// drains (the pre-bulk driver path) versus reading each node's log
+// suffix in place and committing with an O(1) ack.
+void BM_BroadcastFanoutDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  Network net(n, &stats);
+  Message m;
+  m.kind = MsgKind::kRoundBeacon;
+  std::vector<Message> buf;
+  for (auto _ : state) {
+    net.coord_broadcast(m);
+    for (NodeId i = 0; i < n; ++i) {
+      net.drain_node(i, buf);
+      benchmark::DoNotOptimize(buf.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BroadcastFanoutDrain)->Arg(1024)->Arg(65536);
+
+void BM_BroadcastFanoutBulk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CommStats stats;
+  Network net(n, &stats);
+  Message m;
+  m.kind = MsgKind::kRoundBeacon;
+  for (auto _ : state) {
+    net.coord_broadcast(m);
+    for (NodeId i = 0; i < n; ++i) {
+      const auto mail = net.unread_broadcasts(i);
+      for (const Message& msg : mail) benchmark::DoNotOptimize(&msg);
+      net.ack_broadcasts(i);
+    }
+    net.compact_broadcast_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BroadcastFanoutBulk)->Arg(1024)->Arg(65536);
+
 void BM_MaxProtocol(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 0;

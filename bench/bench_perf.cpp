@@ -219,6 +219,13 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
       // bursts allocation-free after warm-up.
       {"sched_burst_naive", "naive", StreamFamily::kRandomWalk,
        "delay=2,jitter=4,ticks=8", 256, 8, RunConfig::Validation::kWeak},
+      // Broadcast-heavy instant traffic: a volatile walk at larger n keeps
+      // the filter coordinator convening selection protocols, whose round
+      // beacons broadcast to all n nodes — the workload the bulk
+      // instant-broadcast fan-out (in-place log suffixes, O(1) acks)
+      // exists for.
+      {"instant_bcast_burst", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 4096, 8, RunConfig::Validation::kOff},
   };
 
   // One scenario per case; each runs on one worker thread, so the

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Reproduces the full paper table set with one command:
 #
-#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR] [extra topkmon_bench flags...]
 #
 # Runs every registered suite of topkmon_bench at its default
 # trials/steps, parallelized across all cores, and mirrors each table
-# into OUT_DIR as CSV + JSON. Expects the tree to be configured+built
-# already (cmake -B build -S . && cmake --build build -j).
+# into OUT_DIR as CSV + JSON. Extra flags are forwarded verbatim, e.g.
+#
+#   bench/run_all.sh build results --steps 500 --seed 7
+#
+# Expects the tree to be configured+built already
+# (cmake -B build -S . && cmake --build build -j). See
+# docs/reproducing-the-paper.md for the suite <-> paper-claim map.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-results}"
+shift $(( $# > 2 ? 2 : $# ))
 BENCH="${BUILD_DIR}/topkmon_bench"
 
 if [[ ! -x "${BENCH}" ]]; then
@@ -27,7 +33,7 @@ echo "   jobs   : ${JOBS}"
 echo "   output : ${OUT_DIR}/"
 echo
 
-"${BENCH}" --all --jobs "${JOBS}" --out-dir "${OUT_DIR}"
+"${BENCH}" --all --jobs "${JOBS}" --out-dir "${OUT_DIR}" "$@"
 
 echo
 echo "== artifacts =="

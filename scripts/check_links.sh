@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Markdown link checker for the user-facing documentation set
+# (README.md, ROADMAP.md, docs/*.md): every *relative* link must resolve
+# to an existing file or directory, dead links fail the build. External
+# (http/https/mailto) and pure-anchor links are not checked.
+#
+#   scripts/check_links.sh [REPO_ROOT]
+#
+# Wired into CI (.github/workflows/ci.yml, docs-links job) and into
+# CTest as `docs.links`, so a dead link fails tier-1 locally too.
+set -euo pipefail
+
+ROOT="${1:-.}"
+fail=0
+checked=0
+
+files=("$ROOT/README.md" "$ROOT/ROADMAP.md")
+if [[ -d "$ROOT/docs" ]]; then
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find "$ROOT/docs" -name '*.md' | sort)
+fi
+
+for f in "${files[@]}"; do
+  if [[ ! -f "$f" ]]; then
+    echo "check_links: missing documentation file: $f" >&2
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$f")
+  # Every "](target)" occurrence, inline links and images alike.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"   # drop any #anchor suffix
+    [[ -z "$path" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "check_links: dead link in $f -> ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_links: FAILED" >&2
+  exit 1
+fi
+echo "check_links: OK ($checked relative links across ${#files[@]} files)"

@@ -39,20 +39,17 @@ SimDriver::SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
       nodes_(nodes),
       auto_deliver_(auto_deliver),
       coord_ctx_(*this, cluster),
-      armed_(cluster.size()),
-      needs_observe_(cluster.size()),
       scan_scratch_(cluster.size()) {
   if (nodes_.size() != cluster_.size()) {
     throw std::invalid_argument("SimDriver: node algo count != cluster size");
   }
-  // Every node starts in the needs-observe set: an algorithm must opt out
-  // (NodeCtx::set_needs_observe(false)) to certify that its on_observe is
-  // a no-op on an unchanged value.
-  needs_observe_.set_all();
-  node_ctxs_.reserve(cluster_.size());
-  for (NodeId id = 0; id < cluster_.size(); ++id) {
-    node_ctxs_.emplace_back(*this, cluster_, id);
-  }
+  // The armed / needs-observe scalars live in the cluster's shared
+  // NodeRuntime; reset them in case this driver replaces an earlier one
+  // over the same cluster. Every node starts in the needs-observe set: an
+  // algorithm must opt out (NodeCtx::set_needs_observe(false)) to certify
+  // that its on_observe is a no-op on an unchanged value.
+  cluster_.runtime().armed.clear_all();
+  cluster_.runtime().needs_observe.set_all();
 }
 
 bool SimDriver::anything_scheduled() const noexcept {
@@ -70,19 +67,36 @@ void SimDriver::service_node(NodeId id) {
   // logically follows it — the lock-step semantics exclude the announced
   // winner before the next iteration convenes.
   Network& net = cluster_.net();
+  NodeCtx ctx(*this, cluster_, id);  // transient view; per-node scalars
+                                     // live in the shared NodeRuntime
+  NodeAlgo& algo = *nodes_[id];
   if (auto_deliver_ && net.node_has_mail(id)) {
-    net.drain_node(id, mail_scratch_);
-    for (const Message& m : mail_scratch_) {
-      nodes_[id]->on_message(node_ctxs_[id], m);
+    if (net.node_mail_is_broadcast_only(id)) {
+      // Bulk broadcast fan-out: the node's mail is exactly the shared
+      // log's unread suffix, so deliver it in place — no per-node copy,
+      // no merge, O(1) ack. The span stays valid across the callbacks:
+      // a node algorithm can only send upstream (coordinator inbox),
+      // signal, or arm its own timer — nothing grows or compacts the
+      // log until the next dirty-node drain or the post-scan compaction.
+      for (const Message& m : net.unread_broadcasts(id)) {
+        algo.on_message(ctx, m);
+      }
+      net.ack_broadcasts(id);
+    } else {
+      net.drain_node(id, mail_scratch_);
+      for (const Message& m : mail_scratch_) {
+        algo.on_message(ctx, m);
+      }
     }
   }
   for (const Control& c : delivering_controls_) {
-    nodes_[id]->on_control(node_ctxs_[id], c);
+    algo.on_control(ctx, c);
   }
-  if (armed_.test(id)) {
-    armed_.clear(id);
+  IdBitset& armed = cluster_.runtime().armed;
+  if (armed.test(id)) {
+    armed.clear(id);
     --armed_nodes_;
-    nodes_[id]->on_timer(node_ctxs_[id]);
+    algo.on_timer(ctx);
   }
 }
 
@@ -103,6 +117,9 @@ void SimDriver::service_coordinator() {
 
 void SimDriver::run_tick_dense() {
   for (NodeId id = 0; id < cluster_.size(); ++id) service_node(id);
+  // Bulk acks defer log compaction so in-place suffixes stay stable for
+  // the rest of the scan; settle the deferred work once per tick.
+  if (auto_deliver_) cluster_.net().compact_broadcast_log();
   service_coordinator();
 }
 
@@ -121,12 +138,13 @@ void SimDriver::run_tick() {
 
   // Sparse phase 1: only nodes with due mail or an armed timer can react
   // this tick — for everyone else all sub-phases are provably no-ops.
-  // Per-word union of the two bitsets, visited in ascending id order.
-  // Callbacks can only mutate bits of the node being serviced (drain
-  // clears its mail bit, on_timer may re-arm itself), so the per-word
-  // snapshot taken by the scan stays exact.
-  const auto mail = net.due_mail_words();
-  const auto armed = armed_.words();
+  // Per-word union of the two NodeRuntime bitsets, visited in ascending
+  // id order. Callbacks can only mutate bits of the node being serviced
+  // (drain/ack clears its mail bit, on_timer may re-arm itself), so the
+  // per-word snapshot taken by the scan stays exact.
+  const NodeRuntime& rt = cluster_.runtime();
+  const auto mail = rt.due_mail.words();
+  const auto armed = rt.armed.words();
   for (std::size_t w = 0; w < armed.size(); ++w) {
     std::uint64_t bits = armed[w];
     if (auto_deliver_) bits |= mail[w];
@@ -136,6 +154,7 @@ void SimDriver::run_tick() {
       service_node(static_cast<NodeId>(w * 64 + bit));
     }
   }
+  if (auto_deliver_) net.compact_broadcast_log();
   service_coordinator();
 }
 
@@ -173,8 +192,10 @@ void SimDriver::settle(bool respect_budget) {
 
 void SimDriver::initialize() {
   signals_.clear();
+  const std::span<const Value> values = cluster_.values();
   for (NodeId id = 0; id < cluster_.size(); ++id) {
-    nodes_[id]->on_init(node_ctxs_[id], cluster_.value(id));
+    NodeCtx ctx(*this, cluster_, id);
+    nodes_[id]->on_init(ctx, values[id]);
   }
   coord_.on_init(coord_ctx_);
   settle(/*respect_budget=*/false);
@@ -183,8 +204,12 @@ void SimDriver::initialize() {
 
 void SimDriver::step(TimeStep t) {
   signals_.clear();
+  // Dense observe: stream the flat NodeRuntime value array (8-byte
+  // stride) instead of gathering through per-node structs.
+  const std::span<const Value> values = cluster_.values();
   for (NodeId id = 0; id < cluster_.size(); ++id) {
-    nodes_[id]->on_observe(node_ctxs_[id], cluster_.value(id), t);
+    NodeCtx ctx(*this, cluster_, id);
+    nodes_[id]->on_observe(ctx, values[id], t);
   }
   coord_.on_step_begin(coord_ctx_, t);
   settle(/*respect_budget=*/true);
@@ -201,10 +226,12 @@ void SimDriver::step(TimeStep t, std::span<const NodeId> changed) {
   // a skipped node the value is unchanged AND its algorithm certified
   // that on_observe is then a no-op, so the outcome (messages, signals,
   // coin flips, counters) is identical to the dense loop's.
-  scan_scratch_.copy_from(needs_observe_);
+  scan_scratch_.copy_from(cluster_.runtime().needs_observe);
   for (const NodeId id : changed) scan_scratch_.set(id);
+  const std::span<const Value> values = cluster_.values();
   for_each_set_bit(scan_scratch_.words(), [&](NodeId id) {
-    nodes_[id]->on_observe(node_ctxs_[id], cluster_.value(id), t);
+    NodeCtx ctx(*this, cluster_, id);
+    nodes_[id]->on_observe(ctx, values[id], t);
   });
   coord_.on_step_begin(coord_ctx_, t);
   settle(/*respect_budget=*/true);

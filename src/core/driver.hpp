@@ -28,7 +28,11 @@
 // tick O(active) instead of O(n). Ticks that deliver a Control broadcast
 // fall back to the dense scan (a control reaches every node by
 // definition), as does set_dense_loop(true), the benchmark/diagnostic
-// escape hatch.
+// escape hatch. Within the scan, nodes whose due mail is purely
+// broadcasts take the bulk fan-out: the instant network hands out each
+// node's unread log suffix in place (Network::unread_broadcasts) and the
+// delivery commits with an O(1) ack — same messages, same order as a
+// drain, none of the per-node buffer traffic.
 //
 // Observation sparsity follows the same contract: step(t, changed) runs
 // on_observe only for nodes whose value changed this step plus nodes that
@@ -53,6 +57,11 @@
 
 namespace topkmon {
 
+/// The event loop driving one role-separated deployment (coordinator +
+/// n node algorithms) over a cluster: observation steps, delivery
+/// ticks, timers and the uncharged control plane, with the sparse
+/// activity-driven scan and the bulk broadcast fan-out documented in
+/// the header comment above and in docs/architecture.md.
 class SimDriver {
  public:
   /// `auto_deliver` selects the event loop: true for native role
@@ -88,18 +97,29 @@ class SimDriver {
   SimTime now() const noexcept { return cluster_.net().now(); }
 
   // -- context plumbing (used by NodeCtx / CoordCtx) ------------------------
+  // Per-node scalars (armed, needs-observe) live in the cluster's shared
+  // structure-of-arrays NodeRuntime, next to the network's due-mail bits
+  // the tick scan unions them with.
+
+  /// Records an uncharged upstream signal for the current step.
   void raise_signal(Signal s) { signals_.push_back(s); }
+  /// Signals raised since the step began, in raise order.
   const std::vector<Signal>& signals() const noexcept { return signals_; }
+  /// Queues an uncharged Control broadcast for the next node phase.
   void queue_control(const Control& c) { pending_controls_.push_back(c); }
+  /// Arms node id's timer for the next node timer phase (idempotent).
   void arm_node(NodeId id) {
-    if (!armed_.test(id)) {
-      armed_.set(id);
+    IdBitset& armed = cluster_.runtime().armed;
+    if (!armed.test(id)) {
+      armed.set(id);
       ++armed_nodes_;
     }
   }
+  /// Arms the coordinator's timer for the next coordinator timer phase.
   void arm_coordinator() noexcept { coord_armed_ = true; }
+  /// Adds/removes node id from the unconditional-observe set.
   void set_needs_observe(NodeId id, bool needs) {
-    needs_observe_.assign(id, needs);
+    cluster_.runtime().needs_observe.assign(id, needs);
   }
 
  private:
@@ -119,14 +139,11 @@ class SimDriver {
   bool dense_ = false;
 
   CoordCtx coord_ctx_;
-  std::vector<NodeCtx> node_ctxs_;
 
   std::vector<Signal> signals_;
   std::vector<Control> pending_controls_;
   std::vector<Control> delivering_controls_;  // double-buffer for phase 1
   std::vector<Message> mail_scratch_;         // reused across drains/ticks
-  IdBitset armed_;                            // nodes with an armed timer
-  IdBitset needs_observe_;      // nodes observed even when unchanged
   IdBitset scan_scratch_;       // per-tick/step union scratch
   std::size_t armed_nodes_ = 0;
   bool coord_armed_ = false;

@@ -56,17 +56,21 @@ class SimDriver;
 /// API makes non-local reads impossible by construction.
 class NodeCtx {
  public:
+  /// Transient view (driver, cluster, id): constructed at the call
+  /// site per callback; per-node scalars live in the shared NodeRuntime.
   NodeCtx(SimDriver& driver, Cluster& cluster, NodeId id)
       : driver_(driver), cluster_(cluster), id_(id) {}
 
+  /// This node's id (0..n-1).
   NodeId id() const noexcept { return id_; }
+  /// Total number of nodes in the deployment.
   std::size_t n() const noexcept { return cluster_.size(); }
 
   /// The node's current stream observation.
   Value value() const { return cluster_.value(id_); }
 
   /// The node's private randomness source.
-  Rng& rng() { return cluster_.node(id_).rng; }
+  Rng& rng() { return cluster_.node_rng(id_); }
 
   /// Sends `m` to the coordinator (charged, subject to the network policy).
   void send(Message m) { cluster_.net().node_send(id_, m); }
@@ -101,11 +105,14 @@ class NodeCtx {
 /// epoch counter. Node state is not reachable.
 class CoordCtx {
  public:
+  /// Transient view over the driver and cluster (one per deployment).
   CoordCtx(SimDriver& driver, Cluster& cluster)
       : driver_(driver), cluster_(cluster) {}
 
+  /// Total number of nodes in the deployment.
   std::size_t n() const noexcept { return cluster_.size(); }
 
+  /// The coordinator's private randomness source.
   Rng& rng() { return cluster_.coordinator_rng(); }
 
   /// Sends `m` to node `to` (charged, subject to the network policy).

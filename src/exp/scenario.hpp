@@ -41,9 +41,15 @@ struct Scenario {
   std::size_t steps = 1'000;  ///< observation steps after initialization
   std::uint64_t seed = 42;    ///< cluster / stream / link randomness seed
 
+  /// Per-step ground-truth check: kStrict (exact canonical set), kWeak
+  /// (any valid set under ties), kOff (no checking; perf runs).
   RunConfig::Validation validation = RunConfig::Validation::kStrict;
+  /// Additionally require the answer's rank *order* to match (only
+  /// meaningful for the ordered monitor).
   bool validate_order = false;
+  /// Record the full n × steps value matrix in RunResult::trace.
   bool record_trace = false;
+  /// Record per-step message-count series in the CommStats.
   bool record_series = false;
 
   /// Propagate validation divergence as an exception (else it is recorded
@@ -65,6 +71,7 @@ struct Scenario {
       on_step;
 
   // -- fluent helpers --------------------------------------------------------
+  /// Sets the monitor registry spec (e.g. "topk_filter?nobeacon").
   Scenario& with_monitor(std::string spec) {
     monitor = std::move(spec);
     return *this;
@@ -76,6 +83,7 @@ struct Scenario {
     stream = parse_stream_spec(family, stream);
     return *this;
   }
+  /// Parses and sets the delivery policy (e.g. "delay=2,jitter=3").
   Scenario& with_network(std::string_view spec) {
     network = parse_network_spec(spec);
     return *this;

@@ -34,7 +34,8 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
   std::vector<NodeView> views(participants.size());
   std::vector<Message> mail;  // drain scratch, reused across rounds
 
-  for (const NodeId id : participants) cluster.node(id).active = true;
+  NodeRuntime& rt = cluster.runtime();
+  for (const NodeId id : participants) rt.active.set(id);
 
   // Coordinator-side running extremum, fed exclusively by received reports.
   bool have_best = false;
@@ -47,8 +48,8 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
     // --- node phase -------------------------------------------------------
     for (std::size_t idx = 0; idx < participants.size(); ++idx) {
       const NodeId id = participants[idx];
-      NodeRuntime& node = cluster.node(id);
-      if (!node.active) continue;
+      if (!rt.active.test(id)) continue;
+      const Value node_value = rt.values[id];
 
       // Receive pending broadcasts; keep only beacons of this epoch.
       net.drain_node(id, mail);
@@ -67,20 +68,20 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
 
       // Line 8: a node beaten by the broadcast extremum deactivates.
       if (views[idx].has_beacon &&
-          !beats(dir, node.value, id, views[idx].beacon_value,
+          !beats(dir, node_value, id, views[idx].beacon_value,
                  views[idx].beacon_holder)) {
-        node.active = false;
+        rt.active.clear(id);
         continue;
       }
 
       // Line 11: Bernoulli(2^r / N) coin flip.
-      if (node.rng.bernoulli_pow2(r, log_n)) {
+      if (rt.rngs[id].bernoulli_pow2(r, log_n)) {
         Message report;
         report.kind = MsgKind::kValueReport;
-        report.a = node.value;
+        report.a = node_value;
         net.node_send(id, report);
         ++result.reports;
-        node.active = false;
+        rt.active.clear(id);
       }
     }
 
@@ -126,7 +127,7 @@ ProtocolResult run_extremum_protocol(Cluster& cluster,
     ++result.announces;
   }
 
-  for (const NodeId id : participants) cluster.node(id).active = false;
+  for (const NodeId id : participants) rt.active.clear(id);
   return result;
 }
 

@@ -1,21 +1,25 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
+
 namespace topkmon {
 
 Cluster::Cluster(std::size_t n, std::uint64_t seed)
     : Cluster(n, seed, NetworkSpec{}) {}
 
+Cluster::Cluster(std::span<const Value> initial, std::uint64_t seed)
+    : Cluster(initial.size(), seed) {
+  std::copy(initial.begin(), initial.end(), runtime_.values.begin());
+}
+
 Cluster::Cluster(std::size_t n, std::uint64_t seed, const NetworkSpec& net_spec)
-    : net_(n, &stats_, net_spec, seed),
+    : runtime_(n),
+      net_(n, &stats_, net_spec, seed, &runtime_),
       coord_rng_(Rng(seed).derive(0xC00Dull)) {
   const Rng root(seed);
-  nodes_.reserve(n);
   all_ids_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    NodeRuntime nr;
-    nr.id = static_cast<NodeId>(i);
-    nr.rng = root.derive(i + 1);
-    nodes_.push_back(nr);
+    runtime_.rngs[i] = root.derive(i + 1);
     all_ids_.push_back(static_cast<NodeId>(i));
   }
 }

@@ -1,33 +1,27 @@
 // The simulated distributed system: n node runtimes + coordinator + network.
 //
-// A Cluster owns the per-node state that belongs to the *machine* (current
-// observed value, the node's private RNG for protocol coin flips, protocol
-// scratch flags). Algorithm-specific node state (filters, membership flags)
-// lives in the algorithm implementations, mirroring what a node would store
-// on behalf of the currently deployed monitoring algorithm.
+// A Cluster owns the per-node state that belongs to the *machine* —
+// current observed value, the node's private RNG for protocol coin flips,
+// protocol scratch flags — held as structure-of-arrays in a NodeRuntime
+// (sim/node_runtime.hpp) shared with the Network (due-mail bits) and the
+// SimDriver (armed / needs-observe bits). Algorithm-specific node state
+// (filters, membership flags) lives in the algorithm implementations,
+// mirroring what a node would store on behalf of the currently deployed
+// monitoring algorithm.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "sim/comm_stats.hpp"
 #include "sim/network.hpp"
+#include "sim/node_runtime.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace topkmon {
-
-/// Machine-level state of one distributed node.
-struct NodeRuntime {
-  NodeId id = 0;
-  /// Value currently observed on the node's private stream.
-  Value value = 0;
-  /// The node's private randomness source (Bernoulli(2^r/N) coin flips).
-  Rng rng;
-  /// Scratch flag used by protocol executions ("active" in Algorithm 2).
-  bool active = false;
-};
 
 /// A coordinator-plus-n-nodes system with unified message accounting.
 class Cluster {
@@ -42,24 +36,47 @@ class Cluster {
   /// derives from `seed` too, independently of the node RNG streams.
   Cluster(std::size_t n, std::uint64_t seed, const NetworkSpec& net_spec);
 
-  std::size_t size() const noexcept { return nodes_.size(); }
+  /// Builds a cluster of initial.size() nodes with the values preset
+  /// (an instant network). Prvalue-friendly convenience for fixtures
+  /// and benchmarks: `return Cluster(values, seed);` builds in place.
+  Cluster(std::span<const Value> initial, std::uint64_t seed);
 
-  NodeRuntime& node(NodeId id) { return nodes_.at(id); }
-  const NodeRuntime& node(NodeId id) const { return nodes_.at(id); }
+  /// Not copyable or movable: the embedded network aliases this
+  /// cluster's stats sink and NodeRuntime, so a memberwise copy/move
+  /// would keep pointing into the source object.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Number of nodes (the coordinator is not counted).
+  std::size_t size() const noexcept { return runtime_.size(); }
+
+  /// The shared structure-of-arrays per-node machine state. The Network
+  /// maintains runtime().due_mail; the SimDriver maintains
+  /// runtime().armed / runtime().needs_observe; protocol executions use
+  /// runtime().active / runtime().rngs.
+  NodeRuntime& runtime() noexcept { return runtime_; }
+  const NodeRuntime& runtime() const noexcept { return runtime_; }
 
   /// Unchecked hot-path accessors: value()/set_value() run once per node
   /// per step in every monitor's inner loop, so they index directly with
   /// a debug-only assert. Range validation for untrusted ids lives in the
   /// public Network entry points (node_send/coord_unicast/drain_node
-  /// throw) and in the checked node() accessor.
+  /// throw) and in the checked node_rng() accessor.
   Value value(NodeId id) const {
-    assert(id < nodes_.size());
-    return nodes_[id].value;
+    assert(id < runtime_.size());
+    return runtime_.values[id];
   }
   void set_value(NodeId id, Value v) {
-    assert(id < nodes_.size());
-    nodes_[id].value = v;
+    assert(id < runtime_.size());
+    runtime_.values[id] = v;
   }
+
+  /// All n current values, indexed by node id (flat hot array).
+  std::span<const Value> values() const noexcept { return runtime_.values; }
+
+  /// Node id's private randomness source (bounds-checked: coin flips are
+  /// per protocol round, not per step, so the check is free noise).
+  Rng& node_rng(NodeId id) { return runtime_.rngs.at(id); }
 
   /// Randomness available to the coordinator (e.g. for baseline sampling).
   Rng& coordinator_rng() noexcept { return coord_rng_; }
@@ -85,8 +102,8 @@ class Cluster {
 
  private:
   CommStats stats_;
+  NodeRuntime runtime_;  // must precede net_: the network aliases due_mail
   Network net_;
-  std::vector<NodeRuntime> nodes_;
   std::vector<NodeId> all_ids_;
   Rng coord_rng_;
   std::uint32_t protocol_epoch_ = 0;

@@ -41,15 +41,20 @@ Network::Network(std::size_t n, CommStats* stats)
     : Network(n, stats, NetworkSpec{}, 0) {}
 
 Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
-                 std::uint64_t seed)
+                 std::uint64_t seed, NodeRuntime* runtime)
     : spec_(spec),
       instant_(spec.is_instant()),
       stats_(stats),
-      due_mail_(n),
       unicasts_(n),
       cursors_(n, 0) {
   if (stats_ == nullptr) {
     throw std::invalid_argument("Network requires a CommStats sink");
+  }
+  if (runtime != nullptr) {
+    due_mail_ = &runtime->due_mail;  // shared structure-of-arrays state
+  } else {
+    owned_due_mail_ = IdBitset(n);
+    due_mail_ = &owned_due_mail_;
   }
   // Mix the seed once so that a zero scenario seed still decorrelates the
   // link hash from the message sequence numbers.
@@ -123,7 +128,7 @@ void Network::append_ready(std::uint32_t recipient, std::uint32_t idx) {
   }
   list.tail = idx;
   ++ready_count_;
-  if (recipient < num_nodes()) due_mail_.set(static_cast<NodeId>(recipient));
+  if (recipient < num_nodes()) due_mail_->set(static_cast<NodeId>(recipient));
 }
 
 void Network::schedule_delivery(std::uint32_t recipient, SimTime due,
@@ -256,7 +261,7 @@ void Network::coord_unicast(NodeId to, Message m) {
   if (instant_) {
     unicasts_[to].push_back(Stamped{seq, m});
     ++pending_;
-    due_mail_.set(to);
+    due_mail_->set(to);
     return;
   }
   if (const auto due = schedule_link(seq, to)) {
@@ -274,9 +279,10 @@ void Network::coord_broadcast(Message m) {
     // Shared log + per-node cursors: O(1) regardless of n (the word-wise
     // due-bit fill is n/64). Every node has one pending delivery until it
     // next drains.
-    broadcast_log_.push_back(Stamped{seq, m});
+    bcast_msgs_.push_back(m);
+    bcast_seqs_.push_back(seq);
     pending_ += num_nodes();
-    due_mail_.set_all();
+    due_mail_->set_all();
     return;
   }
   // Scheduled mode fans the broadcast out per link so each receiver gets
@@ -310,7 +316,7 @@ void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out) {
   pending_ -= out.size();
   ready_count_ -= out.size();
   list = MsgList{};
-  if (qi < num_nodes()) due_mail_.clear(static_cast<NodeId>(qi));
+  if (qi < num_nodes()) due_mail_->clear(static_cast<NodeId>(qi));
 }
 
 void Network::drain_coordinator(std::vector<Message>& out) {
@@ -355,25 +361,26 @@ void Network::drain_node(NodeId id, std::vector<Message>& out) {
   // Both sources are already seq-ascending (push order), so a two-pointer
   // merge replaces the old collect-then-sort pass and the intermediate
   // vector; the unicast buffer and `out` keep their capacity across
-  // drains.
+  // drains. The log's parallel layout keeps the comparison loop on the
+  // dense seq array.
   std::vector<Stamped>& uni = unicasts_[id];
   const std::size_t bstart = cursors_[id] - log_offset_;
-  out.reserve(uni.size() + (broadcast_log_.size() - bstart));
+  out.reserve(uni.size() + (bcast_msgs_.size() - bstart));
   std::size_t u = 0;
   std::size_t b = bstart;
-  while (u < uni.size() && b < broadcast_log_.size()) {
-    if (uni[u].seq < broadcast_log_[b].seq) {
+  while (u < uni.size() && b < bcast_msgs_.size()) {
+    if (uni[u].seq < bcast_seqs_[b]) {
       out.push_back(uni[u++].msg);
     } else {
-      out.push_back(broadcast_log_[b++].msg);
+      out.push_back(bcast_msgs_[b++]);
     }
   }
   for (; u < uni.size(); ++u) out.push_back(uni[u].msg);
-  for (; b < broadcast_log_.size(); ++b) out.push_back(broadcast_log_[b].msg);
+  for (; b < bcast_msgs_.size(); ++b) out.push_back(bcast_msgs_[b]);
   pending_ -= out.size();
   uni.clear();
-  cursors_[id] = log_offset_ + broadcast_log_.size();
-  due_mail_.clear(id);
+  cursors_[id] = log_offset_ + bcast_msgs_.size();
+  due_mail_->clear(id);
   maybe_compact_broadcast_log();
 }
 
@@ -384,16 +391,16 @@ std::vector<Message> Network::drain_node(NodeId id) {
 }
 
 void Network::maybe_compact_broadcast_log() {
-  if (broadcast_log_.size() < kLogCompactThreshold) return;
-  std::size_t min_cursor = log_offset_ + broadcast_log_.size();
+  if (bcast_msgs_.size() < kLogCompactThreshold) return;
+  std::size_t min_cursor = log_offset_ + bcast_msgs_.size();
   for (const std::size_t c : cursors_) min_cursor = std::min(min_cursor, c);
   const std::size_t read_prefix = min_cursor - log_offset_;
   // Only pay the erase when it reclaims at least half the retained log;
   // a straggler node that never drains simply defers compaction.
-  if (read_prefix < broadcast_log_.size() / 2) return;
-  broadcast_log_.erase(
-      broadcast_log_.begin(),
-      broadcast_log_.begin() + static_cast<std::ptrdiff_t>(read_prefix));
+  if (read_prefix < bcast_msgs_.size() / 2) return;
+  const auto cut = static_cast<std::ptrdiff_t>(read_prefix);
+  bcast_msgs_.erase(bcast_msgs_.begin(), bcast_msgs_.begin() + cut);
+  bcast_seqs_.erase(bcast_seqs_.begin(), bcast_seqs_.begin() + cut);
   log_offset_ += read_prefix;
 }
 

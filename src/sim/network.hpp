@@ -39,6 +39,7 @@
 // cold paths.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -48,6 +49,7 @@
 #include "sim/event_log.hpp"
 #include "sim/message.hpp"
 #include "sim/network_model.hpp"
+#include "sim/node_runtime.hpp"
 #include "util/bitset.hpp"
 #include "util/types.hpp"
 
@@ -63,13 +65,30 @@ class Network {
 
   /// Creates a network with an explicit delivery policy. `seed` feeds the
   /// deterministic per-(message, link) jitter/drop hash; it is independent
-  /// of drain order, so runs stay bit-reproducible.
+  /// of drain order, so runs stay bit-reproducible. When `runtime` is
+  /// non-null the network maintains its due-mail bits in
+  /// `runtime->due_mail` (the structure-of-arrays state shared with the
+  /// SimDriver); otherwise it owns a private bitset. `runtime` must
+  /// outlive the network and span at least `n` ids.
   Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
-          std::uint64_t seed);
+          std::uint64_t seed, NodeRuntime* runtime = nullptr);
 
+  /// Not copyable or movable: the network aliases external state (the
+  /// stats sink, possibly a shared NodeRuntime's due-mail bits) and
+  /// due_mail_ may point at its own owned bitset — a memberwise copy or
+  /// move would silently alias or dangle into the source object.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Number of node endpoints (the coordinator is not counted).
   std::size_t num_nodes() const noexcept { return cursors_.size(); }
 
+  /// The delivery policy this network was built with.
   const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// True on the instant-delivery fast path (lock-step semantics; enables
+  /// the bulk broadcast fan-out API below).
+  bool instant() const noexcept { return instant_; }
 
   // -- clock ----------------------------------------------------------------
   /// Current tick. Sends stamp messages with it; drains deliver everything
@@ -118,18 +137,66 @@ class Network {
 
   /// Bitset over node ids: bit `id` is set iff drain_node(id) would
   /// deliver at least one message at the current tick. Maintained under
-  /// every policy; drives the SimDriver's sparse per-tick scan.
+  /// every policy; drives the SimDriver's sparse per-tick scan. (Aliases
+  /// NodeRuntime::due_mail when the network was built over one.)
   std::span<const std::uint64_t> due_mail_words() const noexcept {
-    return due_mail_.words();
+    return due_mail_->words();
   }
 
   /// Single-node view of due_mail_words() (no bounds check; hot path).
-  bool node_has_mail(NodeId id) const noexcept { return due_mail_.test(id); }
+  bool node_has_mail(NodeId id) const noexcept { return due_mail_->test(id); }
+
+  // -- bulk broadcast fan-out (instant mode) --------------------------------
+  // A broadcast tick makes every node due at once; draining each node
+  // individually copies the same log suffix n times. Nodes with no
+  // pending unicasts ("sparse-clean") can instead read their suffix *in
+  // place* from the shared log and commit with an O(1) ack, so one pass
+  // over the log serves all clean nodes with zero per-message copies.
+  // Byte-equivalent to drain_node: a clean node's merge input is the
+  // suffix alone.
+
+  /// True iff node id's pending mail consists solely of broadcast-log
+  /// entries — the precondition of unread_broadcasts()/ack_broadcasts().
+  /// Always false under a scheduled policy. No bounds check (hot path).
+  bool node_mail_is_broadcast_only(NodeId id) const noexcept {
+    return instant_ && unicasts_[id].empty();
+  }
+
+  /// Node id's unread broadcast suffix, in issue order, served directly
+  /// from the shared log (no copy). Valid only while
+  /// node_mail_is_broadcast_only(id); invalidated by any send, drain or
+  /// compact_broadcast_log() call (the log may grow or shift).
+  std::span<const Message> unread_broadcasts(NodeId id) const noexcept {
+    return std::span<const Message>(bcast_msgs_)
+        .subspan(cursors_[id] - log_offset_);
+  }
+
+  /// Commits a bulk delivery for node id: marks its broadcasts read,
+  /// settles the pending-delivery accounting and clears its due bit.
+  /// Requires node_mail_is_broadcast_only(id) (debug-asserted) — acking
+  /// a node with pending unicasts would clear its due bit while its
+  /// unicasts stay queued. Unlike drain_node this never compacts the
+  /// log (so spans handed to other nodes in the same pass stay stable)
+  /// — callers fanning out to many nodes run compact_broadcast_log()
+  /// once afterwards.
+  void ack_broadcasts(NodeId id) noexcept {
+    assert(node_mail_is_broadcast_only(id));
+    const std::size_t total = log_offset_ + bcast_msgs_.size();
+    pending_ -= total - cursors_[id];
+    cursors_[id] = total;
+    due_mail_->clear(id);
+  }
+
+  /// Drops the all-read broadcast-log prefix when worthwhile (cheap
+  /// length check, O(n) cursor scan only past the threshold). drain_node
+  /// does this implicitly; bulk fan-out passes call it once per tick.
+  /// No-op under scheduled policies. Invisible to delivery semantics.
+  void compact_broadcast_log() { maybe_compact_broadcast_log(); }
 
   /// Total broadcasts ever issued (compaction does not lower this; under
   /// scheduled policies broadcasts are counted without logging).
   std::size_t broadcast_log_size() const noexcept {
-    return instant_ ? log_offset_ + broadcast_log_.size()
+    return instant_ ? log_offset_ + bcast_msgs_.size()
                     : static_cast<std::size_t>(broadcasts_issued_);
   }
 
@@ -158,12 +225,7 @@ class Network {
   /// tracing). Maintained under the instant policy only — scheduled modes
   /// return an empty log (deliveries live in the slab instead), and a
   /// prefix already read by every node may have been compacted away.
-  std::vector<Message> broadcast_log() const {
-    std::vector<Message> out;
-    out.reserve(broadcast_log_.size());
-    for (const auto& s : broadcast_log_) out.push_back(s.msg);
-    return out;
-  }
+  std::vector<Message> broadcast_log() const { return bcast_msgs_; }
 
  private:
   struct Stamped {
@@ -239,14 +301,20 @@ class Network {
   std::uint64_t broadcasts_issued_ = 0;  // scheduled-mode broadcast counter
 
   /// Per-node "a drain would deliver something now" flags (all policies).
-  IdBitset due_mail_;
+  /// Points at the shared NodeRuntime's due_mail when one was supplied,
+  /// else at owned_due_mail_.
+  IdBitset owned_due_mail_;
+  IdBitset* due_mail_ = nullptr;
 
   // Instant mode: flat inboxes + shared broadcast log with read cursors.
-  // Cursors are absolute (count of broadcasts read since construction);
-  // log_offset_ is the absolute index of broadcast_log_[0] after prefix
-  // compaction.
+  // The log is split into parallel arrays (messages / seq stamps) so the
+  // bulk fan-out hands out contiguous Message spans and the merge in
+  // drain_node compares a dense seq array. Cursors are absolute (count of
+  // broadcasts read since construction); log_offset_ is the absolute
+  // index of bcast_msgs_[0] after prefix compaction.
   std::vector<Message> coord_inbox_;
-  std::vector<Stamped> broadcast_log_;          // stamped for interleaving
+  std::vector<Message> bcast_msgs_;             // log payloads, issue order
+  std::vector<std::uint64_t> bcast_seqs_;       // parallel send-order stamps
   std::vector<std::vector<Stamped>> unicasts_;  // per-node pending unicasts
   std::vector<std::size_t> cursors_;            // per-node broadcast cursor
   std::size_t log_offset_ = 0;

@@ -1,0 +1,71 @@
+// Structure-of-arrays machine state for the n simulated nodes.
+//
+// One NodeRuntime is shared by the three components that touch per-node
+// state on the hot path: the Cluster owns it, the Network maintains the
+// due-mail bits, and the SimDriver maintains the armed / needs-observe
+// bits and streams through the value array in its observe scan. Keeping
+// each field in its own flat array — instead of one struct per node —
+// means every scan touches only the bytes it actually uses: the per-tick
+// word-wise scans read two bit arrays (16 bytes per 64 nodes), the
+// per-step observe scan streams an 8-byte-stride value array, and the
+// cold RNG state (most of a cache line per node) is only paged in when a
+// protocol execution actually flips coins.
+//
+// Fields are parallel arrays indexed by NodeId and grouped by access
+// pattern; all arrays have the same logical length size().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// Per-node machine state as parallel flat arrays ("which node needs
+/// attention" bits, observed values, protocol scratch, RNGs).
+struct NodeRuntime {
+  NodeRuntime() = default;
+
+  /// Sizes every array for `n` nodes: bits clear, values zero, RNGs
+  /// default-seeded (the Cluster re-seeds them from its top-level seed).
+  explicit NodeRuntime(std::size_t n)
+      : due_mail(n),
+        armed(n),
+        needs_observe(n),
+        values(n, 0),
+        active(n),
+        rngs(n) {}
+
+  /// Number of nodes every parallel array is sized for.
+  std::size_t size() const noexcept { return values.size(); }
+
+  // -- per-tick hot group: unioned word-wise by SimDriver::run_tick ---------
+  /// Bit id set iff a drain of node id would deliver mail right now.
+  /// Maintained exclusively by the Network (set on delivery, cleared on
+  /// drain/ack).
+  IdBitset due_mail;
+  /// Bit id set iff node id armed a timer for the next timer phase.
+  /// Maintained exclusively by the SimDriver.
+  IdBitset armed;
+
+  // -- per-step hot group: the observe scan ---------------------------------
+  /// Bit id set iff node id must receive on_observe even when its value is
+  /// unchanged (see NodeCtx::set_needs_observe). Maintained by the
+  /// SimDriver on behalf of the node algorithms.
+  IdBitset needs_observe;
+  /// values[id] is node id's current stream observation (8-byte stride —
+  /// the dense observe scan streams this array instead of gathering
+  /// through per-node structs).
+  std::vector<Value> values;
+
+  // -- warm group: touched only inside protocol executions ------------------
+  /// Protocol scratch flag ("active" in the paper's Algorithm 2).
+  IdBitset active;
+  /// rngs[id] is node id's private coin-flip source (Bernoulli(2^r/N)).
+  std::vector<Rng> rngs;
+};
+
+}  // namespace topkmon

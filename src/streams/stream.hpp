@@ -130,12 +130,14 @@ class DistinctStream final : public Stream {
 /// the step at which TraceEnd::kThrow throws).
 class StreamSet {
  public:
+  /// Takes ownership of one stream per node id (index = id).
   explicit StreamSet(std::vector<std::unique_ptr<Stream>> streams)
       : streams_(std::move(streams)),
         buffered_(streams_.size(), 0),
         cursor_(streams_.size(), 0),
         budget_(streams_.size(), 0) {}
 
+  /// Number of per-node streams.
   std::size_t size() const noexcept { return streams_.size(); }
 
   /// Declares that each node will be advanced at most `total` more times,

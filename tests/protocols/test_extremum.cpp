@@ -16,9 +16,9 @@ namespace {
 
 /// Builds a cluster whose node values are `values` (node i gets values[i]).
 Cluster make_cluster(const std::vector<Value>& values, std::uint64_t seed = 1) {
-  Cluster c(values.size(), seed);
-  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
-  return c;
+  // Cluster is neither copyable nor movable; the values constructor
+  // builds the fixture in place (guaranteed elision).
+  return Cluster(values, seed);
 }
 
 TEST(Beats, MaxDirection) {
@@ -221,7 +221,7 @@ TEST(MaxProtocol, AllNodesInactiveAfterRun) {
   auto c = make_cluster(values, 19);
   (void)run_max_protocol(c, c.all_ids(), values.size());
   for (NodeId i = 0; i < values.size(); ++i) {
-    EXPECT_FALSE(c.node(i).active);
+    EXPECT_FALSE(c.runtime().active.test(i));
   }
 }
 

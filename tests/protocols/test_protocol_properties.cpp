@@ -16,9 +16,9 @@ namespace topkmon {
 namespace {
 
 Cluster make_cluster(const std::vector<Value>& values, std::uint64_t seed) {
-  Cluster c(values.size(), seed);
-  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
-  return c;
+  // Cluster is neither copyable nor movable; the values constructor
+  // builds the fixture in place (guaranteed elision).
+  return Cluster(values, seed);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,9 +14,9 @@ namespace topkmon {
 namespace {
 
 Cluster make_cluster(const std::vector<Value>& values) {
-  Cluster c(values.size(), 1);
-  for (NodeId i = 0; i < values.size(); ++i) c.set_value(i, values[i]);
-  return c;
+  // Cluster is neither copyable nor movable; the values constructor
+  // builds the fixture in place (guaranteed elision).
+  return Cluster(values, 1);
 }
 
 TEST(SequentialProbe, EmptyOrder) {

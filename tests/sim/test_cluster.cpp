@@ -9,11 +9,26 @@ namespace {
 TEST(Cluster, SizeAndIds) {
   Cluster c(5, 1);
   EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.runtime().size(), 5u);
   ASSERT_EQ(c.all_ids().size(), 5u);
   for (NodeId i = 0; i < 5; ++i) {
     EXPECT_EQ(c.all_ids()[i], i);
-    EXPECT_EQ(c.node(i).id, i);
   }
+}
+
+TEST(Cluster, RuntimeArraysAreParallelAndShared) {
+  // The structure-of-arrays NodeRuntime is the single source of truth:
+  // value accessors and the flat values() span alias the same array, and
+  // the network's due-mail bits live in the same runtime.
+  Cluster c(3, 1);
+  c.set_value(1, 42);
+  EXPECT_EQ(c.runtime().values[1], 42);
+  EXPECT_EQ(c.values()[1], 42);
+  EXPECT_EQ(c.values().size(), 3u);
+  EXPECT_FALSE(c.runtime().due_mail.test(2));
+  c.net().coord_unicast(2, Message{});
+  EXPECT_TRUE(c.runtime().due_mail.test(2));
+  EXPECT_TRUE(c.net().node_has_mail(2));
 }
 
 TEST(Cluster, ValuesReadWrite) {
@@ -27,8 +42,8 @@ TEST(Cluster, ValuesReadWrite) {
 
 TEST(Cluster, PerNodeRngsDifferAcrossNodes) {
   Cluster c(2, 7);
-  const auto a = c.node(0).rng.next_u64();
-  const auto b = c.node(1).rng.next_u64();
+  const auto a = c.node_rng(0).next_u64();
+  const auto b = c.node_rng(1).next_u64();
   EXPECT_NE(a, b);
 }
 
@@ -37,7 +52,7 @@ TEST(Cluster, SameSeedSameRngStreams) {
   Cluster c2(4, 99);
   for (NodeId i = 0; i < 4; ++i) {
     for (int j = 0; j < 8; ++j) {
-      EXPECT_EQ(c1.node(i).rng.next_u64(), c2.node(i).rng.next_u64());
+      EXPECT_EQ(c1.node_rng(i).next_u64(), c2.node_rng(i).next_u64());
     }
   }
   EXPECT_EQ(c1.coordinator_rng().next_u64(), c2.coordinator_rng().next_u64());
@@ -46,7 +61,7 @@ TEST(Cluster, SameSeedSameRngStreams) {
 TEST(Cluster, DifferentSeedsDifferentStreams) {
   Cluster c1(1, 1);
   Cluster c2(1, 2);
-  EXPECT_NE(c1.node(0).rng.next_u64(), c2.node(0).rng.next_u64());
+  EXPECT_NE(c1.node_rng(0).next_u64(), c2.node_rng(0).next_u64());
 }
 
 TEST(Cluster, NetworkChargesOwnStats) {
@@ -68,10 +83,10 @@ TEST(Cluster, ProtocolEpochsMonotone) {
 
 TEST(Cluster, BoundsChecked) {
   // value()/set_value() are unchecked hot-path accessors (debug assert
-  // only); range validation for untrusted ids lives in node() and in the
-  // Network entry points.
+  // only); range validation for untrusted ids lives in node_rng() and in
+  // the Network entry points.
   Cluster c(2, 1);
-  EXPECT_THROW(c.node(9), std::out_of_range);
+  EXPECT_THROW(c.node_rng(9), std::out_of_range);
   EXPECT_THROW(c.net().node_send(7, Message{}), std::out_of_range);
   EXPECT_THROW(c.net().coord_unicast(7, Message{}), std::out_of_range);
   EXPECT_THROW(c.net().drain_node(7), std::out_of_range);
