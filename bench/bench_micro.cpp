@@ -337,6 +337,54 @@ BENCHMARK(BM_SimulationStep)
     ->Args({65536, 100, 0})
     ->Args({65536, 100, 1});
 
+// -- PR6 pair: serial vs sharded tick loop --
+
+/// Same step loop as BM_SimulationStep's sparse path, but through the
+/// worker-sharded driver (state.range: n, activity %, workers; workers=1
+/// is the serial half of the pair). Speedup needs real cores — on a
+/// 1-core host the W > 1 rows price the staging + barrier overhead.
+void BM_ParallelTickStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double activity = static_cast<double>(state.range(1)) / 100.0;
+  const auto workers = static_cast<std::size_t>(state.range(2));
+  StreamSpec spec;
+  spec.family = StreamFamily::kSparse;
+  spec.sparse.rate = activity;
+  spec.sparse_inner = StreamFamily::kRandomWalk;
+  spec.walk.hi = 100'000'000;
+  spec.walk.max_step = 64;
+  auto streams = make_stream_set(spec, n, 7);
+  Cluster cluster(n, 7);
+  auto pair = exp::make_role_pair(cluster, "topk_filter?nobeacon", 8);
+  SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native,
+                   workers);
+  std::vector<Value> values(n, 0);
+  std::vector<NodeId> changed;
+  const auto observe = [&] {
+    streams.advance_all_active(values, changed);
+    for (const NodeId id : changed) cluster.set_value(id, values[id]);
+  };
+  cluster.stats().begin_step(0);
+  observe();
+  driver.initialize();
+  TimeStep t = 0;
+  for (auto _ : state) {
+    ++t;
+    cluster.stats().begin_step(t);
+    observe();
+    driver.step(t, changed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelTickStep)
+    ->Args({65536, 1, 1})
+    ->Args({65536, 1, 4})
+    ->Args({65536, 100, 1})
+    ->Args({65536, 100, 4})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 /// Pre-PR4 scheduled transport shape: a binary heap per recipient
 /// (push_heap/pop_heap by (due, seq)), here collapsed to one queue — the
 /// per-message cost the timing wheel replaces.

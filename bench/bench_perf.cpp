@@ -40,6 +40,10 @@ struct PerfCase {
   std::size_t n;
   std::size_t k;
   RunConfig::Validation validation;
+  /// 0: honor --workers; else pin this case to that tick-scan worker
+  /// count regardless of the flag (keeps the fingerprint flag-invariant
+  /// while tracking the parallel driver's wall clock in the trajectory).
+  std::size_t workers = 0;
 };
 
 const char* validation_name(RunConfig::Validation v) {
@@ -226,6 +230,14 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
       // exists for.
       {"instant_bcast_burst", "topk_filter", StreamFamily::kRandomWalk,
        "instant", 4096, 8, RunConfig::Validation::kOff},
+      // Parallel tick driver, pinned at W = 4 (not from --workers, so the
+      // fingerprint stays flag-invariant): tracks the sharded loop's wall
+      // clock and — the real contract — that per-thread staging reuses
+      // its buffers, keeping allocs/step constant like the serial path.
+      {"instant_parallel_w4", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 4096, 8, RunConfig::Validation::kOff, 4},
+      {"sched_parallel_w4", "naive", StreamFamily::kRandomWalk,
+       "delay=2,jitter=4,ticks=8", 256, 8, RunConfig::Validation::kWeak, 4},
   };
 
   // One scenario per case; each runs on one worker thread, so the
@@ -240,6 +252,11 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
         sc.network = parse_network_spec(c.network);
         sc.validation = c.validation;
         sc.throw_on_error = false;  // lossy networks may diverge; record it
+        // Honors --workers (all perf monitors are native); the fingerprint
+        // is workers-invariant — CI diffs it at 1 vs 8. Note allocs/step
+        // shifts with workers > 1 (staging buffers, pool threads), which
+        // is why the CI --compare gate always runs at --workers 1.
+        sc.workers = c.workers != 0 ? c.workers : ctx.opts().workers;
         PerfOutcome o;
         const std::uint64_t allocs_before = thread_alloc_count();
         o.run = run_scenario(sc);

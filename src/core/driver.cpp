@@ -1,5 +1,7 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace topkmon {
@@ -12,6 +14,10 @@ namespace {
 constexpr std::uint64_t kMaxTicksPerSettle = 1'000'000;
 
 }  // namespace
+
+thread_local SimDriver::WorkerShard* SimDriver::t_stage_ = nullptr;
+
+void NodeCtx::send(Message m) { driver_.node_send(id_, m); }
 
 void NodeCtx::signal(std::int64_t code) {
   driver_.raise_signal(Signal{id_, code});
@@ -33,7 +39,7 @@ void CoordCtx::arm_timer() { driver_.arm_coordinator(); }
 
 SimDriver::SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
                      std::span<const std::unique_ptr<NodeAlgo>> nodes,
-                     bool auto_deliver)
+                     bool auto_deliver, std::size_t workers)
     : cluster_(cluster),
       coord_(coordinator),
       nodes_(nodes),
@@ -42,6 +48,16 @@ SimDriver::SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
       scan_scratch_(cluster.size()) {
   if (nodes_.size() != cluster_.size()) {
     throw std::invalid_argument("SimDriver: node algo count != cluster size");
+  }
+  if (workers > 1) {
+    if (!auto_deliver_) {
+      throw std::invalid_argument(
+          "SimDriver: workers > 1 requires native role algorithms "
+          "(a LockstepAdapter monitor is one shared object; its node "
+          "callbacks cannot run concurrently)");
+    }
+    shards_.resize(workers);
+    pool_ = std::make_unique<WorkerPool>(workers - 1);
   }
   // The armed / needs-observe scalars live in the cluster's shared
   // NodeRuntime; reset them in case this driver replaces an earlier one
@@ -59,7 +75,7 @@ bool SimDriver::anything_scheduled() const noexcept {
   return auto_deliver_ && cluster_.net().pending_deliveries() > 0;
 }
 
-void SimDriver::service_node(NodeId id) {
+void SimDriver::service_node(NodeId id, WorkerShard* stage) {
   // Phase 1 for one node: due charged mail first, then the tick's control
   // broadcasts, then the armed timer. Messages precede controls because a
   // control queued in the same coordinator phase as a broadcast (e.g.
@@ -77,14 +93,26 @@ void SimDriver::service_node(NodeId id) {
       // no merge, O(1) ack. The span stays valid across the callbacks:
       // a node algorithm can only send upstream (coordinator inbox),
       // signal, or arm its own timer — nothing grows or compacts the
-      // log until the next dirty-node drain or the post-scan compaction.
+      // log until the next dirty-node drain or the post-scan compaction
+      // (and during a parallel phase sends are staged, so the log is
+      // strictly read-only until the barrier).
       for (const Message& m : net.unread_broadcasts(id)) {
         algo.on_message(ctx, m);
       }
-      net.ack_broadcasts(id);
+      if (stage != nullptr) {
+        net.ack_broadcasts_staged(id, stage->drain);
+      } else {
+        net.ack_broadcasts(id);
+      }
     } else {
-      net.drain_node(id, mail_scratch_);
-      for (const Message& m : mail_scratch_) {
+      std::vector<Message>& mail =
+          stage != nullptr ? stage->mail : mail_scratch_;
+      if (stage != nullptr) {
+        net.drain_node_staged(id, mail, stage->drain);
+      } else {
+        net.drain_node(id, mail);
+      }
+      for (const Message& m : mail) {
         algo.on_message(ctx, m);
       }
     }
@@ -95,7 +123,11 @@ void SimDriver::service_node(NodeId id) {
   IdBitset& armed = cluster_.runtime().armed;
   if (armed.test(id)) {
     armed.clear(id);
-    --armed_nodes_;
+    if (stage != nullptr) {
+      --stage->armed_delta;
+    } else {
+      --armed_nodes_;
+    }
     algo.on_timer(ctx);
   }
 }
@@ -115,8 +147,101 @@ void SimDriver::service_coordinator() {
   }
 }
 
+void SimDriver::merge_shards() {
+  // The tick barrier's ordered merge. Pass 1 — commit the accounting
+  // every shard already changed node-local state for (drained unicast
+  // buffers, advanced cursors, cleared bits): these must land even if a
+  // shard threw, or the network's pending counter and slab free list go
+  // permanently out of sync with its per-node structures.
+  Network& net = cluster_.net();
+  for (WorkerShard& shard : shards_) {
+    net.commit_drain_stage(shard.drain);
+    armed_nodes_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(armed_nodes_) + shard.armed_delta);
+    shard.armed_delta = 0;
+  }
+  // Deterministic error propagation: the lowest shard's exception is the
+  // one the serial loop would have hit first. Staged sends/signals are
+  // dropped (the serial loop would never have produced them).
+  for (WorkerShard& shard : shards_) {
+    if (shard.error != nullptr) {
+      const std::exception_ptr err = shard.error;
+      for (WorkerShard& s : shards_) {
+        s.error = nullptr;
+        s.sends.clear();
+        s.signals.clear();
+      }
+      std::rethrow_exception(err);
+    }
+  }
+  // Pass 2 — replay staged effects in shard order. Shards cover ascending
+  // id ranges and staged in visit order within each shard, so the replay
+  // order IS the serial loop's order: signals land in the same sequence
+  // the coordinator would have seen, and node_send re-stamps each message
+  // with the same seq it would have had — hence the same inbox order,
+  // the same per-(message, link) schedule hash, the same stats and taps.
+  for (WorkerShard& shard : shards_) {
+    signals_.insert(signals_.end(), shard.signals.begin(),
+                    shard.signals.end());
+    shard.signals.clear();
+    for (const Message& m : shard.sends) {
+      net.node_send(m.from, m);
+    }
+    shard.sends.clear();
+  }
+}
+
+template <typename Body>
+void SimDriver::run_sharded(Body&& body) {
+  // Word-aligned static partition: shard s owns bit words
+  // [s*per, (s+1)*per) — whole words, so every bit mutation a shard makes
+  // for its own nodes (due-mail clear on drain, armed clear/set,
+  // needs-observe writes) stays in words no other shard touches, and the
+  // plain uint64 stores need no atomics. Word ranges may be empty when
+  // W > words(n); those shards simply stage nothing.
+  const std::size_t nwords = (cluster_.size() + 63) / 64;
+  const std::size_t per = (nwords + shards_.size() - 1) / shards_.size();
+  // Single-reference capture: the std::function WorkerPool::run builds
+  // from this lambda must fit its small-buffer slot — a wider capture
+  // list heap-allocates on every tick, breaking the zero-allocation
+  // steady state the perf suite pins.
+  struct Frame {
+    SimDriver* self;
+    Body* body;
+    std::size_t nwords;
+    std::size_t per;
+  } frame{this, &body, nwords, per};
+  pool_->run(shards_.size(), [&frame](std::size_t s) {
+    WorkerShard& shard = frame.self->shards_[s];
+    const std::size_t lo = std::min(s * frame.per, frame.nwords);
+    const std::size_t hi = std::min(lo + frame.per, frame.nwords);
+    t_stage_ = &shard;
+    try {
+      (*frame.body)(shard, lo, hi);
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+    t_stage_ = nullptr;
+  });
+  // pool_->run returning is the barrier: every shard's writes
+  // happen-before this point (WorkerPool's completion handshake).
+  merge_shards();
+}
+
 void SimDriver::run_tick_dense() {
-  for (NodeId id = 0; id < cluster_.size(); ++id) service_node(id);
+  if (!shards_.empty()) {
+    run_sharded([&](WorkerShard& shard, std::size_t lo, std::size_t hi) {
+      const NodeId end = static_cast<NodeId>(
+          std::min(cluster_.size(), hi * 64));
+      for (NodeId id = static_cast<NodeId>(lo * 64); id < end; ++id) {
+        service_node(id, &shard);
+      }
+    });
+  } else {
+    for (NodeId id = 0; id < cluster_.size(); ++id) {
+      service_node(id, nullptr);
+    }
+  }
   // Bulk acks defer log compaction so in-place suffixes stay stable for
   // the rest of the scan; settle the deferred work once per tick.
   if (auto_deliver_) cluster_.net().compact_broadcast_log();
@@ -141,17 +266,34 @@ void SimDriver::run_tick() {
   // Per-word union of the two NodeRuntime bitsets, visited in ascending
   // id order. Callbacks can only mutate bits of the node being serviced
   // (drain/ack clears its mail bit, on_timer may re-arm itself), so the
-  // per-word snapshot taken by the scan stays exact.
+  // per-word snapshot taken by the scan stays exact — per shard exactly
+  // as in the serial loop, since shards own whole words.
   const NodeRuntime& rt = cluster_.runtime();
-  const auto mail = rt.due_mail.words();
-  const auto armed = rt.armed.words();
-  for (std::size_t w = 0; w < armed.size(); ++w) {
-    std::uint64_t bits = armed[w];
-    if (auto_deliver_) bits |= mail[w];
-    while (bits != 0) {
-      const auto bit = static_cast<unsigned>(std::countr_zero(bits));
-      bits &= bits - 1;
-      service_node(static_cast<NodeId>(w * 64 + bit));
+  if (!shards_.empty()) {
+    run_sharded([&](WorkerShard& shard, std::size_t lo, std::size_t hi) {
+      const auto mail = rt.due_mail.words();
+      const auto armed = rt.armed.words();
+      for (std::size_t w = lo; w < hi; ++w) {
+        std::uint64_t bits = armed[w];
+        if (auto_deliver_) bits |= mail[w];
+        while (bits != 0) {
+          const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          service_node(static_cast<NodeId>(w * 64 + bit), &shard);
+        }
+      }
+    });
+  } else {
+    const auto mail = rt.due_mail.words();
+    const auto armed = rt.armed.words();
+    for (std::size_t w = 0; w < armed.size(); ++w) {
+      std::uint64_t bits = armed[w];
+      if (auto_deliver_) bits |= mail[w];
+      while (bits != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        service_node(static_cast<NodeId>(w * 64 + bit), nullptr);
+      }
     }
   }
   if (auto_deliver_) net.compact_broadcast_log();
@@ -205,11 +347,24 @@ void SimDriver::initialize() {
 void SimDriver::step(TimeStep t) {
   signals_.clear();
   // Dense observe: stream the flat NodeRuntime value array (8-byte
-  // stride) instead of gathering through per-node structs.
+  // stride). Parallelized over the same word-aligned ranges as the tick
+  // scan: on_observe can only send (staged), signal (staged), arm its
+  // own timer or write its own needs-observe bit (shard-owned words).
   const std::span<const Value> values = cluster_.values();
-  for (NodeId id = 0; id < cluster_.size(); ++id) {
-    NodeCtx ctx(*this, cluster_, id);
-    nodes_[id]->on_observe(ctx, values[id], t);
+  if (!shards_.empty()) {
+    run_sharded([&](WorkerShard&, std::size_t lo, std::size_t hi) {
+      const NodeId end = static_cast<NodeId>(
+          std::min(cluster_.size(), hi * 64));
+      for (NodeId id = static_cast<NodeId>(lo * 64); id < end; ++id) {
+        NodeCtx ctx(*this, cluster_, id);
+        nodes_[id]->on_observe(ctx, values[id], t);
+      }
+    });
+  } else {
+    for (NodeId id = 0; id < cluster_.size(); ++id) {
+      NodeCtx ctx(*this, cluster_, id);
+      nodes_[id]->on_observe(ctx, values[id], t);
+    }
   }
   coord_.on_step_begin(coord_ctx_, t);
   settle(/*respect_budget=*/true);
@@ -229,10 +384,29 @@ void SimDriver::step(TimeStep t, std::span<const NodeId> changed) {
   scan_scratch_.copy_from(cluster_.runtime().needs_observe);
   for (const NodeId id : changed) scan_scratch_.set(id);
   const std::span<const Value> values = cluster_.values();
-  for_each_set_bit(scan_scratch_.words(), [&](NodeId id) {
-    NodeCtx ctx(*this, cluster_, id);
-    nodes_[id]->on_observe(ctx, values[id], t);
-  });
+  if (!shards_.empty()) {
+    // The scratch union is immutable during the scan (needs-observe
+    // writes go to the live bitset, not the snapshot), so sharding its
+    // words is race-free even beyond the word-ownership argument.
+    run_sharded([&](WorkerShard&, std::size_t lo, std::size_t hi) {
+      const auto words = scan_scratch_.words();
+      for (std::size_t w = lo; w < hi; ++w) {
+        std::uint64_t bits = words[w];
+        while (bits != 0) {
+          const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const auto id = static_cast<NodeId>(w * 64 + bit);
+          NodeCtx ctx(*this, cluster_, id);
+          nodes_[id]->on_observe(ctx, values[id], t);
+        }
+      }
+    });
+  } else {
+    for_each_set_bit(scan_scratch_.words(), [&](NodeId id) {
+      NodeCtx ctx(*this, cluster_, id);
+      nodes_[id]->on_observe(ctx, values[id], t);
+    });
+  }
   coord_.on_step_begin(coord_ctx_, t);
   settle(/*respect_budget=*/true);
   coord_.on_step_end(coord_ctx_, t);

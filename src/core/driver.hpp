@@ -44,6 +44,29 @@
 // the same tick's node timer slot; arming from within on_timer fires next
 // tick (ditto for the coordinator in phases 2-3). This is what lets a
 // protocol session convene in one tick and run its round 0 in the next.
+//
+// Parallel tick loop (workers > 1): phase 1 — the node scan — is the only
+// parallel region. The NodeRuntime bit words are partitioned into W
+// contiguous ranges (whole 64-bit words, so every bit a shard mutates
+// lives in a word it owns); a persistent WorkerPool runs the scan of each
+// range concurrently, with every shared-state side effect a node callback
+// can cause (ctx.send, ctx.signal, drain accounting) staged into that
+// shard's private buffers. At the tick barrier the main thread replays
+// the staged effects in shard order — i.e. ascending node id order, the
+// exact serial order — so message seq stamps, the scheduled-delivery
+// hash, signal order, stats and taps are all byte-identical to
+// workers == 1. The coordinator phase, observe callbacks' surrounding
+// step logic, and everything else stay serial. Requires auto_deliver
+// (native role algorithms — one independent object per node);
+// LockstepAdapter deployments share one monitor object across node
+// callbacks and are rejected. Full design: docs/architecture.md,
+// "Parallel tick loop".
+//
+// Threading contract: every public method below is owner-thread only —
+// the driver is externally single-threaded; parallelism is an internal
+// implementation detail of the tick scan. NodeCtx methods are callable
+// from worker shards only because they route through the staged plumbing
+// marked below.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +77,7 @@
 #include "core/roles.hpp"
 #include "sim/cluster.hpp"
 #include "util/bitset.hpp"
+#include "util/worker_pool.hpp"
 
 namespace topkmon {
 
@@ -68,9 +92,15 @@ class SimDriver {
   /// algorithms (the driver drains the network each tick), false for
   /// LockstepAdapter-backed ones (the wrapped monitor drains the network
   /// itself inside on_step_begin, so the driver must not consume mail).
+  /// `workers` is the tick-scan parallelism: 1 runs the serial loop
+  /// (no pool, no staging — the pre-existing code path), W > 1 shards
+  /// the scan across W threads with byte-identical output. Throws
+  /// std::invalid_argument for workers > 1 without auto_deliver (a
+  /// lock-step monitor is one shared object; its node callbacks cannot
+  /// run concurrently).
   SimDriver(Cluster& cluster, CoordinatorAlgo& coordinator,
             std::span<const std::unique_ptr<NodeAlgo>> nodes,
-            bool auto_deliver);
+            bool auto_deliver, std::size_t workers = 1);
 
   /// Time 0: values must already be set on the cluster. Runs every node's
   /// on_init, the coordinator's on_init, and settles to quiescence (the
@@ -96,41 +126,106 @@ class SimDriver {
   /// Ticks consumed so far (diagnostics; grows monotonically).
   SimTime now() const noexcept { return cluster_.net().now(); }
 
+  /// Tick-scan parallelism this driver was built with (>= 1).
+  std::size_t workers() const noexcept {
+    return shards_.empty() ? 1 : shards_.size();
+  }
+
   // -- context plumbing (used by NodeCtx / CoordCtx) ------------------------
   // Per-node scalars (armed, needs-observe) live in the cluster's shared
   // structure-of-arrays NodeRuntime, next to the network's due-mail bits
-  // the tick scan unions them with.
+  // the tick scan unions them with. The node-side entry points
+  // (raise_signal, node_send, arm_node) are parallel-phase aware: on a
+  // worker shard they stage into the shard's private buffers (via the
+  // thread-local stage pointer) for the ordered replay at the tick
+  // barrier; on the owner thread they apply directly.
 
-  /// Records an uncharged upstream signal for the current step.
-  void raise_signal(Signal s) { signals_.push_back(s); }
-  /// Signals raised since the step began, in raise order.
+  /// Records an uncharged upstream signal for the current step. Staged in
+  /// shard raise order during a parallel phase (replay preserves the
+  /// serial order: shard-major == ascending node id).
+  void raise_signal(Signal s) {
+    if (t_stage_ != nullptr) {
+      t_stage_->signals.push_back(s);
+    } else {
+      signals_.push_back(s);
+    }
+  }
+  /// Signals raised since the step began, in raise order. Owner thread
+  /// only (coordinator phase — staged signals are merged by then).
   const std::vector<Signal>& signals() const noexcept { return signals_; }
   /// Queues an uncharged Control broadcast for the next node phase.
+  /// Owner thread only (only coordinator callbacks queue controls, and
+  /// the coordinator phase is serial).
   void queue_control(const Control& c) { pending_controls_.push_back(c); }
+  /// Node `from` sends `m` upstream (charged). Staged during a parallel
+  /// phase — the network's send side (seq stamps, inboxes, stats) is
+  /// owner-thread only — and replayed in serial order at the barrier.
+  void node_send(NodeId from, Message m) {
+    if (t_stage_ != nullptr) {
+      m.from = from;  // replay target; node_send re-stamps it anyway
+      t_stage_->sends.push_back(m);
+    } else {
+      cluster_.net().node_send(from, m);
+    }
+  }
   /// Arms node id's timer for the next node timer phase (idempotent).
+  /// Parallel-phase safe for the id's owning shard: the bit write lands
+  /// in a shard-owned word; the shared counter delta is staged.
   void arm_node(NodeId id) {
     IdBitset& armed = cluster_.runtime().armed;
     if (!armed.test(id)) {
       armed.set(id);
-      ++armed_nodes_;
+      if (t_stage_ != nullptr) {
+        ++t_stage_->armed_delta;
+      } else {
+        ++armed_nodes_;
+      }
     }
   }
   /// Arms the coordinator's timer for the next coordinator timer phase.
+  /// Owner thread only.
   void arm_coordinator() noexcept { coord_armed_ = true; }
-  /// Adds/removes node id from the unconditional-observe set.
+  /// Adds/removes node id from the unconditional-observe set. Parallel-
+  /// phase safe for the id's owning shard (bit write in a shard-owned
+  /// word; no counter).
   void set_needs_observe(NodeId id, bool needs) {
     cluster_.runtime().needs_observe.assign(id, needs);
   }
 
  private:
+  /// One worker's private staging area for a parallel phase. Cache-line
+  /// aligned so two shards' hot counters never share a line.
+  struct alignas(64) WorkerShard {
+    std::vector<Message> sends;    ///< staged ctx.send()s (from = sender)
+    std::vector<Signal> signals;   ///< staged ctx.signal()s, raise order
+    std::vector<Message> mail;     ///< per-shard drain scratch
+    std::ptrdiff_t armed_delta = 0;  ///< net armed-counter change
+    Network::DrainStage drain;     ///< staged network accounting
+    std::exception_ptr error;      ///< first exception in this shard
+  };
+
   void settle(bool respect_budget);
   void run_tick();
   void run_tick_dense();
-  /// Phase-1 body for one node (mail -> controls -> timer).
-  void service_node(NodeId id);
+  /// Phase-1 body for one node (mail -> controls -> timer). `stage` is
+  /// the servicing shard during a parallel phase, nullptr on the serial
+  /// path (side effects then apply directly — the workers == 1 loop is
+  /// exactly the pre-parallel code).
+  void service_node(NodeId id, WorkerShard* stage);
   /// Phases 2-3 (coordinator mail, coordinator timer).
   void service_coordinator();
   bool anything_scheduled() const noexcept;
+
+  /// Runs `body(shard, word_lo, word_hi)` for every shard over its
+  /// contiguous word range of the n-node bit arrays, in parallel, then
+  /// merges all staged effects in shard order (the tick barrier).
+  /// Exceptions are rethrown deterministically: lowest shard index wins
+  /// (== first in serial order), after every stage is committed.
+  template <typename Body>
+  void run_sharded(Body&& body);
+  /// The ordered merge half of run_sharded (commit drains and armed
+  /// deltas, rethrow, replay signals and sends in shard order).
+  void merge_shards();
 
   Cluster& cluster_;
   CoordinatorAlgo& coord_;
@@ -147,6 +242,17 @@ class SimDriver {
   IdBitset scan_scratch_;       // per-tick/step union scratch
   std::size_t armed_nodes_ = 0;
   bool coord_armed_ = false;
+
+  // Parallel mode (workers > 1): per-worker staging + the persistent
+  // pool. Both empty/null at workers == 1 — the serial path never tests
+  // more than shards_.empty().
+  std::vector<WorkerShard> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+  /// Points at the shard the current thread is scanning for, nullptr
+  /// outside parallel phases. thread_local (not a member copy per
+  /// thread): one OS thread services at most one driver's shard at a
+  /// time, and SweepRunner workers each drive their own driver.
+  static thread_local WorkerShard* t_stage_;
 };
 
 }  // namespace topkmon

@@ -54,6 +54,16 @@ class SimDriver;
 /// Capabilities available to one node algorithm. Only the node's own
 /// machine state (value, RNG) and its single uplink are reachable — the
 /// API makes non-local reads impossible by construction.
+///
+/// Thread-safety contract (the parallel tick loop): node callbacks may
+/// run on SimDriver worker threads, one shard of node ids per thread.
+/// Every NodeCtx method is safe there because each one either touches
+/// only this node's own state (value, rng — one owner per id) or routes
+/// through the driver's parallel-phase-aware plumbing (send/signal are
+/// staged per shard and replayed in serial order at the tick barrier;
+/// arm_timer/set_needs_observe write bits in words owned by the calling
+/// shard). A NodeAlgo that keeps all its state per-instance — the native
+/// implementations do — therefore needs no synchronization of its own.
 class NodeCtx {
  public:
   /// Transient view (driver, cluster, id): constructed at the call
@@ -72,8 +82,11 @@ class NodeCtx {
   /// The node's private randomness source.
   Rng& rng() { return cluster_.node_rng(id_); }
 
-  /// Sends `m` to the coordinator (charged, subject to the network policy).
-  void send(Message m) { cluster_.net().node_send(id_, m); }
+  /// Sends `m` to the coordinator (charged, subject to the network
+  /// policy). Routed through the driver: on a worker shard the send is
+  /// staged and replayed at the tick barrier in serial order (defined in
+  /// driver.cpp with the other context plumbing).
+  void send(Message m);
 
   /// Raises an uncharged control signal the coordinator sees this step.
   void signal(std::int64_t code);
@@ -103,6 +116,10 @@ class NodeCtx {
 /// Capabilities available to the coordinator algorithm: its downlinks
 /// (unicast / broadcast), its RNG, the control plane, and the protocol
 /// epoch counter. Node state is not reachable.
+///
+/// Thread-safety: coordinator callbacks always run on the driver's owner
+/// thread (the coordinator phase is serial even under workers > 1), so
+/// every method here may touch shared network/driver state directly.
 class CoordCtx {
  public:
   /// Transient view over the driver and cluster (one per deployment).

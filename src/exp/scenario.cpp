@@ -1,7 +1,9 @@
 #include "exp/scenario.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "core/driver.hpp"
 #include "core/ground_truth_tracker.hpp"
@@ -29,6 +31,16 @@ RunResult run_scenario(const Scenario& sc) {
         "' has no native role implementation and cannot run on network '" +
         sc.network.name() + "' (native: topk_filter, naive, naive_chg)");
   }
+  const std::size_t workers =
+      sc.workers != 0
+          ? sc.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (!pair.native && workers > 1) {
+    throw std::invalid_argument(
+        "run_scenario: monitor '" + sc.monitor +
+        "' has no native role implementation and cannot run with workers > 1 "
+        "(native: topk_filter, naive, naive_chg)");
+  }
   if (sc.record_series) cluster.stats().enable_series();
 
   const RunConfig cfg = sc.run_config();
@@ -53,7 +65,8 @@ RunResult run_scenario(const Scenario& sc) {
                       sc.throw_on_error);
   };
 
-  SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native);
+  SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native,
+                   workers);
   driver.set_dense_loop(sc.dense_loop);
   // Two observation paths producing identical values and an identical
   // changed-id list:

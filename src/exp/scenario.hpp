@@ -63,6 +63,16 @@ struct Scenario {
   /// before side of its speedup measurements.
   bool dense_loop = false;
 
+  /// Tick-scan parallelism of the SimDriver: 1 (default) runs the serial
+  /// loop, W > 1 shards the per-tick node scan across W threads, 0 means
+  /// one per hardware thread. Output is byte-identical for every value
+  /// (the parallel-tick determinism contract; enforced by tests and the
+  /// CI workers-determinism smoke). Values > 1 require a native monitor
+  /// ("topk_filter", "naive", "naive_chg") — run_scenario rejects
+  /// adapter-backed monitors with a clear error, like it does for
+  /// non-instant networks.
+  std::size_t workers = 1;
+
   /// Optional per-step observer called after each validated step with the
   /// step index, the true values and the coordinator's current answer
   /// (custom metrics such as regret; not part of the declarative core).
@@ -106,8 +116,11 @@ struct Scenario {
 
 /// Runs the scenario end to end and returns its result. Throws
 /// std::invalid_argument for malformed scenarios (unknown monitor/family,
-/// k out of range, non-native monitor on a non-instant network) and
-/// std::logic_error on validation divergence when throw_on_error is set.
+/// k out of range, non-native monitor on a non-instant network or with
+/// workers > 1) and std::logic_error on validation divergence when
+/// throw_on_error is set. Thread-safe: concurrent calls share no state
+/// (each scenario builds its own cluster/driver), which is how the
+/// SweepRunner's trial parallelism composes with per-scenario workers.
 RunResult run_scenario(const Scenario& scenario);
 
 }  // namespace topkmon::exp

@@ -33,7 +33,8 @@ std::size_t SweepGrid::size() const noexcept {
       ++cells;
     }
   }
-  return cells * monitors.size() * families.size() * networks.size() * trials;
+  return cells * monitors.size() * families.size() * networks.size() *
+         workers.size() * trials;
 }
 
 std::vector<TrialSpec> SweepGrid::expand() const {
@@ -45,24 +46,29 @@ std::vector<TrialSpec> SweepGrid::expand() const {
       for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
         for (std::size_t fi = 0; fi < families.size(); ++fi) {
           for (std::size_t ni = 0; ni < networks.size(); ++ni) {
-            for (std::size_t t = 0; t < trials; ++t) {
-              TrialSpec spec;
-              spec.cfg.n = n;
-              spec.cfg.k = k;
-              spec.cfg.steps = steps;
-              // The network axis does not enter the seed: same-cell trials
-              // under different policies are paired replays.
-              spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
-              spec.cfg.validation = validation;
-              spec.cfg.record_trace = record_trace;
-              spec.stream = stream_template;
-              spec.stream.family = families[fi];
-              spec.network = networks[ni];
-              spec.monitor = monitors[mi];
-              spec.trial = t;
-              spec.ordinal = out.size();
-              spec.throw_on_error = throw_on_error;
-              out.push_back(std::move(spec));
+            for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+              for (std::size_t t = 0; t < trials; ++t) {
+                TrialSpec spec;
+                spec.cfg.n = n;
+                spec.cfg.k = k;
+                spec.cfg.steps = steps;
+                // Neither the network nor the workers axis enters the
+                // seed: same-cell trials under different policies are
+                // paired replays, and different worker counts are
+                // byte-identical replays by the determinism contract.
+                spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
+                spec.cfg.validation = validation;
+                spec.cfg.record_trace = record_trace;
+                spec.stream = stream_template;
+                spec.stream.family = families[fi];
+                spec.network = networks[ni];
+                spec.monitor = monitors[mi];
+                spec.workers = workers[wi];
+                spec.trial = t;
+                spec.ordinal = out.size();
+                spec.throw_on_error = throw_on_error;
+                out.push_back(std::move(spec));
+              }
             }
           }
         }

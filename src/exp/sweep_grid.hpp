@@ -27,6 +27,7 @@ struct TrialSpec {
   StreamSpec stream;                 ///< workload description
   NetworkSpec network{};             ///< delivery policy (default instant)
   std::string monitor{"topk_filter"};  ///< exp::make_monitor spec
+  std::size_t workers = 1;           ///< SimDriver tick-scan parallelism
   std::size_t trial = 0;             ///< repetition index within its cell
   std::size_t ordinal = 0;           ///< position in the expanded grid
   bool throw_on_error = true;        ///< propagate validation divergence
@@ -40,7 +41,7 @@ std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::size_t n,
                                 std::size_t trial) noexcept;
 
 /// Cartesian product description:
-/// ns × ks × monitors × families × networks × trials.
+/// ns × ks × monitors × families × networks × workers × trials.
 struct SweepGrid {
   std::vector<std::size_t> ns{16};
   std::vector<std::size_t> ks{4};
@@ -51,6 +52,11 @@ struct SweepGrid {
   /// streams and protocol coins, so delay/drop sweeps are paired
   /// comparisons.
   std::vector<NetworkSpec> networks{NetworkSpec{}};
+  /// SimDriver tick-scan parallelism values to range over. Like networks,
+  /// NOT mixed into the seed — outputs are workers-invariant by the
+  /// parallel-tick determinism contract, so this axis exists purely for
+  /// scaling measurements (wall clock per W) and determinism checks.
+  std::vector<std::size_t> workers{1};
   std::size_t trials = 1;
   std::size_t steps = 1'000;
   std::uint64_t base_seed = 1;
@@ -67,8 +73,8 @@ struct SweepGrid {
   std::size_t size() const noexcept;
 
   /// Expands the grid into per-trial specs, ordered n-major then k,
-  /// monitor, family, trial (deterministic). Cells where k > n are
-  /// skipped so mixed n/k axes stay valid.
+  /// monitor, family, network, workers, trial (deterministic). Cells
+  /// where k > n are skipped so mixed n/k axes stay valid.
   std::vector<TrialSpec> expand() const;
 };
 

@@ -18,6 +18,7 @@ RunResult run_trial(const TrialSpec& spec) {
   sc.record_trace = spec.cfg.record_trace;
   sc.record_series = spec.cfg.record_series;
   sc.throw_on_error = spec.throw_on_error;
+  sc.workers = spec.workers;
   return run_scenario(sc);
 }
 

@@ -304,17 +304,32 @@ bool Network::coordinator_has_mail() const noexcept {
   return ready_[num_nodes()].head != kNil;
 }
 
-void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out) {
+void Network::drain_scheduled(std::size_t qi, std::vector<Message>& out,
+                              DrainStage* stage) {
   MsgList& list = ready_[qi];
   std::uint32_t idx = list.head;
   while (idx != kNil) {
     out.push_back(slab_[idx].msg);
     const std::uint32_t next = slab_[idx].next;
-    slab_free(idx);
+    if (stage != nullptr) {
+      // Staged free: thread the node onto the stage's private chain (the
+      // shared free list is owned by the main thread); the chain is
+      // spliced back in one O(1) step by commit_drain_stage.
+      slab_[idx].next = stage->free_head;
+      if (stage->free_head == kNil) stage->free_tail = idx;
+      stage->free_head = idx;
+    } else {
+      slab_free(idx);
+    }
     idx = next;
   }
-  pending_ -= out.size();
-  ready_count_ -= out.size();
+  if (stage != nullptr) {
+    stage->delivered += out.size();
+    stage->drained += out.size();
+  } else {
+    pending_ -= out.size();
+    ready_count_ -= out.size();
+  }
   list = MsgList{};
   if (qi < num_nodes()) due_mail_->clear(static_cast<NodeId>(qi));
 }
@@ -349,15 +364,7 @@ std::vector<Message> Network::drain_coordinator() {
   return out;
 }
 
-void Network::drain_node(NodeId id, std::vector<Message>& out) {
-  if (id >= num_nodes()) {
-    throw std::out_of_range("Network::drain_node: bad node id");
-  }
-  out.clear();
-  if (!instant_) {
-    drain_scheduled(id, out);
-    return;
-  }
+std::size_t Network::merge_instant_mail(NodeId id, std::vector<Message>& out) {
   // Both sources are already seq-ascending (push order), so a two-pointer
   // merge replaces the old collect-then-sort pass and the intermediate
   // vector; the unicast buffer and `out` keep their capacity across
@@ -377,11 +384,38 @@ void Network::drain_node(NodeId id, std::vector<Message>& out) {
   }
   for (; u < uni.size(); ++u) out.push_back(uni[u].msg);
   for (; b < bcast_msgs_.size(); ++b) out.push_back(bcast_msgs_[b]);
-  pending_ -= out.size();
+  const std::size_t delivered = uni.size() + (bcast_msgs_.size() - bstart);
   uni.clear();
   cursors_[id] = log_offset_ + bcast_msgs_.size();
   due_mail_->clear(id);
+  return delivered;
+}
+
+void Network::drain_node(NodeId id, std::vector<Message>& out) {
+  if (id >= num_nodes()) {
+    throw std::out_of_range("Network::drain_node: bad node id");
+  }
+  out.clear();
+  if (!instant_) {
+    drain_scheduled(id, out);
+    return;
+  }
+  pending_ -= merge_instant_mail(id, out);
   maybe_compact_broadcast_log();
+}
+
+void Network::drain_node_staged(NodeId id, std::vector<Message>& out,
+                                DrainStage& stage) {
+  if (id >= num_nodes()) {
+    throw std::out_of_range("Network::drain_node_staged: bad node id");
+  }
+  out.clear();
+  if (!instant_) {
+    drain_scheduled(id, out, &stage);
+    return;
+  }
+  stage.delivered += merge_instant_mail(id, out);
+  // Deliberately no compaction: other shards hold in-place log suffixes.
 }
 
 std::vector<Message> Network::drain_node(NodeId id) {

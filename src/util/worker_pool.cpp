@@ -1,0 +1,83 @@
+#include "util/worker_pool.hpp"
+
+namespace topkmon {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_fn_ = &fn;
+    batch_count_ = count;
+    remaining_ = count;
+    ++batch_id_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread participates with the same static stride as the
+  // workers (see run()'s doc comment), so a count == participants batch
+  // costs one body per thread and zero load-balancing bookkeeping.
+  const std::size_t stride = workers_.size() + 1;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < count; i += stride) {
+    fn(i);
+    ++done;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  remaining_ -= done;
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  // Clearing under the lock lets a late-waking worker with no indices in
+  // this batch recognize it as already finished (fn == nullptr).
+  batch_fn_ = nullptr;
+}
+
+void WorkerPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return shutdown_ || batch_id_ != seen; });
+      if (shutdown_) return;
+      seen = batch_id_;
+      fn = batch_fn_;
+      count = batch_count_;
+    }
+    // fn == nullptr: the batch finished (and was cleared) before this
+    // worker woke up — only possible when it had no indices in it.
+    if (fn == nullptr) continue;
+    const std::size_t stride = workers_.size() + 1;
+    std::size_t done = 0;
+    for (std::size_t i = worker + 1; i < count; i += stride) {
+      (*fn)(i);
+      ++done;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    remaining_ -= done;
+    if (remaining_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace topkmon

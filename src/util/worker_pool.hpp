@@ -1,0 +1,75 @@
+// A minimal persistent fork-join pool for the parallel tick driver.
+//
+// SweepRunner (exp/sweep_runner.hpp) already owns a thread pool, but it
+// parallelizes whole trials and lives in the exp layer; the SimDriver
+// needs a pool *below* the exp layer that dispatches a fixed number of
+// shard bodies per tick — one invocation per worker range, thousands of
+// times per run — with the lowest possible per-batch overhead and a
+// memory-ordering story simple enough to document as a contract
+// (docs/architecture.md, "Parallel tick loop"). This is that pool: the
+// same generation-counter batch design as SweepRunner, stripped of
+// dynamic index claiming (shard i is statically bound to batch index i,
+// so results land where the merge expects them).
+//
+// Memory visibility: run() returns only after every fn(i) has finished,
+// and the completion handshake goes through the pool mutex — every write
+// a shard body made happens-before run() returns on the calling thread,
+// and every write the caller made before run() happens-before fn(i)
+// starts. Callers therefore need no atomics of their own for data that
+// is only touched inside fn or only outside run().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topkmon {
+
+/// Fork-join helper: `run(count, fn)` executes fn(0..count-1) across the
+/// calling thread plus the pool's threads and blocks until all are done.
+/// Thread-safety: construct, run() and destroy from one owner thread
+/// only; concurrent run() calls on one pool are not supported.
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (0 is valid: run() then executes inline on
+  /// the calling thread, with no synchronization at all).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of spawned worker threads (excluding the calling thread).
+  std::size_t threads() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) exactly once for every i in [0, count). Index i is
+  /// statically assigned: worker w takes indices {w+1, w+1+W, ...} and
+  /// the calling thread takes {0, W, 2W, ...} (W = threads()+1), so a
+  /// batch of `count <= W` gives each participant at most one body.
+  /// `fn` must not throw — shard bodies capture their own exceptions
+  /// (the driver stages an exception_ptr per shard and rethrows
+  /// deterministically at the barrier). Blocks until every fn returned;
+  /// see the header comment for the happens-before guarantees.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+
+  // Batch state, guarded by mutex_ / signalled via cv_work_ and cv_done_.
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_count_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t batch_id_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace topkmon

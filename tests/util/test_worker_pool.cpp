@@ -1,0 +1,77 @@
+// WorkerPool: the persistent fork-join pool under SimDriver's parallel
+// tick loop. The contract under test: run(count, fn) invokes fn(i) for
+// every i in [0, count) exactly once (static stride assignment — worker w
+// owns i ≡ w (mod threads+1), so the partition itself is deterministic),
+// returns only after all invocations finish (the synchronizes-with edge
+// the driver's merge phase relies on), and the pool is reusable across
+// batches including empty ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/worker_pool.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(WorkerPool, EveryIndexExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.threads(), 3u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, RunReturnsAfterAllWorkFinished) {
+  // Writes from fn must be visible to the caller after run() — the
+  // happens-before edge through the pool's join handshake.
+  WorkerPool pool(4);
+  std::vector<std::size_t> out(1000, 0);  // plain, not atomic: on purpose
+  pool.run(out.size(), [&](std::size_t i) { out[i] = i + 1; });
+  std::size_t sum = std::accumulate(out.begin(), out.end(), std::size_t{0});
+  EXPECT_EQ(sum, out.size() * (out.size() + 1) / 2);
+}
+
+TEST(WorkerPool, ZeroCountIsANoop) {
+  WorkerPool pool(2);
+  pool.run(0, [](std::size_t) { FAIL() << "fn called for empty batch"; });
+}
+
+TEST(WorkerPool, CountSmallerThanThreads) {
+  // Most workers wake to find they own no indices; they must park again
+  // without touching the batch.
+  WorkerPool pool(7);
+  std::vector<std::atomic<int>> hits(2);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(WorkerPool, ZeroThreadsRunsInline) {
+  // threads = 0 is the degenerate pool the driver uses for workers = 1:
+  // everything executes on the caller, no threads spawned.
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.threads(), 0u);
+  std::vector<int> hits(10, 0);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  // One tick = one batch; a simulation runs millions. The generation
+  // counter must keep batches distinct back-to-back.
+  WorkerPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.run(8, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 8u);
+}
+
+}  // namespace
+}  // namespace topkmon
