@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/root_merge.hpp"
+
 namespace topkmon {
 namespace {
 
@@ -513,6 +515,45 @@ void BM_EarliestPending(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EarliestPending)->Arg(64)->Arg(1024);
+
+/// Paired cost of one observation step through the two-tier sharded
+/// deployment: c = 1 (inert root — message-for-message the monolithic
+/// single-coordinator path) versus c = 8 shard coordinators under the
+/// root filter layer. n = 65536, k = 32, 1% of nodes drift per step —
+/// e18's regime, so the delta between the two args is the sharding
+/// subsystem's per-step overhead (root tier + per-shard routing).
+void BM_ShardMergeStep(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kN = 65536;
+  constexpr std::size_t kK = 32;
+  ShardedSpec spec;
+  spec.n = kN;
+  spec.k = kK;
+  spec.shards = shards;
+  spec.seed = 7;
+  ShardedDeployment dep(spec);
+  Rng rng(11);
+  std::vector<Value> values(kN);
+  for (NodeId i = 0; i < kN; ++i) {
+    values[i] = static_cast<Value>(rng.uniform_below(100'000'000));
+    dep.set_value(i, values[i]);
+  }
+  dep.initialize();
+  std::vector<NodeId> changed(kN / 100);
+  TimeStep t = 0;
+  for (auto _ : state) {
+    for (auto& id : changed) {
+      id = static_cast<NodeId>(rng.uniform_below(kN));
+      values[id] += rng.uniform_int(-64, 64);
+      dep.set_value(id, values[id]);
+    }
+    dep.step(++t, changed);
+    benchmark::DoNotOptimize(dep.topk().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(changed.size()));
+}
+BENCHMARK(BM_ShardMergeStep)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace topkmon

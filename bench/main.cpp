@@ -64,49 +64,27 @@ std::uint64_t parse_u64(const std::string& value) {
 }
 
 void list_suites(std::ostream& out) {
+  // Pad to the widest registered name so long names ("e18_shards") don't
+  // run into their descriptions.
+  const auto& sorted = SuiteRegistry::instance().sorted();
+  std::size_t width = 0;
+  for (const auto& s : sorted) width = std::max(width, s.name.size());
   out << "registered suites:\n";
-  for (const auto& s : SuiteRegistry::instance().sorted()) {
+  for (const auto& s : sorted) {
     out << "  " << s.name;
-    for (std::size_t pad = s.name.size(); pad < 8; ++pad) out << ' ';
+    for (std::size_t pad = s.name.size(); pad < width + 2; ++pad) out << ' ';
     out << s.description << "\n";
   }
 }
 
-/// Classic dynamic-programming edit distance (insert/delete/substitute),
-/// case-insensitive — small strings, so the O(|a|·|b|) table is fine.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  const auto lower = [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  };
-  std::vector<std::size_t> prev(b.size() + 1);
-  std::vector<std::size_t> cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t sub =
-          prev[j - 1] + (lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
-
-/// Registered suite names closest to `name` (distance <= 2, best first).
+/// Registered suite names closest to `name` (util/strings.hpp edit
+/// distance — the same tolerance as SweepGrid's axis-name hints).
 std::vector<std::string> closest_suites(const std::string& name) {
-  std::vector<std::pair<std::size_t, std::string>> scored;
+  std::vector<std::string> candidates;
   for (const auto& s : SuiteRegistry::instance().sorted()) {
-    const std::size_t d = edit_distance(name, s.name);
-    if (d <= 2) scored.emplace_back(d, s.name);
+    candidates.push_back(s.name);
   }
-  std::stable_sort(
-      scored.begin(), scored.end(),
-      [](const auto& x, const auto& y) { return x.first < y.first; });
-  if (scored.size() > 3) scored.resize(3);  // keep the hint scannable
-  std::vector<std::string> out;
-  for (auto& [d, n] : scored) out.push_back(std::move(n));
-  return out;
+  return topkmon::closest_matches(name, candidates);
 }
 
 }  // namespace

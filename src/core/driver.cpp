@@ -412,4 +412,6 @@ void SimDriver::step(TimeStep t, std::span<const NodeId> changed) {
   coord_.on_step_end(coord_ctx_, t);
 }
 
+void SimDriver::pump() { settle(/*respect_budget=*/true); }
+
 }  // namespace topkmon

@@ -119,6 +119,14 @@ class SimDriver {
   /// O(active) cost. Ignored (dense observe) under set_dense_loop(true).
   void step(TimeStep t, std::span<const NodeId> changed);
 
+  /// Drains scheduled deliveries and timers to quiescence without running
+  /// an observation phase (subject to the same per-step tick budget as a
+  /// step). The sharded runtime (core/root_merge.hpp) uses it to flush
+  /// coordinator traffic injected between steps — re-anchoring broadcasts
+  /// and renegotiation sessions; a no-op when nothing is pending.
+  /// Threading: owner thread only, like step().
+  void pump();
+
   /// Forces the legacy dense per-tick scan and dense observe loop
   /// (diagnostics / sparse-vs-dense benchmarking; output-identical).
   void set_dense_loop(bool dense) noexcept { dense_ = dense; }

@@ -169,7 +169,10 @@ void FilterNode::on_timer(NodeCtx& ctx) {
 
 FilterCoordinator::FilterCoordinator(std::size_t k, Options opts)
     : k_(k), opts_(opts) {
-  if (k == 0) {
+  // A zero quota is meaningful only for a shard of a hierarchical
+  // deployment: every node is an outsider whose filter watches the root
+  // boundary from below.
+  if (k == 0 && opts_.pinned_boundary == nullptr) {
     throw std::invalid_argument("FilterCoordinator: k must be >= 1");
   }
 }
@@ -180,7 +183,9 @@ void FilterCoordinator::on_init(CoordCtx& ctx) {
     throw std::invalid_argument("FilterCoordinator: k > n");
   }
   in_topk_.assign(n_, 0);
-  degenerate_ = (k_ == n_);
+  // A sharded full-quota coordinator cannot take the degenerate shortcut:
+  // its minimum must keep watching the root boundary from above.
+  degenerate_ = (k_ == n_) && opts_.pinned_boundary == nullptr;
   if (degenerate_) {
     // All nodes are the answer forever; unbounded filters, zero messages.
     std::fill(in_topk_.begin(), in_topk_.end(), char{1});
@@ -370,7 +375,7 @@ void FilterCoordinator::conclude_session(CoordCtx& ctx) {
         }
       }
       sel_winners_.push_back(Winner{best_holder_, best_value_});
-      if (sel_winners_.size() < k_ + 1) {
+      if (sel_winners_.size() < selection_target()) {
         const std::uint64_t gap = ctx.flush_ticks();
         if (gap == 0) {
           start_session(ctx, Direction::kMax, FilterSessionGroup::kSelectRest,
@@ -393,6 +398,21 @@ void FilterCoordinator::handler_transition(CoordCtx& ctx) {
   // FILTERVIOLATIONHANDLER, lines 22-26: obtain the side extremum the
   // violations did not deliver (announced by a charged kProtocolStart).
   ++mstats_.handler_calls;
+  // Sharded edge quotas: the missing side can be empty (k == n leaves no
+  // outsiders, k == 0 leaves no members). Its extremum is the identity of
+  // the empty max/min — running a session over zero participants would
+  // only abort the cycle. Unreachable monolithically (1 <= k <= n-1 once
+  // the degenerate k == n shortcut is taken).
+  if (!max_v_.has_value() && k_ == n_) {
+    max_v_ = kMinusInf;
+    decide(ctx);
+    return;
+  }
+  if (max_v_.has_value() && k_ == 0) {
+    min_v_ = kPlusInf;
+    decide(ctx);
+    return;
+  }
   phase_ = Phase::kFullSide;
   Message start;
   start.kind = MsgKind::kProtocolStart;
@@ -419,7 +439,7 @@ void FilterCoordinator::decide(CoordCtx& ctx) {
   } else {
     // Lines 32-33: halve the gap; at most log Δ times between resets.
     ++mstats_.midpoint_updates;
-    apply_boundary(ctx, midpoint(tminus_, tplus_));
+    apply_boundary(ctx, choose_boundary());
     cycle_done(ctx);
   }
 }
@@ -445,11 +465,51 @@ void FilterCoordinator::finish_reset(CoordCtx& ctx) {
     if (in_topk_[id]) topk_ids_.push_back(id);
   }
   // Restart the T+/T- accumulation epoch at the fresh k-th/(k+1)-st values.
-  tplus_ = sel_winners_[k_ - 1].value;
-  tminus_ = sel_winners_[k_].value;
+  // Sharded edge quotas substitute the identity of the empty side: k == 0
+  // has no k-th member (T+ = +inf), k == n no (k+1)-st outsider
+  // (T- = -inf). Monolithically both indices exist (the selection drew
+  // k+1 <= n winners).
+  tplus_ = k_ > 0 ? sel_winners_[k_ - 1].value : kPlusInf;
+  tminus_ = k_ < sel_winners_.size() ? sel_winners_[k_].value : kMinusInf;
   // Lines 40-41.
-  apply_boundary(ctx, midpoint(tminus_, tplus_));
+  apply_boundary(ctx, choose_boundary());
   cycle_done(ctx);
+}
+
+Value FilterCoordinator::choose_boundary() const {
+  // Algorithm 1 admits any boundary inside [T-, T+] (every member's value
+  // is >= T+, every outsider's <= T-). Monolithic deployments halve the
+  // gap; a shard adopts the root's shared boundary whenever the gap
+  // contains it, so that in steady state every shard is anchored on one
+  // global threshold and "boundary() != pin" detects exactly the shards
+  // whose local top-k boundary crossed the root filter.
+  if (opts_.pinned_boundary != nullptr && opts_.pinned_boundary->has_value()) {
+    const Value r = **opts_.pinned_boundary;
+    if (tminus_ <= r && r <= tplus_) return r;
+  }
+  return midpoint(tminus_, tplus_);
+}
+
+void FilterCoordinator::reanchor(CoordCtx& ctx) {
+  if (degenerate_ || phase_ != Phase::kIdle || session_active_) return;
+  if (opts_.pinned_boundary == nullptr ||
+      !opts_.pinned_boundary->has_value()) {
+    return;
+  }
+  const Value r = **opts_.pinned_boundary;
+  if (mid_ == r) return;
+  if (topk_ids_.size() == k_ && tminus_ <= r && r <= tplus_) {
+    // The new root boundary lies inside the accumulated gap: re-anchor the
+    // node filters on it without touching membership.
+    ++mstats_.midpoint_updates;
+    apply_boundary(ctx, r);
+  } else {
+    // The pin fell outside [T-, T+] (the root moved the boundary right
+    // after this shard resolved a cycle on its own, or the answer was
+    // never established): a fresh selection re-establishes the gap around
+    // current values and re-evaluates the pin.
+    begin_reset(ctx);
+  }
 }
 
 void FilterCoordinator::apply_boundary(CoordCtx& ctx, Value m) {

@@ -28,6 +28,7 @@
 // updates, protocol-start broadcasts — flows through the Network.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -107,6 +108,19 @@ class FilterCoordinator final : public CoordinatorAlgo {
   struct Options {
     /// Forwarded to every protocol session (beacon-suppression ablation).
     bool suppress_idle_broadcasts = false;
+    /// Sharded-deployment mode (core/shard_coordinator.hpp). When set, the
+    /// coordinator runs one shard of a hierarchical deployment: whenever
+    /// the accumulated [T-, T+] gap contains the root's shared boundary
+    /// (*pinned_boundary, once engaged), the coordinator anchors the node
+    /// filters on it instead of halving the gap — Algorithm 1 admits any
+    /// boundary inside the gap — so "boundary() != pin" becomes the exact
+    /// shard-crossed-the-root-filter predicate. Sharded mode also lifts
+    /// the k >= 1 requirement (a shard's quota may be renegotiated to 0)
+    /// and runs the full machinery at k == n (a full shard must still
+    /// watch its minimum against the root boundary). The pointee may be
+    /// updated between steps; nullptr selects the monolithic behaviour,
+    /// which is message-for-message identical to pre-sharding builds.
+    const std::optional<Value>* pinned_boundary = nullptr;
   };
 
   explicit FilterCoordinator(std::size_t k) : FilterCoordinator(k, {}) {}
@@ -118,6 +132,15 @@ class FilterCoordinator final : public CoordinatorAlgo {
   void on_message(CoordCtx& ctx, const Message& m) override;
   void on_timer(CoordCtx& ctx) override;
   const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  /// Sharded-deployment hook: re-anchors the node filters on the current
+  /// pinned boundary (Options::pinned_boundary) when it moved since the
+  /// last cycle. Adopts the pin in place (one kFilterUpdate broadcast)
+  /// when the accumulated gap contains it; otherwise falls back to a full
+  /// FILTERRESET. No-op while a cycle is in flight, when unpinned, or when
+  /// the boundary already equals the pin. The caller must pump the driver
+  /// afterwards to flush the injected traffic.
+  void reanchor(CoordCtx& ctx);
 
   // -- introspection for tests ---------------------------------------------
   Value boundary() const noexcept { return mid_; }
@@ -145,6 +168,15 @@ class FilterCoordinator final : public CoordinatorAlgo {
   void apply_boundary(CoordCtx& ctx, Value m);
   void cycle_done(CoordCtx& ctx);
   void abort_cycle();
+
+  /// Boundary for a concluded cycle: the pinned root boundary when the
+  /// gap contains it (sharded mode), the gap midpoint otherwise.
+  Value choose_boundary() const;
+  /// FILTERRESET selection count: k+1 monolithically, capped at n so a
+  /// full-quota shard (k == n) selects everyone exactly once.
+  std::size_t selection_target() const noexcept {
+    return std::min(k_ + 1, n_);
+  }
 
   std::size_t k_;
   Options opts_;

@@ -72,6 +72,22 @@ class GroundTruthTracker {
   /// >= every non-member's value (any tie-break accepted).
   bool is_valid(std::span<const NodeId> answer);
 
+  /// Value of the worst-ranked member (repairs lazily first). The sharded
+  /// runtime reads this as the shard's weakest-member extremum U_s.
+  Value member_min_value() {
+    ensure_current();
+    return member_min_val_;
+  }
+
+  /// Value of the best-ranked non-member, or -inf when k == n leaves no
+  /// non-member. The sharded runtime reads this as the shard's
+  /// strongest-outsider extremum L_s.
+  Value nonmember_max_value() {
+    if (k_ == size()) return kMinusInf;
+    ensure_current();
+    return nonmember_max_val_;
+  }
+
   // -- diagnostics ----------------------------------------------------------
   /// Full O(n log k) rebuilds performed (boundary crossings + the initial
   /// build).

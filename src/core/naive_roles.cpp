@@ -1,12 +1,17 @@
 #include "core/naive_roles.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace topkmon {
 
 NaiveCoordinator::NaiveCoordinator(std::size_t k, bool send_on_change_only)
-    : k_(k), send_on_change_only_(send_on_change_only) {
-  if (k == 0) {
+    : NaiveCoordinator(k, send_on_change_only, /*sharded=*/false) {}
+
+NaiveCoordinator::NaiveCoordinator(std::size_t k, bool send_on_change_only,
+                                   bool sharded)
+    : k_(k), send_on_change_only_(send_on_change_only), sharded_(sharded) {
+  if (k == 0 && !sharded) {
     throw std::invalid_argument("NaiveCoordinator: k must be >= 1");
   }
 }
@@ -16,7 +21,7 @@ void NaiveCoordinator::on_init(CoordCtx& ctx) {
     throw std::invalid_argument("NaiveCoordinator: k > n");
   }
   known_values_.assign(ctx.n(), 0);
-  truth_.emplace(ctx.n(), k_);
+  truth_.emplace(ctx.n(), std::max<std::size_t>(k_, 1));
 }
 
 void NaiveCoordinator::on_message(CoordCtx&, const Message& m) {
@@ -25,8 +30,38 @@ void NaiveCoordinator::on_message(CoordCtx&, const Message& m) {
   truth_->set_value(m.from, m.a);
 }
 
-void NaiveCoordinator::on_step_end(CoordCtx&, TimeStep) {
+void NaiveCoordinator::on_step_end(CoordCtx&, TimeStep) { refresh_answer(); }
+
+void NaiveCoordinator::refresh_answer() {
+  if (k_ == 0) {
+    topk_ids_.clear();
+    return;
+  }
   topk_ids_ = truth_->topk_set();
+}
+
+void NaiveCoordinator::rekey(std::size_t k) {
+  if (k > known_values_.size()) {
+    throw std::invalid_argument("NaiveCoordinator::rekey: k > n");
+  }
+  k_ = k;
+  // The tracker's k is fixed at construction; rebuild it from the replica.
+  truth_.emplace(known_values_.size(), std::max<std::size_t>(k_, 1));
+  for (NodeId id = 0; id < known_values_.size(); ++id) {
+    truth_->set_value(id, known_values_[id]);
+  }
+  refresh_answer();
+}
+
+Value NaiveCoordinator::weakest_member_value() {
+  return k_ == 0 ? kPlusInf : truth_->member_min_value();
+}
+
+Value NaiveCoordinator::strongest_outsider_value() {
+  // At quota 0 the k' = 1 shadow tracker's single member IS the strongest
+  // outsider (the shard maximum).
+  if (k_ == 0) return truth_->member_min_value();
+  return truth_->nonmember_max_value();
 }
 
 }  // namespace topkmon

@@ -47,6 +47,9 @@ class NaiveNode final : public NodeAlgo {
 class NaiveCoordinator final : public CoordinatorAlgo {
  public:
   NaiveCoordinator(std::size_t k, bool send_on_change_only);
+  /// Sharded-deployment ctor (core/shard_coordinator.hpp): lifts the
+  /// k >= 1 requirement so a shard's quota can be renegotiated to 0.
+  NaiveCoordinator(std::size_t k, bool send_on_change_only, bool sharded);
 
   std::string_view name() const override {
     return send_on_change_only_ ? "naive_on_change" : "naive";
@@ -56,13 +59,31 @@ class NaiveCoordinator final : public CoordinatorAlgo {
   void on_step_end(CoordCtx& ctx, TimeStep t) override;
   const std::vector<NodeId>& topk() const override { return topk_ids_; }
 
+  // -- sharded-deployment hooks ---------------------------------------------
+  // The replica already holds every node's last report, so a quota change
+  // is a coordinator-local recompute: no node traffic, unlike the filter
+  // monitor's rebuild. Valid after on_init.
+
+  /// Changes the quota to `k` (0 <= k <= n) and recomputes the answer.
+  void rekey(std::size_t k);
+  /// U_s: the weakest member's value per the replica; +inf when k == 0.
+  Value weakest_member_value();
+  /// L_s: the strongest outsider's value per the replica; -inf when
+  /// k == n.
+  Value strongest_outsider_value();
+
  private:
+  void refresh_answer();
+
   std::size_t k_;
   bool send_on_change_only_;
+  bool sharded_ = false;
   std::vector<Value> known_values_;  ///< coordinator's replica
   std::vector<NodeId> topk_ids_;
   /// Incremental top-k over the replica: O(received reports) per step
   /// instead of a fresh partial sort (identical answers by construction).
+  /// Tracks max(k, 1) ids — at quota 0 its single "member" is the shard
+  /// maximum, which the sharded hooks report as the strongest outsider.
   std::optional<GroundTruthTracker> truth_;
 };
 

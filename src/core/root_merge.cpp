@@ -1,0 +1,304 @@
+#include "core/root_merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace topkmon {
+
+// ---------------------------------------------------------------------------
+// RootMergeCoordinator
+// ---------------------------------------------------------------------------
+
+RootMergeCoordinator::RootMergeCoordinator(
+    std::string name, std::size_t k,
+    std::span<const std::unique_ptr<ShardAdapter>> adapters,
+    std::vector<ShardRange> ranges)
+    : name_(std::move(name)),
+      k_(k),
+      adapters_(adapters),
+      ranges_(std::move(ranges)) {
+  if (adapters_.size() != ranges_.size() || adapters_.empty()) {
+    throw std::invalid_argument("RootMergeCoordinator: adapters != ranges");
+  }
+}
+
+void RootMergeCoordinator::on_init(CoordCtx& ctx) {
+  if (ctx.n() != adapters_.size()) {
+    throw std::invalid_argument("RootMergeCoordinator: root n != shards");
+  }
+  info_.assign(adapters_.size(), Info{});
+  inert_ = ctx.n() <= 1;
+  if (inert_) return;
+  // Bootstrap: every agent's on_init already reported exact post-reset
+  // extrema (they fold in during the initialize settle, reaching
+  // advance_fixpoint below), so no probe round is needed.
+  rphase_ = RPhase::kCollect;
+  fresh_ = 0;
+}
+
+void RootMergeCoordinator::on_step_begin(CoordCtx&, TimeStep t) {
+  cur_step_ = t;
+  violation_this_step_ = false;
+}
+
+void RootMergeCoordinator::on_message(CoordCtx& ctx, const Message& m) {
+  if (inert_ || m.kind != MsgKind::kViolation) return;
+  const std::size_t s = static_cast<std::size_t>(m.from);
+  if (!info_[s].fresh) ++fresh_;
+  info_[s] = Info{m.a, m.b, true};
+  if (rphase_ == RPhase::kIdle) {
+    // A shard's boundary crossed the root filter: the merged answer may
+    // be wrong, renegotiate. One violation step per observation step no
+    // matter how many shards crossed.
+    ++mstats_.violations;
+    if (!violation_this_step_) {
+      violation_this_step_ = true;
+      ++mstats_.violation_steps;
+    }
+    begin_renegotiation(ctx);
+  } else if (fresh_ == adapters_.size()) {
+    advance_fixpoint(ctx);
+  }
+}
+
+void RootMergeCoordinator::begin_renegotiation(CoordCtx& ctx) {
+  // Requery everyone: the crossing report's extrema are cheap/possibly
+  // stale; quota decisions only run on exact values (kProbe replies go
+  // through ShardAdapter::requery).
+  for (Info& i : info_) i.fresh = false;
+  fresh_ = 0;
+  rphase_ = RPhase::kCollect;
+  ++mstats_.polls;
+  Message probe;
+  probe.kind = MsgKind::kProbe;
+  ctx.broadcast(probe);
+}
+
+void RootMergeCoordinator::advance_fixpoint(CoordCtx& ctx) {
+  // One quota transfer per call: weakest member (min U, quota > 0) loses
+  // a slot to the strongest outsider (max L, quota < size) while the
+  // outsider strictly outranks the member. The two kFilterAssign replies
+  // re-enter on_message and bring fresh_ back to c.
+  const std::size_t c = adapters_.size();
+  std::size_t loser = c;
+  std::size_t gainer = c;
+  for (std::size_t s = 0; s < c; ++s) {
+    if (adapters_[s]->quota() > 0 &&
+        (loser == c || info_[s].u < info_[loser].u)) {
+      loser = s;
+    }
+    if (adapters_[s]->quota() < ranges_[s].size &&
+        (gainer == c || info_[s].l > info_[gainer].l)) {
+      gainer = s;
+    }
+  }
+  if (loser == c || gainer == c || loser == gainer ||
+      info_[gainer].l <= info_[loser].u) {
+    finish_renegotiation(ctx);
+    return;
+  }
+  ++mstats_.protocol_runs;
+  info_[loser].fresh = false;
+  info_[gainer].fresh = false;
+  fresh_ -= 2;
+  Message assign;
+  assign.kind = MsgKind::kFilterAssign;
+  assign.a = static_cast<std::int64_t>(adapters_[loser]->quota() - 1);
+  ctx.unicast(static_cast<NodeId>(loser), assign);
+  assign.a = static_cast<std::int64_t>(adapters_[gainer]->quota() + 1);
+  ctx.unicast(static_cast<NodeId>(gainer), assign);
+}
+
+void RootMergeCoordinator::finish_renegotiation(CoordCtx& ctx) {
+  // Quotas are at a fixpoint: every member outranks every outsider, so
+  // max L <= min U and any R in between restores L_s <= R <= U_s for all
+  // shards (quota-0 shards report U = +inf, full shards L = -inf, so the
+  // ineligible shards never tighten the interval wrongly).
+  Value max_l = kMinusInf;
+  Value min_u = kPlusInf;
+  for (const Info& i : info_) {
+    max_l = std::max(max_l, i.l);
+    min_u = std::min(min_u, i.u);
+  }
+  r_ = midpoint(max_l, min_u);
+  have_r_ = true;
+  ++mstats_.midpoint_updates;
+  rphase_ = RPhase::kIdle;
+  // Unconditional re-anchor broadcast, even when R is unchanged: a shard
+  // whose local boundary drifted off R must be re-anchored or it would
+  // report the same crossing every step.
+  Message update;
+  update.kind = MsgKind::kFilterUpdate;
+  update.a = r_;
+  ctx.broadcast(update);
+}
+
+void RootMergeCoordinator::on_step_end(CoordCtx&, TimeStep) {
+  // Measurement plane: concatenate the shard member sets. Ranges are
+  // contiguous ascending and each member list is ascending shard-local,
+  // so the concatenation is the canonical (id-sorted) representation.
+  topk_ids_.clear();
+  for (std::size_t s = 0; s < adapters_.size(); ++s) {
+    for (NodeId local : adapters_[s]->members()) {
+      topk_ids_.push_back(ranges_[s].base + local);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDeployment
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t root_tier_seed(std::uint64_t base_seed) {
+  std::uint64_t state = base_seed ^ 0x5297A3D7C0FFEE11ull;
+  return splitmix64(state);
+}
+
+std::string_view monitor_name(ShardedSpec::Monitor m) {
+  switch (m) {
+    case ShardedSpec::Monitor::kFilter: return "topk_filter";
+    case ShardedSpec::Monitor::kNaive: return "naive";
+    case ShardedSpec::Monitor::kNaiveChg: return "naive_on_change";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ShardedDeployment::ShardedDeployment(const ShardedSpec& spec) : spec_(spec) {
+  ranges_ = partition_shards(spec.n, spec.shards);
+  const std::vector<std::size_t> quotas =
+      initial_shard_quotas(ranges_, spec.n, spec.k);
+  const std::size_t c = ranges_.size();
+
+  adapters_.reserve(c);
+  for (std::size_t s = 0; s < c; ++s) {
+    ShardConfig cfg;
+    cfg.n = ranges_[s].size;
+    cfg.quota = quotas[s];
+    cfg.seed = shard_seed(spec.seed, s);
+    cfg.network = spec.network;
+    // At c == 1 the (single) inner driver takes the parallel tick scan; at
+    // c > 1 the inner drivers stay serial and the pool below steps whole
+    // shards concurrently instead — no nested pools.
+    cfg.workers = c == 1 ? spec.workers : 1;
+    cfg.dense_loop = spec.dense_loop;
+    cfg.sharded = c > 1;
+    switch (spec.monitor) {
+      case ShardedSpec::Monitor::kFilter:
+        adapters_.push_back(std::make_unique<FilterShardAdapter>(
+            cfg, spec.suppress_idle_broadcasts));
+        break;
+      case ShardedSpec::Monitor::kNaive:
+        adapters_.push_back(
+            std::make_unique<NaiveShardAdapter>(cfg, /*chg=*/false));
+        break;
+      case ShardedSpec::Monitor::kNaiveChg:
+        adapters_.push_back(
+            std::make_unique<NaiveShardAdapter>(cfg, /*chg=*/true));
+        break;
+    }
+  }
+
+  // Root tier: its own c-node cluster (instant network — the tiers model
+  // coordinator processes on a reliable backbone) with a seed stream
+  // disjoint from every shard's.
+  root_cluster_ =
+      std::make_unique<Cluster>(c, root_tier_seed(spec.seed), NetworkSpec{});
+  agents_.reserve(c);
+  for (std::size_t s = 0; s < c; ++s) {
+    agents_.push_back(std::make_unique<ShardAgent>(*adapters_[s]));
+  }
+  root_coord_ = std::make_unique<RootMergeCoordinator>(
+      std::string(monitor_name(spec.monitor)), spec.k, adapters_, ranges_);
+  root_driver_ = std::make_unique<SimDriver>(*root_cluster_, *root_coord_,
+                                             agents_, /*auto_deliver=*/true,
+                                             /*workers=*/1);
+  if (c > 1 && spec.workers > 1) {
+    pool_.emplace(std::min(spec.workers, c) - 1);
+  }
+  changed_by_shard_.resize(c);
+  shard_errors_.resize(c);
+}
+
+std::size_t ShardedDeployment::shard_of(NodeId global) const {
+  // Binary search on the range bases (c is small; log c is plenty).
+  std::size_t lo = 0;
+  std::size_t hi = ranges_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (ranges_[mid].base <= global) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+void ShardedDeployment::set_value(NodeId global, Value v) {
+  const std::size_t s = shard_of(global);
+  adapters_[s]->cluster().set_value(global - ranges_[s].base, v);
+}
+
+void ShardedDeployment::initialize() {
+  for (auto& a : adapters_) a->initialize();
+  root_driver_->initialize();
+}
+
+void ShardedDeployment::step(TimeStep t, std::span<const NodeId> changed) {
+  for (auto& v : changed_by_shard_) v.clear();
+  for (NodeId g : changed) {
+    const std::size_t s = shard_of(g);
+    changed_by_shard_[s].push_back(g - ranges_[s].base);
+  }
+  if (pool_.has_value()) {
+    // Step whole shards in parallel. Shard bodies must not throw across
+    // the pool; exceptions are captured per shard and the lowest shard
+    // index rethrows — the first failure in serial order, so error
+    // behaviour is worker-count independent.
+    std::fill(shard_errors_.begin(), shard_errors_.end(), nullptr);
+    pool_->run(adapters_.size(), [&](std::size_t s) {
+      try {
+        adapters_[s]->step(t, changed_by_shard_[s]);
+      } catch (...) {
+        shard_errors_[s] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& e : shard_errors_) {
+      if (e) std::rethrow_exception(e);
+    }
+  } else {
+    for (std::size_t s = 0; s < adapters_.size(); ++s) {
+      adapters_[s]->step(t, changed_by_shard_[s]);
+    }
+  }
+  // Root tier: crossing polls, renegotiations, answer assembly. Serial,
+  // after every shard settled.
+  root_driver_->step(t);
+}
+
+CommStats ShardedDeployment::node_shard_comm() {
+  if (adapters_.size() == 1) {
+    // Straight copy: series (when enabled) included, exactly the
+    // monolithic RunResult surface.
+    return adapters_[0]->cluster().stats();
+  }
+  CommStats out;
+  for (const auto& a : adapters_) out.accumulate(a->cluster().stats());
+  return out;
+}
+
+MonitorStats ShardedDeployment::monitor_totals() const {
+  MonitorStats out;
+  for (const auto& a : adapters_) add_monitor_stats(out, a->monitor_stats());
+  add_monitor_stats(out, root_coord_->monitor_stats());
+  return out;
+}
+
+}  // namespace topkmon

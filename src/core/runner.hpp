@@ -63,6 +63,11 @@ struct RunResult {
   CommStats comm;
   MonitorStats monitor;
 
+  /// Shard<->root tier message totals of a sharded run (`comm` then holds
+  /// the node<->shard tier). All-zero for monolithic runs and for sharded
+  /// runs with a single shard, whose root tier is inert by construction.
+  CommStats root_comm;
+
   // Validation outcome.
   bool correct = true;
   std::optional<TimeStep> first_error_step;

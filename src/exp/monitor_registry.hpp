@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -55,6 +56,16 @@ RolePair make_role_pair(Cluster& cluster, std::string_view spec,
 
 /// True when `spec`'s base name is a registered monitor.
 bool is_known_monitor(std::string_view spec) noexcept;
+
+/// Splits the deployment-level `shards=c` parameter out of a monitor spec
+/// ("topk_filter?shards=4,nobeacon" -> {"topk_filter?nobeacon", 4}).
+/// Returns shards == 0 when the parameter is absent, so callers can tell
+/// "not given" from an explicit value; an explicit parameter always wins
+/// over Scenario::shards. Throws std::invalid_argument for a malformed
+/// or zero value. The remaining spec never reaches the monitor factories
+/// with a `shards` key — sharding is a deployment property
+/// (exp::run_sharded_scenario), not a monitor parameter.
+std::pair<std::string, std::size_t> split_shards_param(std::string_view spec);
 
 /// All registered monitor base names, in a stable canonical order (the
 /// paper's Algorithm 1 first, then baselines).

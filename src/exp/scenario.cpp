@@ -9,13 +9,34 @@
 #include "core/ground_truth_tracker.hpp"
 #include "core/lockstep_adapter.hpp"
 #include "core/ordered_topk_monitor.hpp"
+#include "core/root_merge.hpp"
 #include "exp/monitor_registry.hpp"
 #include "sim/cluster.hpp"
+#include "util/strings.hpp"
 
 namespace topkmon::exp {
 
 
 RunResult run_scenario(const Scenario& sc) {
+  // Deployment-level dispatch: an explicit `?shards=c` monitor parameter
+  // wins over Scenario::shards; an effective count > 1 routes through the
+  // two-tier sharded runner. `?shards=1` is stripped and runs the
+  // monolithic path (identical output either way; the monolithic path
+  // additionally supports record_series).
+  const auto [stripped_monitor, shards_param] = split_shards_param(sc.monitor);
+  const std::size_t shard_count = shards_param != 0 ? shards_param : sc.shards;
+  if (shard_count > 1) {
+    Scenario sharded = sc;
+    sharded.monitor = stripped_monitor;
+    sharded.shards = shard_count;
+    return run_sharded_scenario(sharded);
+  }
+  if (shards_param != 0) {
+    Scenario mono = sc;
+    mono.monitor = stripped_monitor;
+    mono.shards = 1;
+    return run_scenario(mono);
+  }
   if (sc.k == 0 || sc.k > sc.n) {
     throw std::invalid_argument("run_scenario: k out of range");
   }
@@ -136,6 +157,161 @@ RunResult run_scenario(const Scenario& sc) {
   result.monitor_name = std::string(pair.coordinator->name());
   result.comm = cluster.stats();
   result.monitor = pair.coordinator->monitor_stats();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+RunResult run_sharded_scenario(const Scenario& sc) {
+  if (sc.k == 0 || sc.k > sc.n) {
+    throw std::invalid_argument("run_sharded_scenario: k out of range");
+  }
+  const auto [spec, shards_param] = split_shards_param(sc.monitor);
+  const std::size_t shards = shards_param != 0 ? shards_param : sc.shards;
+  if (shards == 0 || shards > sc.n) {
+    throw std::invalid_argument(
+        "run_sharded_scenario: need 1 <= shards <= n");
+  }
+  if (sc.record_series && shards > 1) {
+    throw std::invalid_argument(
+        "run_sharded_scenario: record_series requires shards == 1 "
+        "(per-shard clusters cannot merge per-step series)");
+  }
+
+  // Sharded deployments exist for the three native monitors only; parse
+  // the (shards-stripped) spec with the same grammar the registry uses.
+  ShardedSpec dspec;
+  {
+    const std::size_t q = spec.find('?');
+    const std::string name = spec.substr(0, q);
+    const std::string_view params =
+        q == std::string::npos ? std::string_view{}
+                               : std::string_view(spec).substr(q + 1);
+    if (name == "topk_filter") {
+      dspec.monitor = ShardedSpec::Monitor::kFilter;
+      for (const std::string_view item : split(params, ',')) {
+        if (item == "nobeacon" || item == "nobeacon=1" ||
+            item == "nobeacon=true") {
+          dspec.suppress_idle_broadcasts = true;
+        } else if (item == "nobeacon=0" || item == "nobeacon=false") {
+          dspec.suppress_idle_broadcasts = false;
+        } else {
+          throw std::invalid_argument("monitor 'topk_filter': unknown or "
+                                      "malformed parameter '" +
+                                      std::string(item) + "'");
+        }
+      }
+    } else if (name == "naive" && params.empty()) {
+      dspec.monitor = ShardedSpec::Monitor::kNaive;
+    } else if (name == "naive_chg" && params.empty()) {
+      dspec.monitor = ShardedSpec::Monitor::kNaiveChg;
+    } else {
+      throw std::invalid_argument(
+          "run_sharded_scenario: monitor '" + spec +
+          "' has no sharded deployment (native: topk_filter, naive, "
+          "naive_chg)");
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto streams = make_stream_set(sc.stream, sc.n, sc.seed);
+
+  dspec.n = sc.n;
+  dspec.k = sc.k;
+  dspec.shards = shards;
+  dspec.seed = sc.seed;
+  dspec.network = sc.network;
+  dspec.workers =
+      sc.workers != 0
+          ? sc.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  dspec.dense_loop = sc.dense_loop;
+  ShardedDeployment dep(dspec);
+  if (sc.record_series) dep.shard_cluster(0).stats().enable_series();
+
+  const RunConfig cfg = sc.run_config();
+  RunResult result;
+  result.config = cfg;
+  result.network = sc.network.name();
+  if (sc.record_trace) result.trace.emplace(sc.n, sc.steps + 1);
+
+  GroundTruthTracker truth(sc.n, sc.k);
+  const bool track = cfg.validation != RunConfig::Validation::kOff;
+  const std::string detail = " (network " + sc.network.name() + ", shards " +
+                             std::to_string(shards) + ")";
+  const auto check = [&](TimeStep t) {
+    check_answer_step(truth, dep.topk(), /*ordered=*/nullptr, cfg, dep.name(),
+                      detail, t, &result, sc.throw_on_error);
+  };
+  const auto begin_step = [&](TimeStep t) {
+    for (std::size_t s = 0; s < dep.shards(); ++s) {
+      dep.shard_cluster(s).stats().begin_step(t);
+    }
+  };
+
+  // Same two observation paths as run_scenario, with the value writes
+  // routed through the deployment (global id -> owning shard cluster).
+  const bool quiet_streams = streams.quiet_capable();
+  if (!quiet_streams) streams.plan_steps(sc.steps + 1);
+  std::vector<Value> values(sc.n, 0);
+  std::vector<Value> incoming(sc.n);
+  std::vector<NodeId> changed;
+  changed.reserve(sc.n);
+
+  const auto observe = [&](TimeStep t) {
+    if (quiet_streams) {
+      streams.advance_all_active(values, changed);
+      for (const NodeId id : changed) {
+        dep.set_value(id, values[id]);
+        if (track) truth.set_value(id, values[id]);
+      }
+    } else {
+      streams.advance_all(incoming);
+      changed.clear();
+      for (NodeId id = 0; id < sc.n; ++id) {
+        const Value v = incoming[id];
+        if (v != values[id]) {
+          changed.push_back(id);
+          dep.set_value(id, v);
+          if (track) truth.set_value(id, v);
+        }
+      }
+      values.swap(incoming);
+    }
+    if (result.trace.has_value()) {
+      for (NodeId id = 0; id < sc.n; ++id) result.trace->at(t, id) = values[id];
+    }
+  };
+
+  // Time 0: first observations + two-tier initialization (the bootstrap
+  // renegotiation establishes the root boundary before step 1).
+  begin_step(0);
+  observe(0);
+  dep.initialize();
+  check(0);
+  ++result.steps_executed;
+  if (sc.on_step) sc.on_step(0, values, dep.topk());
+  result.init_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  for (TimeStep t = 1; t <= sc.steps; ++t) {
+    begin_step(t);
+    observe(t);
+    dep.step(t, changed);
+    check(t);
+    ++result.steps_executed;
+    if (sc.on_step) sc.on_step(t, values, dep.topk());
+  }
+
+  result.monitor_name = std::string(dep.name());
+  result.comm = dep.node_shard_comm();
+  result.root_comm = dep.shard_root_comm();
+  result.monitor = dep.monitor_totals();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

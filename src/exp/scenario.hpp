@@ -73,6 +73,18 @@ struct Scenario {
   /// non-instant networks.
   std::size_t workers = 1;
 
+  /// Shard count of the two-tier hierarchical deployment
+  /// (core/root_merge.hpp): 1 (default) runs the single-coordinator path,
+  /// c > 1 partitions the nodes across c shard coordinators under a root
+  /// coordinator and routes the run through run_sharded_scenario —
+  /// RunResult::comm then counts the node<->shard tier and
+  /// RunResult::root_comm the shard<->root tier. A `?shards=c` monitor
+  /// parameter (e.g. "topk_filter?shards=4") overrides this field. Only
+  /// native monitors ("topk_filter", "naive", "naive_chg") support c > 1,
+  /// and record_series is rejected there (per-shard clusters cannot merge
+  /// per-step series).
+  std::size_t shards = 1;
+
   /// Optional per-step observer called after each validated step with the
   /// step index, the true values and the coordinator's current answer
   /// (custom metrics such as regret; not part of the declarative core).
@@ -122,5 +134,19 @@ struct Scenario {
 /// (each scenario builds its own cluster/driver), which is how the
 /// SweepRunner's trial parallelism composes with per-scenario workers.
 RunResult run_scenario(const Scenario& scenario);
+
+/// Runs the scenario on a two-tier sharded deployment (core/root_merge.hpp)
+/// with `scenario.shards` shard coordinators (a `?shards=c` monitor
+/// parameter wins over the field; run_scenario dispatches here whenever
+/// the effective count is > 1). Callable directly with shards == 1 too —
+/// the root tier is then inert and the output is message-for-message and
+/// answer-for-answer identical to run_scenario's monolithic path (pinned
+/// by tests/core/test_shard_equivalence.cpp). Exactness at c > 1 is
+/// guaranteed under instant delivery with pairwise-distinct values;
+/// non-instant networks run supported-but-degraded, like the monolithic
+/// native monitors (error steps are recorded, use kWeak +
+/// throw_on_error=false). Throws std::invalid_argument for non-native
+/// monitors, record_series with c > 1, or shards > n.
+RunResult run_sharded_scenario(const Scenario& scenario);
 
 }  // namespace topkmon::exp

@@ -1,6 +1,9 @@
 #include "exp/sweep_grid.hpp"
 
+#include <stdexcept>
+
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace topkmon::exp {
 
@@ -34,7 +37,7 @@ std::size_t SweepGrid::size() const noexcept {
     }
   }
   return cells * monitors.size() * families.size() * networks.size() *
-         workers.size() * trials;
+         workers.size() * shards.size() * trials;
 }
 
 std::vector<TrialSpec> SweepGrid::expand() const {
@@ -47,27 +50,31 @@ std::vector<TrialSpec> SweepGrid::expand() const {
         for (std::size_t fi = 0; fi < families.size(); ++fi) {
           for (std::size_t ni = 0; ni < networks.size(); ++ni) {
             for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-              for (std::size_t t = 0; t < trials; ++t) {
-                TrialSpec spec;
-                spec.cfg.n = n;
-                spec.cfg.k = k;
-                spec.cfg.steps = steps;
-                // Neither the network nor the workers axis enters the
-                // seed: same-cell trials under different policies are
-                // paired replays, and different worker counts are
-                // byte-identical replays by the determinism contract.
-                spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
-                spec.cfg.validation = validation;
-                spec.cfg.record_trace = record_trace;
-                spec.stream = stream_template;
-                spec.stream.family = families[fi];
-                spec.network = networks[ni];
-                spec.monitor = monitors[mi];
-                spec.workers = workers[wi];
-                spec.trial = t;
-                spec.ordinal = out.size();
-                spec.throw_on_error = throw_on_error;
-                out.push_back(std::move(spec));
+              for (std::size_t si = 0; si < shards.size(); ++si) {
+                for (std::size_t t = 0; t < trials; ++t) {
+                  TrialSpec spec;
+                  spec.cfg.n = n;
+                  spec.cfg.k = k;
+                  spec.cfg.steps = steps;
+                  // Neither the network, the workers nor the shards axis
+                  // enters the seed: same-cell trials under different
+                  // policies/shard counts are paired replays, and
+                  // different worker counts are byte-identical replays by
+                  // the determinism contract.
+                  spec.cfg.seed = derive_trial_seed(base_seed, n, k, mi, fi, t);
+                  spec.cfg.validation = validation;
+                  spec.cfg.record_trace = record_trace;
+                  spec.stream = stream_template;
+                  spec.stream.family = families[fi];
+                  spec.network = networks[ni];
+                  spec.monitor = monitors[mi];
+                  spec.workers = workers[wi];
+                  spec.shards = shards[si];
+                  spec.trial = t;
+                  spec.ordinal = out.size();
+                  spec.throw_on_error = throw_on_error;
+                  out.push_back(std::move(spec));
+                }
               }
             }
           }
@@ -76,6 +83,60 @@ std::vector<TrialSpec> SweepGrid::expand() const {
     }
   }
   return out;
+}
+
+void SweepGrid::set_axis(const std::string& name,
+                         const std::vector<std::string>& values) {
+  if (values.empty()) {
+    throw std::invalid_argument("sweep axis '" + name + "': no values");
+  }
+  const auto parse_sizes = [&]() {
+    std::vector<std::size_t> out;
+    out.reserve(values.size());
+    for (const auto& v : values) {
+      const auto u = to_u64(v);
+      if (!u) {
+        throw std::invalid_argument("sweep axis '" + name +
+                                    "': expected an unsigned integer, got '" +
+                                    v + "'");
+      }
+      out.push_back(static_cast<std::size_t>(*u));
+    }
+    return out;
+  };
+  if (name == "n") {
+    ns = parse_sizes();
+  } else if (name == "k") {
+    ks = parse_sizes();
+  } else if (name == "monitor") {
+    monitors = values;
+  } else if (name == "family") {
+    families.clear();
+    for (const auto& v : values) families.push_back(family_from_name(v));
+  } else if (name == "network") {
+    networks.clear();
+    for (const auto& v : values) networks.push_back(parse_network_spec(v));
+  } else if (name == "workers") {
+    workers = parse_sizes();
+  } else if (name == "shards") {
+    shards = parse_sizes();
+  } else {
+    static const std::vector<std::string> known{
+        "n", "k", "monitor", "family", "network", "workers", "shards"};
+    std::string msg = "unknown sweep axis '" + name + "'";
+    const std::vector<std::string> close = closest_matches(name, known);
+    if (!close.empty()) {
+      msg += "; did you mean";
+      for (std::size_t i = 0; i < close.size(); ++i) {
+        msg += (i == 0 ? " '" : i + 1 == close.size() ? " or '" : ", '");
+        msg += close[i];
+        msg += '\'';
+      }
+      msg += '?';
+    }
+    msg += " (axes: n, k, monitor, family, network, workers, shards)";
+    throw std::invalid_argument(msg);
+  }
 }
 
 }  // namespace topkmon::exp

@@ -28,6 +28,7 @@ struct TrialSpec {
   NetworkSpec network{};             ///< delivery policy (default instant)
   std::string monitor{"topk_filter"};  ///< exp::make_monitor spec
   std::size_t workers = 1;           ///< SimDriver tick-scan parallelism
+  std::size_t shards = 1;            ///< shard coordinators (Scenario::shards)
   std::size_t trial = 0;             ///< repetition index within its cell
   std::size_t ordinal = 0;           ///< position in the expanded grid
   bool throw_on_error = true;        ///< propagate validation divergence
@@ -57,6 +58,11 @@ struct SweepGrid {
   /// parallel-tick determinism contract, so this axis exists purely for
   /// scaling measurements (wall clock per W) and determinism checks.
   std::vector<std::size_t> workers{1};
+  /// Shard-coordinator counts to range over (Scenario::shards). Like
+  /// networks and workers, NOT mixed into the per-trial seed: the same
+  /// cell at different shard counts replays the same streams, so
+  /// message-cost comparisons across c are paired.
+  std::vector<std::size_t> shards{1};
   std::size_t trials = 1;
   std::size_t steps = 1'000;
   std::uint64_t base_seed = 1;
@@ -73,9 +79,18 @@ struct SweepGrid {
   std::size_t size() const noexcept;
 
   /// Expands the grid into per-trial specs, ordered n-major then k,
-  /// monitor, family, network, workers, trial (deterministic). Cells
-  /// where k > n are skipped so mixed n/k axes stay valid.
+  /// monitor, family, network, workers, shards, trial (deterministic).
+  /// Cells where k > n are skipped so mixed n/k axes stay valid.
   std::vector<TrialSpec> expand() const;
+
+  /// Sets one axis by name from string values ("n", "k", "monitor",
+  /// "family", "network", "workers", "shards") — the declarative
+  /// counterpart of assigning the fields above, for CLIs and config
+  /// readers. Throws std::invalid_argument for an empty value list, a
+  /// malformed value, or an unknown axis name — the unknown-name message
+  /// carries a did-you-mean hint (same edit-distance helper as the CLI's
+  /// suite lookup).
+  void set_axis(const std::string& name, const std::vector<std::string>& values);
 };
 
 }  // namespace topkmon::exp

@@ -19,6 +19,7 @@ RunResult run_trial(const TrialSpec& spec) {
   sc.record_series = spec.cfg.record_series;
   sc.throw_on_error = spec.throw_on_error;
   sc.workers = spec.workers;
+  sc.shards = spec.shards;
   return run_scenario(sc);
 }
 

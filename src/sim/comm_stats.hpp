@@ -67,6 +67,19 @@ class CommStats {
   /// Cumulative message count at each recorded step.
   std::vector<std::uint64_t> cumulative_series() const;
 
+  /// Adds another instance's totals into this one — the per-tier
+  /// aggregation of a sharded deployment (core/root_merge.hpp) sums its
+  /// shard clusters' counters this way. The per-step series is not
+  /// merged; runs that need a series use a single shard.
+  void accumulate(const CommStats& other) noexcept {
+    upstream_ += other.upstream_;
+    unicast_ += other.unicast_;
+    broadcast_ += other.broadcast_;
+    for (std::size_t i = 0; i < kNumMsgKinds; ++i) {
+      by_kind_[i] += other.by_kind_[i];
+    }
+  }
+
   /// Resets all counters and the series.
   void reset() noexcept;
 

@@ -1,12 +1,14 @@
 // Small string utilities shared by the spec parsers and the CLI.
 #pragma once
 
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace topkmon {
@@ -55,6 +57,50 @@ inline std::optional<double> to_double(std::string_view text) {
   char* end = nullptr;
   const double out = std::strtod(copy.c_str(), &end);
   if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return out;
+}
+
+/// Classic dynamic-programming edit distance (insert/delete/substitute),
+/// case-insensitive — small strings, so the O(|a|·|b|) table is fine.
+/// Shared by every did-you-mean hint (CLI --suite names, SweepGrid axis
+/// names) so they suggest with identical tolerance.
+inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  const auto lower = [](char c) {
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub =
+          prev[j - 1] + (lower(a[i - 1]) == lower(b[j - 1]) ? 0 : 1);
+      cur[j] = std::min(std::min(prev[j] + 1, cur[j - 1] + 1), sub);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The candidates closest to `name` by edit_distance (<= max_distance,
+/// best first, stable within a distance), truncated to max_results so the
+/// hint stays scannable.
+inline std::vector<std::string> closest_matches(
+    std::string_view name, const std::vector<std::string>& candidates,
+    std::size_t max_distance = 2, std::size_t max_results = 3) {
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d <= max_distance) scored.emplace_back(d, c);
+  }
+  std::stable_sort(
+      scored.begin(), scored.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (scored.size() > max_results) scored.resize(max_results);
+  std::vector<std::string> out;
+  out.reserve(scored.size());
+  for (auto& [d, c] : scored) out.push_back(std::move(c));
   return out;
 }
 
