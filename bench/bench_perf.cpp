@@ -132,7 +132,7 @@ void compare_against(const std::string& path,
                              "' as a topkmon-bench-v1 file");
   }
   Table diff({"case", "steps/s old", "steps/s new", "Δ%", "allocs/step old",
-              "allocs/step new", "verdict"});
+              "allocs/step new", "errs old", "errs new", "verdict"});
   std::vector<std::string> regressions;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const RunResult& r = outcomes[i].run;
@@ -154,7 +154,8 @@ void compare_against(const std::string& path,
             : -1.0;
     if (prev == nullptr) {
       diff.add_row({cases[i].name, "-", fmt(sps_new, 0), "-", "-",
-                    aps_new < 0 ? "n/a" : fmt(aps_new, 3), "new case"});
+                    aps_new < 0 ? "n/a" : fmt(aps_new, 3), "-",
+                    std::to_string(r.error_steps), "new case"});
       continue;
     }
     const double sps_old = prev->steps_per_sec;
@@ -183,9 +184,23 @@ void compare_against(const std::string& path,
       regressions.push_back(std::string(cases[i].name) + ": allocs/step " +
                             fmt(aps_old, 3) + " -> " + fmt(aps_new, 3));
     }
+    // Correctness gate: error steps are deterministic at a fixed seed and
+    // step count, so any growth is a real robustness regression (the
+    // monitor diverging on steps it used to get right) — never timing
+    // noise. Only comparable when both runs executed the same step count
+    // (steps_executed counts the init step on top of old->steps).
+    if (old->steps + 1 == r.steps_executed &&
+        r.error_steps > prev->error_steps) {
+      verdict = verdict.substr(0, 2) == "ok" ? "ERRORS" : verdict + "+ERRORS";
+      regressions.push_back(std::string(cases[i].name) + ": error_steps " +
+                            std::to_string(prev->error_steps) + " -> " +
+                            std::to_string(r.error_steps));
+    }
     diff.add_row({cases[i].name, fmt(sps_old, 0), fmt(sps_new, 0),
                   fmt(delta * 100.0, 1), aps_old < 0 ? "n/a" : fmt(aps_old, 3),
-                  aps_new < 0 ? "n/a" : fmt(aps_new, 3), verdict});
+                  aps_new < 0 ? "n/a" : fmt(aps_new, 3),
+                  std::to_string(prev->error_steps),
+                  std::to_string(r.error_steps), verdict});
   }
   ctx.out() << "\nperf: diff vs " << path << " (label '" << old->label
             << "')\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace topkmon {
 
@@ -72,7 +73,82 @@ bool SimDriver::anything_scheduled() const noexcept {
   if (armed_nodes_ > 0 || coord_armed_ || !pending_controls_.empty()) {
     return true;
   }
+  if (fault_due()) return true;
   return auto_deliver_ && cluster_.net().pending_deliveries() > 0;
+}
+
+void SimDriver::set_fault_plan(const FaultPlan* plan) {
+  if (plan != nullptr && plan->total_nodes() != cluster_.size()) {
+    throw std::invalid_argument(
+        "SimDriver::set_fault_plan: plan provisions " +
+        std::to_string(plan->total_nodes()) + " nodes but the cluster has " +
+        std::to_string(cluster_.size()));
+  }
+  faults_ = plan;
+  fault_cursor_ = 0;
+  frozen_armed_ = IdBitset(cluster_.size());
+}
+
+bool SimDriver::fault_due() const noexcept {
+  return faults_ != nullptr && fault_cursor_ < faults_->events().size() &&
+         faults_->events()[fault_cursor_].step <= cur_step_;
+}
+
+void SimDriver::apply_due_faults() {
+  // Serial, owner thread, tick head: the alive set changes only here, so
+  // it is stable for the whole tick scan even under workers > 1.
+  while (fault_due()) {
+    const FaultEvent& ev = faults_->events()[fault_cursor_++];
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kLeave:
+        apply_node_down(ev.node);
+        break;
+      case FaultEvent::Kind::kRecover:
+        apply_node_up(ev.node, /*first_time=*/false);
+        break;
+      case FaultEvent::Kind::kJoin:
+        for (std::size_t i = 0; i < ev.count; ++i) {
+          apply_node_up(static_cast<NodeId>(ev.node + i),
+                        /*first_time=*/true);
+        }
+        break;
+      case FaultEvent::Kind::kSetK:
+        coord_.on_set_k(coord_ctx_, ev.count);
+        break;
+    }
+  }
+}
+
+void SimDriver::apply_node_down(NodeId id) {
+  NodeRuntime& rt = cluster_.runtime();
+  if (rt.armed.test(id)) {
+    // Freeze the timer across the outage: recovery restores exactly the
+    // pre-crash machine state, including a pending on_timer.
+    rt.armed.clear(id);
+    frozen_armed_.set(id);
+    --armed_nodes_;
+  }
+  cluster_.net().set_node_down(id);  // drops queued + future mail
+  coord_.on_node_down(coord_ctx_, id);
+}
+
+void SimDriver::apply_node_up(NodeId id, bool first_time) {
+  NodeRuntime& rt = cluster_.runtime();
+  cluster_.net().set_node_up(id);  // before callbacks: they may send
+  if (frozen_armed_.test(id)) {
+    frozen_armed_.clear(id);
+    rt.armed.set(id);
+    ++armed_nodes_;
+  }
+  // Back into the unconditional-observe set: whatever invariant let the
+  // node skip observes may have rotted during the outage; its algorithm
+  // re-certifies (set_needs_observe(false)) once re-synced.
+  rt.needs_observe.set(id);
+  NodeCtx ctx(*this, cluster_, id);
+  if (first_time) nodes_[id]->on_init(ctx, cluster_.value(id));
+  nodes_[id]->on_recover(ctx);
+  coord_.on_node_up(coord_ctx_, id);
 }
 
 void SimDriver::service_node(NodeId id, WorkerShard* stage) {
@@ -83,6 +159,11 @@ void SimDriver::service_node(NodeId id, WorkerShard* stage) {
   // logically follows it — the lock-step semantics exclude the announced
   // winner before the next iteration convenes.
   Network& net = cluster_.net();
+  if (net.down_nodes() != 0 && !net.node_alive(id)) {
+    // A down node runs nothing: its mail was dropped at delivery time,
+    // its armed bit is frozen, and controls must not reach it either.
+    return;
+  }
   NodeCtx ctx(*this, cluster_, id);  // transient view; per-node scalars
                                      // live in the shared NodeRuntime
   NodeAlgo& algo = *nodes_[id];
@@ -251,6 +332,10 @@ void SimDriver::run_tick_dense() {
 void SimDriver::run_tick() {
   Network& net = cluster_.net();
   net.advance_clock();
+  // Fault events fire at the first tick of their scheduled step, before
+  // any mail or timer is serviced. Controls/probes the fault hooks queue
+  // are swapped in below, so they deliver this very tick.
+  if (fault_due()) apply_due_faults();
 
   delivering_controls_.clear();
   delivering_controls_.swap(pending_controls_);
@@ -315,9 +400,11 @@ void SimDriver::settle(bool respect_budget) {
       if (budget != 0) net.advance_clock_to(step_end);
       break;
     }
-    if (armed_nodes_ == 0 && !coord_armed_ && pending_controls_.empty()) {
+    if (armed_nodes_ == 0 && !coord_armed_ && pending_controls_.empty() &&
+        !fault_due()) {
       // Nothing computes until the next delivery: fast-forward the clock
-      // (bounded by the step end under a budget).
+      // (bounded by the step end under a budget). A due fault pins the
+      // clock — it fires at the step's first tick, not the delivery's.
       if (const auto due = net.earliest_pending()) {
         SimTime target = *due > net.now() ? *due - 1 : net.now();
         if (budget != 0 && target > step_end - 1) target = step_end - 1;
@@ -334,8 +421,14 @@ void SimDriver::settle(bool respect_budget) {
 
 void SimDriver::initialize() {
   signals_.clear();
+  cur_step_ = 0;
   const std::span<const Value> values = cluster_.values();
+  const Network& net = cluster_.net();
+  const bool any_down = net.down_nodes() != 0;
   for (NodeId id = 0; id < cluster_.size(); ++id) {
+    // Nodes provisioned for a later join event start down: their on_init
+    // is deferred to the join tick (apply_node_up with first_time).
+    if (any_down && !net.node_alive(id)) continue;
     NodeCtx ctx(*this, cluster_, id);
     nodes_[id]->on_init(ctx, values[id]);
   }
@@ -346,22 +439,28 @@ void SimDriver::initialize() {
 
 void SimDriver::step(TimeStep t) {
   signals_.clear();
+  cur_step_ = t;
   // Dense observe: stream the flat NodeRuntime value array (8-byte
   // stride). Parallelized over the same word-aligned ranges as the tick
   // scan: on_observe can only send (staged), signal (staged), arm its
   // own timer or write its own needs-observe bit (shard-owned words).
+  // Down nodes are skipped: their observations are lost for the outage.
   const std::span<const Value> values = cluster_.values();
+  const NodeRuntime& rt = cluster_.runtime();
+  const bool any_down = cluster_.net().down_nodes() != 0;
   if (!shards_.empty()) {
     run_sharded([&](WorkerShard&, std::size_t lo, std::size_t hi) {
       const NodeId end = static_cast<NodeId>(
           std::min(cluster_.size(), hi * 64));
       for (NodeId id = static_cast<NodeId>(lo * 64); id < end; ++id) {
+        if (any_down && !rt.alive.test(id)) continue;
         NodeCtx ctx(*this, cluster_, id);
         nodes_[id]->on_observe(ctx, values[id], t);
       }
     });
   } else {
     for (NodeId id = 0; id < cluster_.size(); ++id) {
+      if (any_down && !rt.alive.test(id)) continue;
       NodeCtx ctx(*this, cluster_, id);
       nodes_[id]->on_observe(ctx, values[id], t);
     }
@@ -377,12 +476,17 @@ void SimDriver::step(TimeStep t, std::span<const NodeId> changed) {
     return;
   }
   signals_.clear();
+  cur_step_ = t;
   // Observe set = changed nodes ∪ needs-observe nodes, ascending id. For
   // a skipped node the value is unchanged AND its algorithm certified
   // that on_observe is then a no-op, so the outcome (messages, signals,
-  // coin flips, counters) is identical to the dense loop's.
+  // coin flips, counters) is identical to the dense loop's. Down nodes
+  // are masked out: their observations are lost for the outage.
   scan_scratch_.copy_from(cluster_.runtime().needs_observe);
   for (const NodeId id : changed) scan_scratch_.set(id);
+  if (cluster_.net().down_nodes() != 0) {
+    scan_scratch_.mask_with(cluster_.runtime().alive);
+  }
   const std::span<const Value> values = cluster_.values();
   if (!shards_.empty()) {
     // The scratch union is immutable during the scan (needs-observe

@@ -76,6 +76,7 @@
 
 #include "core/roles.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/bitset.hpp"
 #include "util/worker_pool.hpp"
 
@@ -130,6 +131,19 @@ class SimDriver {
   /// Forces the legacy dense per-tick scan and dense observe loop
   /// (diagnostics / sparse-vs-dense benchmarking; output-identical).
   void set_dense_loop(bool dense) noexcept { dense_ = dense; }
+
+  /// Attaches a fault-injection schedule (sim/fault_plan.hpp). `plan`
+  /// must outlive the driver (nullptr detaches). Events fire at the
+  /// first delivery tick of their scheduled step, before any mail or
+  /// timer is serviced — serially, on the owner thread, so the alive
+  /// set is stable within a tick even under workers > 1. Call before
+  /// initialize(): nodes the plan introduces later via join events must
+  /// be marked down (Network::set_node_down) before initialization so
+  /// their on_init is deferred to the join. With no plan attached the
+  /// event loop is byte-identical to a build without fault support.
+  /// Throws std::invalid_argument if the plan's node provisioning does
+  /// not match the cluster size.
+  void set_fault_plan(const FaultPlan* plan);
 
   /// Ticks consumed so far (diagnostics; grows monotonically).
   SimTime now() const noexcept { return cluster_.net().now(); }
@@ -215,6 +229,16 @@ class SimDriver {
   void settle(bool respect_budget);
   void run_tick();
   void run_tick_dense();
+  /// True iff an unapplied fault event is scheduled at or before the
+  /// current observation step (it must fire on the next tick).
+  bool fault_due() const noexcept;
+  /// Fires every due fault event in schedule order: crash/leave freeze
+  /// the node's armed timer and drop it from the transport; recover/join
+  /// restore them and run the node's on_recover (join: on_init first);
+  /// set-k forwards to the coordinator. Owner thread, tick head only.
+  void apply_due_faults();
+  void apply_node_down(NodeId id);
+  void apply_node_up(NodeId id, bool first_time);
   /// Phase-1 body for one node (mail -> controls -> timer). `stage` is
   /// the servicing shard during a parallel phase, nullptr on the serial
   /// path (side effects then apply directly — the workers == 1 loop is
@@ -250,6 +274,12 @@ class SimDriver {
   IdBitset scan_scratch_;       // per-tick/step union scratch
   std::size_t armed_nodes_ = 0;
   bool coord_armed_ = false;
+
+  // Fault injection (null/empty without a plan; see set_fault_plan).
+  const FaultPlan* faults_ = nullptr;
+  std::size_t fault_cursor_ = 0;      // next unapplied event
+  TimeStep cur_step_ = 0;             // step currently being settled
+  IdBitset frozen_armed_;  // timers frozen by a crash, rearmed on recovery
 
   // Parallel mode (workers > 1): per-worker staging + the persistent
   // pool. Both empty/null at workers == 1 — the serial path never tests

@@ -80,6 +80,38 @@ void FilterNode::on_message(NodeCtx& ctx, const Message& m) {
       ctx.set_needs_observe(!filter_.contains(ctx.value()));
       break;
     }
+    case MsgKind::kProbe: {
+      // Crash-recovery re-sync, node side: report the current value.
+      // b = 1 distinguishes the reply from protocol-session reports.
+      Message reply;
+      reply.kind = MsgKind::kValueReport;
+      reply.a = ctx.value();
+      reply.b = 1;
+      ctx.send(reply);
+      break;
+    }
+    case MsgKind::kFilterAssign: {
+      // Re-sync completion: an explicit per-node (membership, boundary)
+      // assignment — unlike kFilterUpdate it overrides the local
+      // membership belief, which may be stale after an outage. Delivered
+      // as a unicast, it re-anchors only this node; everyone else's
+      // filter is untouched. A violating value primes pending_, so the
+      // kStartSession control the coordinator convenes for it (delivered
+      // the same tick, after this message) finds the node ready to join.
+      member_ = m.a != 0;
+      filter_ = member_ ? Filter{m.b, kPlusInf} : Filter{kMinusInf, m.b};
+      selecting_ = false;
+      in_session_ = false;
+      active_ = false;
+      if (filter_.contains(ctx.value())) {
+        pending_ = Pending::kNone;
+        ctx.set_needs_observe(false);
+      } else {
+        pending_ = member_ ? Pending::kTop : Pending::kBot;
+        ctx.set_needs_observe(true);
+      }
+      break;
+    }
     default:
       break;  // kProtocolStart etc. are informational for nodes
   }
@@ -163,6 +195,25 @@ void FilterNode::on_timer(NodeCtx& ctx) {
   ctx.arm_timer();
 }
 
+void FilterNode::on_recover(NodeCtx& ctx) {
+  // Machine state (filter_, member_, the RNG) survives the outage; the
+  // session-scoped state must not — any protocol execution convened
+  // while this node was down proceeded without it, so replaying a stale
+  // round counter, beacon view or selection role would corrupt the run.
+  in_session_ = false;
+  active_ = false;
+  selecting_ = false;
+  excluded_ = false;
+  announces_seen_ = 0;
+  pending_ = Pending::kNone;
+  has_beacon_ = false;
+  beacon_holder_ = kNoHolder;
+  // The surviving filter may predate boundaries renegotiated during the
+  // outage: stay in the observe set until the re-sync handshake
+  // re-anchors it (kFilterAssign re-certifies via its contains check).
+  ctx.set_needs_observe(true);
+}
+
 // ---------------------------------------------------------------------------
 // FilterCoordinator
 // ---------------------------------------------------------------------------
@@ -179,6 +230,7 @@ FilterCoordinator::FilterCoordinator(std::size_t k, Options opts)
 
 void FilterCoordinator::on_init(CoordCtx& ctx) {
   n_ = ctx.n();
+  n_live_ = ctx.live_count();
   if (k_ > n_) {
     throw std::invalid_argument("FilterCoordinator: k > n");
   }
@@ -211,15 +263,36 @@ void FilterCoordinator::on_step_begin(CoordCtx& ctx, TimeStep) {
     // The answer was never established — a FILTERRESET aborted under
     // message loss before any boundary reached the nodes, so no filter
     // violation can ever convene repair. Defensively re-run the
-    // selection, once per observation step.
+    // selection — every step by default; under Options::reset_backoff
+    // the retry waits an exponentially growing, RNG-jittered number of
+    // steps, so heavy loss cannot thrash a full selection's traffic per
+    // step (each skip is counted in reset_backoffs).
+    if (opts_.reset_backoff && backoff_wait_ > 0) {
+      --backoff_wait_;
+      ++mstats_.reset_backoffs;
+      return;
+    }
     ++mstats_.full_rebuilds;
+    if (opts_.reset_backoff) {
+      const auto window = std::uint32_t{1} << std::min(backoff_attempt_, 6u);
+      const auto jitter = ctx.rng().uniform_below(window);
+      backoff_wait_ = window - 1 + static_cast<std::uint32_t>(jitter);
+      ++backoff_attempt_;
+    }
     begin_reset(ctx);
     return;
   }
+  backoff_wait_ = 0;
+  backoff_attempt_ = 0;
   if (pending_top_ || pending_bot_) start_cycle(ctx);
 }
 
-void FilterCoordinator::on_message(CoordCtx&, const Message& m) {
+void FilterCoordinator::on_message(CoordCtx& ctx, const Message& m) {
+  if (m.kind == MsgKind::kValueReport && m.b == 1) {
+    // Re-sync reply (session reports leave b at 0).
+    handle_resync_reply(ctx, m.from, m.a);
+    return;
+  }
   if (!session_active_ || m.kind != MsgKind::kValueReport) return;
   if (!have_best_ ||
       beats(sdir_, m.a, m.from, best_value_, best_holder_)) {
@@ -231,6 +304,7 @@ void FilterCoordinator::on_message(CoordCtx&, const Message& m) {
 }
 
 void FilterCoordinator::on_timer(CoordCtx& ctx) {
+  tick_resyncs(ctx);
   if (!session_active_) {
     // Inter-iteration gap of a FILTERRESET selection: the previous
     // iteration's winner announcement is in flight; convening the next
@@ -536,6 +610,128 @@ void FilterCoordinator::abort_cycle() {
   select_gap_ = 0;
   min_v_.reset();
   max_v_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Fault hooks: crash, recovery re-sync, dynamic k
+// ---------------------------------------------------------------------------
+
+void FilterCoordinator::on_node_down(CoordCtx& ctx, NodeId id) {
+  if (degenerate_) return;  // a crash under k == n is rejected by the plan
+  n_live_ = ctx.live_count();
+  std::erase_if(resync_, [id](const Resync& r) { return r.id == id; });
+  // Structural loss: a member of the answer (or a winner of the in-flight
+  // FILTERRESET selection, which would otherwise be installed dead) takes
+  // the k-th position with it — re-find it over the remaining live nodes.
+  // A crashed non-member mid-session is just a lost report, which the
+  // session machinery already tolerates.
+  bool structural = in_topk_[id] != 0;
+  if (phase_ == Phase::kReset) {
+    for (const Winner& w : sel_winners_) {
+      structural = structural || w.id == id;
+    }
+  }
+  if (in_topk_[id]) {
+    in_topk_[id] = 0;
+    topk_ids_.erase(std::remove(topk_ids_.begin(), topk_ids_.end(), id),
+                    topk_ids_.end());
+  }
+  if (structural) {
+    abort_cycle();
+    begin_reset(ctx);
+  }
+}
+
+void FilterCoordinator::on_node_up(CoordCtx& ctx, NodeId id) {
+  if (degenerate_) return;
+  n_live_ = ctx.live_count();
+  for (const Resync& r : resync_) {
+    if (r.id == id) return;  // already pending (defensive; cleared on down)
+  }
+  ++mstats_.resyncs;
+  resync_.push_back(Resync{id, probe_timeout(ctx), 0});
+  Message probe;
+  probe.kind = MsgKind::kProbe;
+  ctx.unicast(id, probe);
+  ctx.arm_timer();  // drive the retry countdown
+}
+
+void FilterCoordinator::on_set_k(CoordCtx& ctx, std::size_t k) {
+  if (k == k_) return;
+  k_ = k;
+  backoff_wait_ = 0;
+  backoff_attempt_ = 0;
+  abort_cycle();
+  // Violations signalled against the old k's filters are stale: the
+  // selection below re-evaluates every node anyway.
+  pending_top_ = pending_bot_ = false;
+  if (k_ == n_ && opts_.pinned_boundary == nullptr) {
+    // Growing into the degenerate configuration: all nodes are the answer
+    // forever (the plan guarantees they are all live at this point).
+    degenerate_ = true;
+    std::fill(in_topk_.begin(), in_topk_.end(), char{1});
+    topk_ids_.clear();
+    for (NodeId id = 0; id < n_; ++id) topk_ids_.push_back(id);
+    return;
+  }
+  degenerate_ = false;
+  begin_reset(ctx);
+}
+
+void FilterCoordinator::tick_resyncs(CoordCtx& ctx) {
+  if (resync_.empty()) return;
+  for (Resync& r : resync_) {
+    if (r.countdown > 0) {
+      --r.countdown;
+      continue;
+    }
+    // The probe or its reply was lost (or the reply arrived mid-cycle and
+    // was deferred): resend, with capped exponential backoff so a long
+    // outage of the return path cannot flood the link.
+    ++mstats_.resync_retries;
+    r.countdown = probe_timeout(ctx)
+                  << std::min<std::uint32_t>(++r.attempt, 6);
+    Message probe;
+    probe.kind = MsgKind::kProbe;
+    ctx.unicast(r.id, probe);
+  }
+  ctx.arm_timer();  // keep the countdown ticking while any re-sync pends
+}
+
+void FilterCoordinator::handle_resync_reply(CoordCtx& ctx, NodeId from,
+                                            Value v) {
+  auto it = std::find_if(resync_.begin(), resync_.end(),
+                         [from](const Resync& r) { return r.id == from; });
+  if (it == resync_.end()) return;  // late duplicate of a completed re-sync
+  if (phase_ != Phase::kIdle || session_active_) {
+    // Re-admitting mid-cycle would corrupt the running session's quorum;
+    // park the reply — the retry probe finds the coordinator idle later.
+    it->countdown = probe_timeout(ctx);
+    return;
+  }
+  resync_.erase(it);
+  if (topk_ids_.size() != k_) {
+    // No established answer to re-admit into: the next selection
+    // re-integrates the node along with everyone else.
+    begin_reset(ctx);
+    return;
+  }
+  // Re-admit as an outsider anchored on the established boundary. The
+  // assignment unicast lands before any control queued below (messages
+  // precede controls within a node phase), so a violating node is primed
+  // to join the repair session its own violation convenes.
+  Message assign;
+  assign.kind = MsgKind::kFilterAssign;
+  assign.a = 0;  // non-member: the crash removed it from the answer
+  assign.b = mid_;
+  ctx.unicast(from, assign);
+  if (v > mid_) {
+    // The returning value belongs above the boundary: handle it exactly
+    // like a signalled bottom-side filter violation.
+    ++mstats_.violations;
+    pending_bot_ = true;
+    start_cycle(ctx);
+  }
 }
 
 }  // namespace topkmon

@@ -69,6 +69,7 @@ class FilterNode final : public NodeAlgo {
   void on_message(NodeCtx& ctx, const Message& m) override;
   void on_control(NodeCtx& ctx, const Control& c) override;
   void on_timer(NodeCtx& ctx) override;
+  void on_recover(NodeCtx& ctx) override;
 
   // -- introspection for tests ---------------------------------------------
   const Filter& filter() const noexcept { return filter_; }
@@ -121,6 +122,16 @@ class FilterCoordinator final : public CoordinatorAlgo {
     /// updated between steps; nullptr selects the monolithic behaviour,
     /// which is message-for-message identical to pre-sharding builds.
     const std::optional<Value>* pinned_boundary = nullptr;
+    /// Exponential backoff for the defensive full rebuild in
+    /// on_step_begin. Without it, a FILTERRESET that keeps aborting under
+    /// heavy loss (drop > 0.5) is re-attempted every observation step —
+    /// each attempt a full k+1-selection's worth of traffic. With backoff
+    /// the retry waits 0, 1, 3, 7, ... steps (capped at 63) plus a small
+    /// deterministic jitter drawn from the coordinator's seeded RNG, and
+    /// the wait resets once an answer is established. Off by default:
+    /// enabling it changes message traces, so lossy fingerprints (e15)
+    /// only match historical ones with the flag off.
+    bool reset_backoff = false;
   };
 
   explicit FilterCoordinator(std::size_t k) : FilterCoordinator(k, {}) {}
@@ -132,6 +143,25 @@ class FilterCoordinator final : public CoordinatorAlgo {
   void on_message(CoordCtx& ctx, const Message& m) override;
   void on_timer(CoordCtx& ctx) override;
   const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  // -- fault hooks (sim/fault_plan.hpp) -------------------------------------
+  // Crash: the node is dropped from the answer; if it was a member (or a
+  // selection winner of an in-flight FILTERRESET) the k-th position must
+  // be re-found, so the cycle aborts and a fresh selection runs over the
+  // remaining live nodes. Recovery: a re-sync handshake — the coordinator
+  // probes the node (kProbe), the node replies with its current value
+  // (kValueReport, b = 1), and the coordinator re-admits it as an
+  // outsider anchored on the established boundary (kFilterAssign),
+  // treating a boundary-violating reply as a fresh bottom-side violation.
+  // Probes lost to the network are resent from the coordinator timer with
+  // capped exponential backoff (MonitorStats::resync_retries).
+  void on_node_down(CoordCtx& ctx, NodeId id) override;
+  void on_node_up(CoordCtx& ctx, NodeId id) override;
+  /// Dynamic k: warm renegotiation — membership is recomputed by one
+  /// FILTERRESET selection at the new k over current values; node
+  /// machine state and the T+/T- accumulation epoch restart, nothing
+  /// else is torn down.
+  void on_set_k(CoordCtx& ctx, std::size_t k) override;
 
   /// Sharded-deployment hook: re-anchors the node filters on the current
   /// pinned boundary (Options::pinned_boundary) when it moved since the
@@ -168,19 +198,32 @@ class FilterCoordinator final : public CoordinatorAlgo {
   void apply_boundary(CoordCtx& ctx, Value m);
   void cycle_done(CoordCtx& ctx);
   void abort_cycle();
+  /// Decrements re-sync countdowns, resends timed-out probes (capped
+  /// exponential backoff), keeps the coordinator timer armed while any
+  /// re-sync is pending. No-op with no pending re-sync.
+  void tick_resyncs(CoordCtx& ctx);
+  /// A kValueReport with b == 1: the probed node's answer. Deferred while
+  /// a cycle is in flight (re-integrating mid-session would corrupt it).
+  void handle_resync_reply(CoordCtx& ctx, NodeId from, Value v);
+  /// Probe round trip plus slack under the deployed network policy.
+  std::uint64_t probe_timeout(CoordCtx& ctx) const {
+    return 2 * ctx.flush_ticks() + 2;
+  }
 
   /// Boundary for a concluded cycle: the pinned root boundary when the
   /// gap contains it (sharded mode), the gap midpoint otherwise.
   Value choose_boundary() const;
-  /// FILTERRESET selection count: k+1 monolithically, capped at n so a
-  /// full-quota shard (k == n) selects everyone exactly once.
+  /// FILTERRESET selection count: k+1 monolithically, capped at the live
+  /// node count so a full-quota shard (k == n) selects everyone exactly
+  /// once and a selection under churn never waits on a dead participant.
   std::size_t selection_target() const noexcept {
-    return std::min(k_ + 1, n_);
+    return std::min(k_ + 1, n_live_);
   }
 
   std::size_t k_;
   Options opts_;
-  std::size_t n_ = 0;
+  std::size_t n_ = 0;       ///< provisioned node count (incl. not-yet-joined)
+  std::size_t n_live_ = 0;  ///< currently-live nodes (== n_ without faults)
   bool degenerate_ = false;  ///< k == n: the answer can never change
 
   // Answer / membership (coordinator's view).
@@ -222,6 +265,18 @@ class FilterCoordinator final : public CoordinatorAlgo {
   std::vector<Winner> sel_winners_;
   bool pending_select_ = false;   ///< next iteration waits for announce lag
   std::uint64_t select_gap_ = 0;  ///< remaining inter-iteration gap ticks
+
+  // Pending crash-recovery re-syncs, in recovery order.
+  struct Resync {
+    NodeId id;
+    std::uint64_t countdown;  ///< ticks until the probe is declared lost
+    std::uint32_t attempt;    ///< resend count (bounds the backoff shift)
+  };
+  std::vector<Resync> resync_;
+
+  // Defensive-rebuild backoff (active only with Options::reset_backoff).
+  std::uint32_t backoff_wait_ = 0;     ///< steps left before the next retry
+  std::uint32_t backoff_attempt_ = 0;  ///< consecutive failed rebuilds
 };
 
 }  // namespace topkmon

@@ -30,6 +30,10 @@ struct MonitorStats {
   std::uint64_t protocol_runs = 0;      ///< max/min protocol executions
   std::uint64_t polls = 0;              ///< coordinator-initiated probes
   std::uint64_t full_rebuilds = 0;      ///< defensive full re-initializations
+  std::uint64_t resyncs = 0;            ///< crash-recovery re-sync handshakes
+  std::uint64_t resync_retries = 0;     ///< re-sync probes resent on timeout
+  std::uint64_t reset_backoffs = 0;     ///< defensive rebuilds deferred by
+                                        ///< the reset backoff (opt-in)
 };
 
 /// Abstract Top-k-Position monitor.

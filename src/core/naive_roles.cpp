@@ -22,15 +22,67 @@ void NaiveCoordinator::on_init(CoordCtx& ctx) {
   }
   known_values_.assign(ctx.n(), 0);
   truth_.emplace(ctx.n(), std::max<std::size_t>(k_, 1));
+  if (ctx.live_count() < ctx.n()) {
+    // Nodes provisioned for a later join start down: keep them out of
+    // the answer until their post-join report arrives.
+    for (NodeId id = 0; id < ctx.n(); ++id) {
+      if (ctx.node_alive(id)) continue;
+      known_values_[id] = kMinusInf;
+      truth_->set_value(id, kMinusInf);
+    }
+  }
 }
 
 void NaiveCoordinator::on_message(CoordCtx&, const Message& m) {
   if (m.kind != MsgKind::kValueReport) return;
   known_values_[m.from] = m.a;
   truth_->set_value(m.from, m.a);
+  // Any report from a node with a pending re-sync completes it: the
+  // replica entry is current again.
+  if (!resync_.empty()) {
+    std::erase_if(resync_, [&m](const Resync& r) { return r.id == m.from; });
+  }
+}
+
+void NaiveCoordinator::on_timer(CoordCtx& ctx) {
+  // Re-sync retry clock: resend timed-out probes with capped exponential
+  // backoff, and keep ticking while any re-sync is pending.
+  if (resync_.empty()) return;
+  for (Resync& r : resync_) {
+    if (r.countdown > 0) {
+      --r.countdown;
+      continue;
+    }
+    ++mstats_.resync_retries;
+    r.countdown = (2 * ctx.flush_ticks() + 2)
+                  << std::min<std::uint32_t>(++r.attempt, 6);
+    Message probe;
+    probe.kind = MsgKind::kProbe;
+    ctx.unicast(r.id, probe);
+  }
+  ctx.arm_timer();
 }
 
 void NaiveCoordinator::on_step_end(CoordCtx&, TimeStep) { refresh_answer(); }
+
+void NaiveCoordinator::on_node_down(CoordCtx&, NodeId id) {
+  std::erase_if(resync_, [id](const Resync& r) { return r.id == id; });
+  known_values_[id] = kMinusInf;
+  truth_->set_value(id, kMinusInf);
+  refresh_answer();
+}
+
+void NaiveCoordinator::on_node_up(CoordCtx& ctx, NodeId id) {
+  for (const Resync& r : resync_) {
+    if (r.id == id) return;  // defensive; cleared on down
+  }
+  ++mstats_.resyncs;
+  resync_.push_back(Resync{id, 2 * ctx.flush_ticks() + 2, 0});
+  Message probe;
+  probe.kind = MsgKind::kProbe;
+  ctx.unicast(id, probe);
+  ctx.arm_timer();
+}
 
 void NaiveCoordinator::refresh_answer() {
   if (k_ == 0) {

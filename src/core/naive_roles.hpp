@@ -28,7 +28,34 @@ class NaiveNode final : public NodeAlgo {
     if (send_on_change_only_) ctx.set_needs_observe(false);
     report(ctx, v0);
   }
-  void on_observe(NodeCtx& ctx, Value v, TimeStep) override { report(ctx, v); }
+  void on_observe(NodeCtx& ctx, Value v, TimeStep) override {
+    report(ctx, v);
+    // A recovery puts the node back in the needs-observe set until its
+    // first report lands in last_sent_; after that an unchanged value is
+    // a no-op again (idempotent bit write, free on the steady path).
+    if (send_on_change_only_) ctx.set_needs_observe(false);
+  }
+
+  void on_message(NodeCtx& ctx, const Message& m) override {
+    // Crash-recovery re-sync: answer the coordinator's probe with the
+    // current value, unconditionally — the coordinator's replica holds
+    // -inf for this node, so "unchanged since last_sent_" is irrelevant.
+    if (m.kind != MsgKind::kProbe) return;
+    Message reply;
+    reply.kind = MsgKind::kValueReport;
+    reply.a = ctx.value();
+    ctx.send(reply);
+    last_sent_ = ctx.value();
+  }
+
+  void on_recover(NodeCtx& ctx) override {
+    // The coordinator zeroed this node out of its replica; whatever was
+    // last sent no longer matches it. Report on the next observation
+    // even if the value is unchanged (and re-enter the observe set so
+    // that observation actually happens).
+    last_sent_.reset();
+    ctx.set_needs_observe(true);
+  }
 
  private:
   void report(NodeCtx& ctx, Value v) {
@@ -56,8 +83,20 @@ class NaiveCoordinator final : public CoordinatorAlgo {
   }
   void on_init(CoordCtx& ctx) override;
   void on_message(CoordCtx& ctx, const Message& m) override;
+  void on_timer(CoordCtx& ctx) override;
   void on_step_end(CoordCtx& ctx, TimeStep t) override;
   const std::vector<NodeId>& topk() const override { return topk_ids_; }
+
+  // -- fault hooks (sim/fault_plan.hpp) -------------------------------------
+  // Crash: the replica entry drops to -inf, so the node falls out of the
+  // answer at once. Recovery: the coordinator probes for the current
+  // value (the change-only variant would otherwise stay silent until the
+  // value happens to move); any report from the node completes the
+  // re-sync, and lost probes are resent with capped exponential backoff.
+  void on_node_down(CoordCtx& ctx, NodeId id) override;
+  void on_node_up(CoordCtx& ctx, NodeId id) override;
+  /// Dynamic k: a coordinator-local recompute over the replica (rekey).
+  void on_set_k(CoordCtx& ctx, std::size_t k) override { (void)ctx; rekey(k); }
 
   // -- sharded-deployment hooks ---------------------------------------------
   // The replica already holds every node's last report, so a quota change
@@ -78,6 +117,15 @@ class NaiveCoordinator final : public CoordinatorAlgo {
   std::size_t k_;
   bool send_on_change_only_;
   bool sharded_ = false;
+
+  // Pending crash-recovery re-syncs, in recovery order (see filter_roles
+  // for the same pattern with a handshake reply).
+  struct Resync {
+    NodeId id;
+    std::uint64_t countdown;
+    std::uint32_t attempt;
+  };
+  std::vector<Resync> resync_;
   std::vector<Value> known_values_;  ///< coordinator's replica
   std::vector<NodeId> topk_ids_;
   /// Incremental top-k over the replica: O(received reports) per step

@@ -166,6 +166,22 @@ class CoordCtx {
   /// tick's coordinator timer phase; within on_timer, for the next tick.
   void arm_timer();
 
+  // -- liveness (fault injection; see sim/fault_plan.hpp) -------------------
+  // The simulated coordinator has a perfect failure detector: the driver
+  // raises on_node_down/on_node_up at the tick a fault fires, and these
+  // accessors expose the transport's live view. Without a fault plan
+  // every node is alive and live_count() == n().
+
+  /// True iff node `id` is currently up (receives mail, runs timers).
+  bool node_alive(NodeId id) const noexcept {
+    return cluster_.net().node_alive(id);
+  }
+
+  /// Number of currently-live nodes.
+  std::size_t live_count() const noexcept {
+    return cluster_.net().live_nodes();
+  }
+
  private:
   SimDriver& driver_;
   Cluster& cluster_;
@@ -196,6 +212,16 @@ class NodeAlgo {
 
   /// A previously armed timer fired (one protocol round per tick).
   virtual void on_timer(NodeCtx& ctx) { (void)ctx; }
+
+  /// The node came back up after a crash (or joined for the first time,
+  /// after on_init). Machine state (value, RNG, filter fields held by the
+  /// algorithm instance) survives the outage; implementations should drop
+  /// *session-scoped* state here — a protocol execution convened during
+  /// the outage proceeded without this node, so replaying its stale
+  /// session role would corrupt the run. The coordinator is told via
+  /// on_node_up in the same tick and starts the monitor's re-sync
+  /// handshake.
+  virtual void on_recover(NodeCtx& ctx) { (void)ctx; }
 };
 
 /// The coordinator-side half of a monitoring algorithm.
@@ -224,6 +250,28 @@ class CoordinatorAlgo {
   /// Called when the step's delivery ticks are exhausted (quiescence or
   /// tick budget). The answer returned by topk() must be current here.
   virtual void on_step_end(CoordCtx& ctx, TimeStep t) { (void)ctx, (void)t; }
+
+  // -- fault hooks (default no-ops; see sim/fault_plan.hpp) -----------------
+  // Fired by the driver at the tick a fault event applies, after the
+  // transport state changed (ctx.node_alive already reflects the event).
+  // The model is a perfect failure detector: detection itself is
+  // uncharged, like the signal plane; everything the coordinator *does*
+  // about it (probes, re-anchoring, renegotiation) is charged normally.
+
+  /// Node `id` crashed or left. A correct monitor must stop counting it:
+  /// drop it from the answer and from any quorum the in-flight protocol
+  /// session expects a response from.
+  virtual void on_node_down(CoordCtx& ctx, NodeId id) { (void)ctx, (void)id; }
+
+  /// Node `id` recovered (or joined). Its node-side algorithm state is
+  /// whatever survived the outage; the coordinator owns re-integration
+  /// (the re-sync handshake).
+  virtual void on_node_up(CoordCtx& ctx, NodeId id) { (void)ctx, (void)id; }
+
+  /// Dynamic reconfiguration: monitor a new top-k size from now on,
+  /// renegotiating warm state rather than cold-restarting. `k` is
+  /// validated against the live node count by the FaultPlan.
+  virtual void on_set_k(CoordCtx& ctx, std::size_t k) { (void)ctx, (void)k; }
 
   /// The coordinator's current answer: ids of the top-k nodes, sorted by
   /// id (canonical set representation).

@@ -39,9 +39,17 @@ void RootMergeCoordinator::on_init(CoordCtx& ctx) {
   fresh_ = 0;
 }
 
-void RootMergeCoordinator::on_step_begin(CoordCtx&, TimeStep t) {
+void RootMergeCoordinator::on_step_begin(CoordCtx& ctx, TimeStep t) {
   cur_step_ = t;
   violation_this_step_ = false;
+  if (pending_k_.has_value()) {
+    // Dynamic k (request_k): adopt the new target and renegotiate. When a
+    // renegotiation is already collecting, just adopting the target is
+    // enough — its fixpoint below aims at k_.
+    k_ = *pending_k_;
+    pending_k_.reset();
+    if (!inert_ && rphase_ == RPhase::kIdle) begin_renegotiation(ctx);
+  }
 }
 
 void RootMergeCoordinator::on_message(CoordCtx& ctx, const Message& m) {
@@ -83,6 +91,42 @@ void RootMergeCoordinator::advance_fixpoint(CoordCtx& ctx) {
   // outsider strictly outranks the member. The two kFilterAssign replies
   // re-enter on_message and bring fresh_ back to c.
   const std::size_t c = adapters_.size();
+
+  // Dynamic k: while the quota total is off the target, move it one unit
+  // toward k_ before any improving transfer — grant a slot to the shard
+  // with the strongest outsider, or take one from the shard with the
+  // weakest member. 1 <= k_ <= n guarantees an eligible shard exists, and
+  // each assign shrinks |total - k_|, so the fixpoint still terminates.
+  std::size_t total = 0;
+  for (const auto& a : adapters_) total += a->quota();
+  if (total != k_) {
+    std::size_t pick = c;
+    if (total < k_) {
+      for (std::size_t s = 0; s < c; ++s) {
+        if (adapters_[s]->quota() < ranges_[s].size &&
+            (pick == c || info_[s].l > info_[pick].l)) {
+          pick = s;
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < c; ++s) {
+        if (adapters_[s]->quota() > 0 &&
+            (pick == c || info_[s].u < info_[pick].u)) {
+          pick = s;
+        }
+      }
+    }
+    ++mstats_.protocol_runs;
+    info_[pick].fresh = false;
+    --fresh_;
+    Message assign;
+    assign.kind = MsgKind::kFilterAssign;
+    const std::size_t q = adapters_[pick]->quota();
+    assign.a = static_cast<std::int64_t>(total < k_ ? q + 1 : q - 1);
+    ctx.unicast(static_cast<NodeId>(pick), assign);
+    return;
+  }
+
   std::size_t loser = c;
   std::size_t gainer = c;
   for (std::size_t s = 0; s < c; ++s) {
@@ -281,6 +325,21 @@ void ShardedDeployment::step(TimeStep t, std::span<const NodeId> changed) {
   // Root tier: crossing polls, renegotiations, answer assembly. Serial,
   // after every shard settled.
   root_driver_->step(t);
+}
+
+void ShardedDeployment::set_k(std::size_t k) {
+  if (k == 0 || k > spec_.n) {
+    throw std::invalid_argument("ShardedDeployment::set_k: k out of range");
+  }
+  spec_.k = k;
+  if (adapters_.size() == 1) {
+    // Inert root tier: re-key the single shard directly (the naive shard
+    // rekeys its replica in place; the filter shard rebuilds on its warm
+    // cluster), exactly the monolithic on_set_k semantics.
+    adapters_[0]->set_quota(k);
+    return;
+  }
+  root_coord_->request_k(k);
 }
 
 CommStats ShardedDeployment::node_shard_comm() {

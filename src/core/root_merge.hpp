@@ -125,6 +125,17 @@ class RootMergeCoordinator final : public CoordinatorAlgo {
     return have_r_ ? std::optional<Value>(r_) : std::nullopt;
   }
 
+  /// Dynamic reconfiguration: renegotiate the global top-k size to `k`
+  /// at the next step. The quota fixpoint generalizes to an off-target
+  /// total: while sum(quota) < k the shard with the strongest outsider
+  /// is granted a slot, while sum(quota) > k the shard with the weakest
+  /// member gives one up — each kFilterAssign moves the total one unit
+  /// toward k before the usual improving transfers run, so the
+  /// renegotiation terminates at the new total with the merged answer
+  /// exact. Callable between steps (scenario-side fault plumbing); the
+  /// next on_step_begin opens the renegotiation.
+  void request_k(std::size_t k) noexcept { pending_k_ = k; }
+
  private:
   /// Latest extrema report from one shard. `fresh` means "reported since
   /// the last probe/assign touched this shard" — quota decisions only run
@@ -150,6 +161,7 @@ class RootMergeCoordinator final : public CoordinatorAlgo {
     kCollect,  ///< waiting for fresh extrema from every shard
   };
   RPhase rphase_ = RPhase::kIdle;
+  std::optional<std::size_t> pending_k_;  ///< request_k, applied at step begin
   bool have_r_ = false;
   Value r_ = 0;
   std::vector<Info> info_;
@@ -206,6 +218,13 @@ class ShardedDeployment {
 
   /// One observation step; `changed` holds global ids (any order).
   void step(TimeStep t, std::span<const NodeId> changed);
+
+  /// Dynamic reconfiguration to a new global top-k size (1 <= k <= n),
+  /// applied warm: at c == 1 the single shard's quota is re-keyed
+  /// directly; at c > 1 the root renegotiates shard quotas to the new
+  /// total at the next step (RootMergeCoordinator::request_k). Call
+  /// between steps, before the step the new k takes effect at.
+  void set_k(std::size_t k);
 
   const std::vector<NodeId>& topk() const { return root_coord_->topk(); }
   std::string_view name() const { return root_coord_->name(); }

@@ -32,6 +32,7 @@ void check_answer_step(GroundTruthTracker& truth,
   if (!ok) {
     result->correct = false;
     ++result->error_steps;
+    result->error_step_list.push_back(t);
     if (!result->first_error_step.has_value()) result->first_error_step = t;
     if (throw_on_error) {
       std::ostringstream msg;

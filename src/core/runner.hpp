@@ -4,9 +4,11 @@
 // trace, enabling the offline-optimal comparison and competitive ratios).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/monitor.hpp"
 #include "core/offline_opt.hpp"
@@ -83,6 +85,37 @@ struct RunResult {
                ? 0.0
                : static_cast<double>(error_steps) /
                      static_cast<double>(steps_executed);
+  }
+
+  /// Every step whose answer diverged, in ascending order (one entry per
+  /// error_steps increment; empty when validation is off).
+  std::vector<TimeStep> error_step_list;
+
+  /// Errors recorded at steps >= t. The aggregate error_rate() can hide
+  /// a monitor that never recovered behind a long clean prefix — a run
+  /// with 2% errors may be 100% wrong after its last fault. Tail-window
+  /// accounting is what the churn suite and the perf regression gate
+  /// compare.
+  std::uint64_t error_steps_since(TimeStep t) const noexcept {
+    const auto it = std::lower_bound(error_step_list.begin(),
+                                     error_step_list.end(), t);
+    return static_cast<std::uint64_t>(error_step_list.end() - it);
+  }
+
+  /// Fault-injection outcome (exp::run_scenario with a fault plan): one
+  /// entry per applied fault event, in schedule order — the delivery
+  /// ticks from the event firing until the answer last diverged before
+  /// the next event (0 = the event never produced a wrong answer). A
+  /// bounded value at every event is the crash-recovery acceptance
+  /// criterion; a window still erroring when the next event fires (or
+  /// the run ends) means the monitor never re-converged.
+  std::vector<std::uint64_t> recovery_ticks;
+
+  /// Worst recovery window of the run (0 with no faults / no errors).
+  std::uint64_t max_recovery_ticks() const noexcept {
+    std::uint64_t worst = 0;
+    for (const std::uint64_t r : recovery_ticks) worst = std::max(worst, r);
+    return worst;
   }
 
   // Optional artifacts.

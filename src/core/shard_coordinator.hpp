@@ -87,6 +87,9 @@ inline void add_monitor_stats(MonitorStats& into,
   into.protocol_runs += from.protocol_runs;
   into.polls += from.polls;
   into.full_rebuilds += from.full_rebuilds;
+  into.resyncs += from.resyncs;
+  into.resync_retries += from.resync_retries;
+  into.reset_backoffs += from.reset_backoffs;
 }
 
 /// The shard extrema the root tier merges over.

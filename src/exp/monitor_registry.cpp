@@ -174,7 +174,14 @@ RolePair make_role_pair(Cluster& cluster, std::string_view spec,
 
   if (parsed.name == "topk_filter") {
     FilterCoordinator::Options o;
-    o.suppress_idle_broadcasts = parse_nobeacon_only(parsed);
+    for (const auto& p : parsed.params) {
+      if (p.key == "nobeacon") o.suppress_idle_broadcasts = parse_flag(p);
+      // Native-roles-only knob (the lock-step bridge has no FILTERRESET
+      // retry loop to damp): seeded exponential backoff on defensive
+      // resets, for the lossy-network and churn suites.
+      else if (p.key == "backoff") o.reset_backoff = parse_flag(p);
+      else bad_param(parsed, p);
+    }
     pair.coordinator = std::make_unique<FilterCoordinator>(k, o);
     pair.nodes.reserve(cluster.size());
     for (std::size_t i = 0; i < cluster.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -12,6 +13,7 @@
 #include "core/root_merge.hpp"
 #include "exp/monitor_registry.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/strings.hpp"
 
 namespace topkmon::exp {
@@ -41,16 +43,30 @@ RunResult run_scenario(const Scenario& sc) {
     throw std::invalid_argument("run_scenario: k out of range");
   }
 
+  // Fault plan: validated up front so provisioning (cluster, streams,
+  // ground truth) accounts for joining nodes. An empty plan ("none")
+  // leaves every allocation and every RNG stream exactly as before —
+  // fault-free runs stay byte-identical.
+  const FaultPlan plan(sc.faults, sc.n, sc.k, sc.seed);
+  const bool faulty = !plan.empty();
+  const std::size_t N = faulty ? plan.total_nodes() : sc.n;
+
   const auto wall_start = std::chrono::steady_clock::now();
 
-  auto streams = make_stream_set(sc.stream, sc.n, sc.seed);
-  Cluster cluster(sc.n, sc.seed, sc.network);
+  auto streams = make_stream_set(sc.stream, N, sc.seed);
+  Cluster cluster(N, sc.seed, sc.network);
   RolePair pair = make_role_pair(cluster, sc.monitor, sc.k);
   if (!pair.native && !sc.network.is_instant()) {
     throw std::invalid_argument(
         "run_scenario: monitor '" + sc.monitor +
         "' has no native role implementation and cannot run on network '" +
         sc.network.name() + "' (native: topk_filter, naive, naive_chg)");
+  }
+  if (!pair.native && faulty) {
+    throw std::invalid_argument(
+        "run_scenario: monitor '" + sc.monitor +
+        "' has no native role implementation and cannot run under fault "
+        "plan '" + sc.faults + "' (native: topk_filter, naive, naive_chg)");
   }
   const std::size_t workers =
       sc.workers != 0
@@ -68,12 +84,13 @@ RunResult run_scenario(const Scenario& sc) {
   RunResult result;
   result.config = cfg;
   result.network = sc.network.name();
-  if (sc.record_trace) result.trace.emplace(sc.n, sc.steps + 1);
+  if (sc.record_trace) result.trace.emplace(N, sc.steps + 1);
 
   // Validation shares the legacy runner's core (incremental ground truth);
   // the ordered-rank check applies when the adapter wraps the ordered
-  // monitor.
-  GroundTruthTracker truth(sc.n, sc.k);
+  // monitor. The tracker's k is fixed at construction, so a dynamic-k
+  // event re-emplaces it (and re-feeds the value mirror).
+  std::optional<GroundTruthTracker> truth(std::in_place, N, sc.k);
   const bool track = cfg.validation != RunConfig::Validation::kOff;
   const auto* ordered =
       sc.validate_order
@@ -81,7 +98,7 @@ RunResult run_scenario(const Scenario& sc) {
           : nullptr;
   const std::string detail = " (network " + sc.network.name() + ")";
   const auto check = [&](TimeStep t) {
-    check_answer_step(truth, pair.coordinator->topk(), ordered, cfg,
+    check_answer_step(*truth, pair.coordinator->topk(), ordered, cfg,
                       pair.coordinator->name(), detail, t, &result,
                       sc.throw_on_error);
   };
@@ -89,6 +106,19 @@ RunResult run_scenario(const Scenario& sc) {
   SimDriver driver(cluster, *pair.coordinator, pair.nodes, pair.native,
                    workers);
   driver.set_dense_loop(sc.dense_loop);
+
+  // Down-node bookkeeping mirroring the driver's alive bits at step
+  // granularity: ids provisioned for a later join start down (transport
+  // and ground truth both exclude them until their join event fires).
+  std::vector<char> down(N, 0);
+  if (faulty) {
+    driver.set_fault_plan(&plan);
+    for (NodeId id = sc.n; id < N; ++id) {
+      down[id] = 1;
+      cluster.net().set_node_down(id);
+      if (track) truth->set_value(id, kMinusInf);
+    }
+  }
   // Two observation paths producing identical values and an identical
   // changed-id list:
   //  * quiet-capable stream sets (the sparse wrapper family) advance
@@ -102,33 +132,96 @@ RunResult run_scenario(const Scenario& sc) {
   // cluster/tracker/trace state, byte-equivalent to a dense write loop.
   const bool quiet_streams = streams.quiet_capable();
   if (!quiet_streams) streams.plan_steps(sc.steps + 1);
-  std::vector<Value> values(sc.n, 0);  // mirrors the (all-zero) cluster
-  std::vector<Value> incoming(sc.n);
+  std::vector<Value> values(N, 0);  // mirrors the (all-zero) cluster
+  std::vector<Value> incoming(N);
   std::vector<NodeId> changed;
-  changed.reserve(sc.n);
+  changed.reserve(N);
 
+  // Down nodes keep streaming into the values[] mirror (their stream RNG
+  // must stay in lock-step with a fault-free run) but write neither the
+  // cluster nor the ground truth — a dark node's moves are invisible
+  // until recovery syncs its latest value back in.
   const auto observe = [&](TimeStep t) {
     if (quiet_streams) {
       streams.advance_all_active(values, changed);
       for (const NodeId id : changed) {
+        if (down[id]) continue;
         cluster.set_value(id, values[id]);
-        if (track) truth.set_value(id, values[id]);
+        if (track) truth->set_value(id, values[id]);
       }
     } else {
       streams.advance_all(incoming);
       changed.clear();
-      for (NodeId id = 0; id < sc.n; ++id) {
+      for (NodeId id = 0; id < N; ++id) {
         const Value v = incoming[id];
-        if (v != values[id]) {
+        if (v != values[id] && !down[id]) {
           changed.push_back(id);
           cluster.set_value(id, v);
-          if (track) truth.set_value(id, v);
+          if (track) truth->set_value(id, v);
         }
       }
       values.swap(incoming);
     }
     if (result.trace.has_value()) {
-      for (NodeId id = 0; id < sc.n; ++id) result.trace->at(t, id) = values[id];
+      for (NodeId id = 0; id < N; ++id) result.trace->at(t, id) = values[id];
+    }
+  };
+
+  // Scenario-side mirror of the fault schedule: the driver fires the
+  // events inside step(t)'s settle; this cursor applies their ground-truth
+  // and value-sync effects at the same step, and opens a recovery window
+  // per burst — each erroring step extends the window's entries in
+  // result.recovery_ticks until the answer stops diverging (or the next
+  // burst takes over).
+  std::size_t next_event = 0;
+  std::size_t win_begin = 0;
+  std::size_t win_end = 0;
+  std::uint64_t win_tick = 0;
+  bool win_open = false;
+  std::size_t cur_k = sc.k;
+  if (faulty) result.recovery_ticks.assign(plan.events().size(), 0);
+
+  const auto apply_events = [&](TimeStep t) {
+    const std::size_t first = next_event;
+    const auto& events = plan.events();
+    while (next_event < events.size() && events[next_event].step == t) {
+      const FaultEvent& ev = events[next_event];
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash:
+        case FaultEvent::Kind::kLeave:
+          down[ev.node] = 1;
+          if (track) truth->set_value(ev.node, kMinusInf);
+          break;
+        case FaultEvent::Kind::kRecover:
+          down[ev.node] = 0;
+          cluster.set_value(ev.node, values[ev.node]);
+          if (track) truth->set_value(ev.node, values[ev.node]);
+          break;
+        case FaultEvent::Kind::kJoin:
+          for (std::size_t i = 0; i < ev.count; ++i) {
+            const NodeId id = ev.node + static_cast<NodeId>(i);
+            down[id] = 0;
+            cluster.set_value(id, values[id]);
+            if (track) truth->set_value(id, values[id]);
+          }
+          break;
+        case FaultEvent::Kind::kSetK:
+          cur_k = ev.count;
+          if (track) {
+            truth.emplace(N, cur_k);
+            for (NodeId id = 0; id < N; ++id) {
+              truth->set_value(id, down[id] ? kMinusInf : values[id]);
+            }
+          }
+          break;
+      }
+      ++next_event;
+    }
+    if (next_event != first) {
+      win_begin = first;
+      win_end = next_event;
+      win_tick = driver.now();
+      win_open = true;
     }
   };
 
@@ -148,8 +241,16 @@ RunResult run_scenario(const Scenario& sc) {
   for (TimeStep t = 1; t <= sc.steps; ++t) {
     cluster.stats().begin_step(t);
     observe(t);
+    if (faulty) apply_events(t);
+    const std::uint64_t errors_before = result.error_steps;
     driver.step(t, changed);
     check(t);
+    if (win_open && result.error_steps != errors_before) {
+      const std::uint64_t w = driver.now() - win_tick;
+      for (std::size_t i = win_begin; i < win_end; ++i) {
+        result.recovery_ticks[i] = w;
+      }
+    }
     ++result.steps_executed;
     if (sc.on_step) sc.on_step(t, values, pair.coordinator->topk());
   }
@@ -167,6 +268,17 @@ RunResult run_scenario(const Scenario& sc) {
 RunResult run_sharded_scenario(const Scenario& sc) {
   if (sc.k == 0 || sc.k > sc.n) {
     throw std::invalid_argument("run_sharded_scenario: k out of range");
+  }
+  // Sharded deployments accept k-only fault plans (quota renegotiation at
+  // the root) and reject membership churn: per-shard clusters cannot
+  // retire / provision nodes behind the root tier's back.
+  const FaultPlan plan(sc.faults, sc.n, sc.k, sc.seed);
+  const bool faulty = !plan.empty();
+  if (plan.has_churn()) {
+    throw std::invalid_argument(
+        "run_sharded_scenario: fault plan '" + sc.faults +
+        "' contains membership churn; sharded deployments support k-only "
+        "plans (crash/recover/join/leave require shards == 1)");
   }
   const auto [spec, shards_param] = split_shards_param(sc.monitor);
   const std::size_t shards = shards_param != 0 ? shards_param : sc.shards;
@@ -238,12 +350,12 @@ RunResult run_sharded_scenario(const Scenario& sc) {
   result.network = sc.network.name();
   if (sc.record_trace) result.trace.emplace(sc.n, sc.steps + 1);
 
-  GroundTruthTracker truth(sc.n, sc.k);
+  std::optional<GroundTruthTracker> truth(std::in_place, sc.n, sc.k);
   const bool track = cfg.validation != RunConfig::Validation::kOff;
   const std::string detail = " (network " + sc.network.name() + ", shards " +
                              std::to_string(shards) + ")";
   const auto check = [&](TimeStep t) {
-    check_answer_step(truth, dep.topk(), /*ordered=*/nullptr, cfg, dep.name(),
+    check_answer_step(*truth, dep.topk(), /*ordered=*/nullptr, cfg, dep.name(),
                       detail, t, &result, sc.throw_on_error);
   };
   const auto begin_step = [&](TimeStep t) {
@@ -266,7 +378,7 @@ RunResult run_sharded_scenario(const Scenario& sc) {
       streams.advance_all_active(values, changed);
       for (const NodeId id : changed) {
         dep.set_value(id, values[id]);
-        if (track) truth.set_value(id, values[id]);
+        if (track) truth->set_value(id, values[id]);
       }
     } else {
       streams.advance_all(incoming);
@@ -276,7 +388,7 @@ RunResult run_sharded_scenario(const Scenario& sc) {
         if (v != values[id]) {
           changed.push_back(id);
           dep.set_value(id, v);
-          if (track) truth.set_value(id, v);
+          if (track) truth->set_value(id, v);
         }
       }
       values.swap(incoming);
@@ -299,9 +411,24 @@ RunResult run_sharded_scenario(const Scenario& sc) {
                                     wall_start)
           .count();
 
+  // k-only fault schedule: apply each dynamic-k event to the deployment
+  // (root quota renegotiation) and rebuild the ground truth at the new k.
+  std::size_t next_event = 0;
+  if (faulty) result.recovery_ticks.assign(plan.events().size(), 0);
+
   for (TimeStep t = 1; t <= sc.steps; ++t) {
     begin_step(t);
     observe(t);
+    while (faulty && next_event < plan.events().size() &&
+           plan.events()[next_event].step == t) {
+      const std::size_t new_k = plan.events()[next_event].count;
+      dep.set_k(new_k);
+      if (track) {
+        truth.emplace(sc.n, new_k);
+        for (NodeId id = 0; id < sc.n; ++id) truth->set_value(id, values[id]);
+      }
+      ++next_event;
+    }
     dep.step(t, changed);
     check(t);
     ++result.steps_executed;

@@ -85,6 +85,19 @@ struct Scenario {
   /// per-step series).
   std::size_t shards = 1;
 
+  /// Fault-injection plan (sim/fault_plan.hpp spec grammar): "none"
+  /// (default) runs fault-free and byte-identical to a scenario without
+  /// the field; anything else schedules crash / recover / join / leave /
+  /// dynamic-k events against the run. Requires a native monitor
+  /// ("topk_filter", "naive", "naive_chg"); composes with any network
+  /// policy and with workers > 1 (schedules derive from the run seed like
+  /// link randomness, so results stay byte-reproducible). With join
+  /// events the cluster/streams/ground truth are provisioned at the
+  /// plan's total_nodes(); RunResult::recovery_ticks then reports the
+  /// re-convergence window of every event. Sharded deployments (shards >
+  /// 1) accept k-only plans and reject churn.
+  std::string faults = "none";
+
   /// Optional per-step observer called after each validated step with the
   /// step index, the true values and the coordinator's current answer
   /// (custom metrics such as regret; not part of the declarative core).
@@ -108,6 +121,12 @@ struct Scenario {
   /// Parses and sets the delivery policy (e.g. "delay=2,jitter=3").
   Scenario& with_network(std::string_view spec) {
     network = parse_network_spec(spec);
+    return *this;
+  }
+  /// Sets the fault plan spec (e.g. "churn?every=200,down=3,count=5,
+  /// outage=80"); validated at run time against n / k / seed.
+  Scenario& with_faults(std::string spec) {
+    faults = std::move(spec);
     return *this;
   }
 

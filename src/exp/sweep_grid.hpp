@@ -29,6 +29,7 @@ struct TrialSpec {
   std::string monitor{"topk_filter"};  ///< exp::make_monitor spec
   std::size_t workers = 1;           ///< SimDriver tick-scan parallelism
   std::size_t shards = 1;            ///< shard coordinators (Scenario::shards)
+  std::string faults{"none"};        ///< fault plan spec (Scenario::faults)
   std::size_t trial = 0;             ///< repetition index within its cell
   std::size_t ordinal = 0;           ///< position in the expanded grid
   bool throw_on_error = true;        ///< propagate validation divergence
@@ -63,6 +64,11 @@ struct SweepGrid {
   /// cell at different shard counts replays the same streams, so
   /// message-cost comparisons across c are paired.
   std::vector<std::size_t> shards{1};
+  /// Fault plans to range over (Scenario::faults specs). Like networks,
+  /// NOT mixed into the per-trial seed: a churned run is a paired replay
+  /// of its fault-free twin (same streams, same protocol coins), so
+  /// error/recovery deltas attribute entirely to the injected faults.
+  std::vector<std::string> faults{"none"};
   std::size_t trials = 1;
   std::size_t steps = 1'000;
   std::uint64_t base_seed = 1;
@@ -79,12 +85,13 @@ struct SweepGrid {
   std::size_t size() const noexcept;
 
   /// Expands the grid into per-trial specs, ordered n-major then k,
-  /// monitor, family, network, workers, shards, trial (deterministic).
-  /// Cells where k > n are skipped so mixed n/k axes stay valid.
+  /// monitor, family, network, workers, shards, faults, trial
+  /// (deterministic). Cells where k > n are skipped so mixed n/k axes
+  /// stay valid.
   std::vector<TrialSpec> expand() const;
 
   /// Sets one axis by name from string values ("n", "k", "monitor",
-  /// "family", "network", "workers", "shards") — the declarative
+  /// "family", "network", "workers", "shards", "faults") — the declarative
   /// counterpart of assigning the fields above, for CLIs and config
   /// readers. Throws std::invalid_argument for an empty value list, a
   /// malformed value, or an unknown axis name — the unknown-name message

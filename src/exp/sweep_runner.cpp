@@ -20,6 +20,7 @@ RunResult run_trial(const TrialSpec& spec) {
   sc.throw_on_error = spec.throw_on_error;
   sc.workers = spec.workers;
   sc.shards = spec.shards;
+  sc.faults = spec.faults;
   return run_scenario(sc);
 }
 

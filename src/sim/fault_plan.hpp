@@ -1,0 +1,108 @@
+// Declarative, deterministic fault injection for simulated runs.
+//
+// A FaultPlan is an immutable, pre-validated schedule of membership and
+// reconfiguration events that the SimDriver fires inside run_tick at the
+// first tick of the scheduled observation step:
+//
+//   crash   — the node stops: its queued mail is dropped, its timers are
+//             frozen, and the transport discards anything addressed to it
+//             until recovery (Network::set_node_down).
+//   recover — the node comes back with its pre-crash algorithm state; the
+//             driver raises NodeAlgo::on_recover on the node and
+//             CoordinatorAlgo::on_node_up on the coordinator, which starts
+//             the monitor's re-sync handshake.
+//   join    — a block of pre-provisioned node ids (n, n+1, ...) goes live
+//             for the first time (same wire path as recover).
+//   leave   — a permanent crash: the node never returns and the ground
+//             truth retires it.
+//   k       — dynamic reconfiguration: the coordinator renegotiates a new
+//             top-k size mid-run without a cold restart.
+//
+// Spec grammar (parsed like monitor/network specs: name '?' params):
+//
+//   none                                   empty plan
+//   churn?crash=17@500,recover=17@900,join=+64@1200,leave=12@1500,k=32@2000
+//   churn?every=200,down=3,count=5,outage=80[,k=32@600]
+//
+// The second form generates `count` crash bursts of `down` seeded-random
+// live victims at steps every, 2*every, ..., each recovering after
+// `outage` steps. Victim selection derives from the run seed exactly like
+// the Network derives link randomness — independent of the node / stream
+// RNG streams — so a schedule is byte-reproducible across `--jobs` and
+// `--workers` and never perturbs a fault-free run. Explicit membership
+// events cannot be mixed with the generated form; `k=K@S` composes with
+// either.
+//
+// Construction validates the full timeline (ids in range, no crash of a
+// down node, no recovery of a live node, no leave while down, k never
+// exceeding the live node count) and throws std::invalid_argument with a
+// did-you-mean hint for unknown keys, so a plan that constructed is a
+// plan the driver can apply without further checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace topkmon {
+
+/// One scheduled fault. Fired by the SimDriver at the first tick of the
+/// settle phase of observation step `step` (step >= 1; step 0 is
+/// initialization and cannot carry events).
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kCrash, kRecover, kJoin, kLeave, kSetK };
+  Kind kind = Kind::kCrash;
+  TimeStep step = 0;
+  /// Target node (kCrash/kRecover/kLeave); first id of the joining block
+  /// (kJoin); unused for kSetK.
+  NodeId node = 0;
+  /// Number of joining nodes (kJoin); the new k (kSetK); 0 otherwise.
+  std::size_t count = 0;
+};
+
+/// Human-readable kind name for error messages and logs.
+std::string_view fault_kind_name(FaultEvent::Kind kind) noexcept;
+
+/// An immutable, validated fault schedule (see file comment for grammar).
+class FaultPlan {
+ public:
+  /// The empty plan (no events, no extra provisioned nodes).
+  FaultPlan() = default;
+
+  /// Parses and validates `spec` against a run of `n` initial nodes with
+  /// initial top-k size `k`. Generated churn derives its victim sequence
+  /// from `seed` (tagged, SplitMix64-seeded — the Network's link-hash
+  /// pattern). Throws std::invalid_argument on any grammar or timeline
+  /// violation.
+  FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
+            std::uint64_t seed);
+
+  /// No events scheduled (also true for spec "none" / "").
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// True iff any event changes membership (everything except kSetK).
+  /// Sharded deployments accept k-only plans and reject churn.
+  bool has_churn() const noexcept { return has_churn_; }
+
+  /// Initial node count the plan was validated against.
+  std::size_t initial_nodes() const noexcept { return n_; }
+
+  /// n plus every joining block: the capacity the cluster, streams and
+  /// ground truth must be provisioned with. Ids [initial_nodes(),
+  /// total_nodes()) start down and go live at their join event.
+  std::size_t total_nodes() const noexcept { return total_nodes_; }
+
+  /// All events, sorted by step (stable in spec order within a step).
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t total_nodes_ = 0;
+  bool has_churn_ = false;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace topkmon

@@ -52,9 +52,13 @@ Network::Network(std::size_t n, CommStats* stats, const NetworkSpec& spec,
   }
   if (runtime != nullptr) {
     due_mail_ = &runtime->due_mail;  // shared structure-of-arrays state
+    alive_ = &runtime->alive;
   } else {
     owned_due_mail_ = IdBitset(n);
     due_mail_ = &owned_due_mail_;
+    owned_alive_ = IdBitset(n);
+    owned_alive_.set_all();
+    alive_ = &owned_alive_;
   }
   // Mix the seed once so that a zero scenario seed still decorrelates the
   // link hash from the message sequence numbers.
@@ -120,6 +124,15 @@ void Network::slab_free(std::uint32_t idx) {
 }
 
 void Network::append_ready(std::uint32_t recipient, std::uint32_t idx) {
+  if (down_count_ != 0 && recipient < num_nodes() &&
+      !alive_->test(static_cast<NodeId>(recipient))) {
+    // Delivery-time drop: the recipient is down at the due tick. The send
+    // was charged when it happened; the delivery just never lands.
+    slab_free(idx);
+    --pending_;
+    ++dropped_;
+    return;
+  }
   MsgList& list = ready_[recipient];
   if (list.tail == kNil) {
     list.head = idx;
@@ -233,6 +246,7 @@ void Network::node_send(NodeId from, Message m) {
   if (from >= num_nodes()) {
     throw std::out_of_range("Network::node_send: bad node id");
   }
+  assert(alive_->test(from) && "a down node cannot send");
   m.from = from;
   stats_->record_upstream(m.kind);
   if (tap_) tap_(MsgDirection::kUpstream, m);
@@ -259,6 +273,10 @@ void Network::coord_unicast(NodeId to, Message m) {
   if (tap_) tap_(MsgDirection::kUnicast, m);
   const std::uint64_t seq = seq_++;
   if (instant_) {
+    if (down_count_ != 0 && !alive_->test(to)) {
+      ++dropped_;  // instant delivery to a down node: charged, never lands
+      return;
+    }
     unicasts_[to].push_back(Stamped{seq, m});
     ++pending_;
     due_mail_->set(to);
@@ -281,8 +299,15 @@ void Network::coord_broadcast(Message m) {
     // next drains.
     bcast_msgs_.push_back(m);
     bcast_seqs_.push_back(seq);
-    pending_ += num_nodes();
+    pending_ += num_nodes() - down_count_;
     due_mail_->set_all();
+    if (down_count_ != 0) {
+      // Down nodes never see this entry: their due bits stay clear and
+      // set_node_up fast-forwards their cursor past it. The per-link
+      // deliveries they miss are dropped here, at delivery time.
+      due_mail_->mask_with(*alive_);
+      dropped_ += down_count_;
+    }
     return;
   }
   // Scheduled mode fans the broadcast out per link so each receiver gets
@@ -424,10 +449,69 @@ std::vector<Message> Network::drain_node(NodeId id) {
   return out;
 }
 
+void Network::set_node_down(NodeId id) {
+  if (id >= num_nodes()) {
+    throw std::out_of_range("Network::set_node_down: bad node id");
+  }
+  if (!alive_->test(id)) return;
+  alive_->clear(id);
+  ++down_count_;
+  if (instant_) {
+    // Queued-but-undrained mail dies with the node.
+    const std::size_t total = log_offset_ + bcast_msgs_.size();
+    const std::uint64_t queued =
+        unicasts_[id].size() + (total - cursors_[id]);
+    pending_ -= queued;
+    dropped_ += queued;
+    unicasts_[id].clear();
+    cursors_[id] = total;
+  } else if (!ready_.empty()) {
+    // Purge the delivered-but-undrained ready list; in-flight wheel /
+    // overflow entries addressed to the node are dropped lazily at their
+    // due tick by append_ready.
+    MsgList& list = ready_[id];
+    std::uint32_t idx = list.head;
+    std::uint64_t purged = 0;
+    while (idx != kNil) {
+      const std::uint32_t next = slab_[idx].next;
+      slab_free(idx);
+      idx = next;
+      ++purged;
+    }
+    list = MsgList{};
+    pending_ -= purged;
+    ready_count_ -= purged;
+    dropped_ += purged;
+  }
+  due_mail_->clear(id);
+}
+
+void Network::set_node_up(NodeId id) {
+  if (id >= num_nodes()) {
+    throw std::out_of_range("Network::set_node_up: bad node id");
+  }
+  if (alive_->test(id)) return;
+  alive_->set(id);
+  --down_count_;
+  if (instant_) {
+    // Skip every broadcast issued during the outage (each was already
+    // counted dropped at issue time); delivery resumes with the next send.
+    cursors_[id] = log_offset_ + bcast_msgs_.size();
+  }
+}
+
 void Network::maybe_compact_broadcast_log() {
   if (bcast_msgs_.size() < kLogCompactThreshold) return;
   std::size_t min_cursor = log_offset_ + bcast_msgs_.size();
-  for (const std::size_t c : cursors_) min_cursor = std::min(min_cursor, c);
+  if (down_count_ == 0) {
+    for (const std::size_t c : cursors_) min_cursor = std::min(min_cursor, c);
+  } else {
+    // A down node's cursor is parked at its crash point and fast-forwarded
+    // on recovery; it must not pin the log prefix for the whole outage.
+    for (NodeId id = 0; id < num_nodes(); ++id) {
+      if (alive_->test(id)) min_cursor = std::min(min_cursor, cursors_[id]);
+    }
+  }
   const std::size_t read_prefix = min_cursor - log_offset_;
   // Only pay the erase when it reclaims at least half the retained log;
   // a straggler node that never drains simply defers compaction.

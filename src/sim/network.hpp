@@ -102,6 +102,39 @@ class Network {
   /// the bulk broadcast fan-out API below).
   bool instant() const noexcept { return instant_; }
 
+  // -- node liveness (fault injection) --------------------------------------
+  // Crash semantics live at the transport: a down node's queued mail is
+  // discarded, and anything arriving while it is down is dropped *at
+  // delivery time* under every policy — instant deliveries drop at send,
+  // scheduled deliveries drop at their due tick (a message already in
+  // flight when the node recovers is delivered normally). Sends are still
+  // charged to CommStats first — the paper's objective counts
+  // transmissions — and every undelivered message is counted in
+  // dropped_deliveries(). The liveness bits live on the shared
+  // NodeRuntime (runtime().alive) so the SimDriver's scans and the
+  // transport agree at every tick. Owner thread only; liveness only
+  // changes between parallel phases (the driver applies faults at the
+  // head of run_tick).
+
+  /// True iff node id is up. No bounds check (hot path).
+  bool node_alive(NodeId id) const noexcept { return alive_->test(id); }
+
+  /// Number of currently-down nodes / currently-up nodes.
+  std::size_t down_nodes() const noexcept { return down_count_; }
+  std::size_t live_nodes() const noexcept {
+    return num_nodes() - down_count_;
+  }
+
+  /// Takes node id down: drops its queued mail (counted as dropped
+  /// deliveries), clears its due bit, and discards everything addressed
+  /// to it until set_node_up. Idempotent.
+  void set_node_down(NodeId id);
+
+  /// Brings node id back up. Mail that became due during the outage is
+  /// gone; delivery resumes with the next send (instant) or the next due
+  /// tick (scheduled). Idempotent.
+  void set_node_up(NodeId id);
+
   // -- clock ----------------------------------------------------------------
   /// Current tick. Sends stamp messages with it; drains deliver everything
   /// scheduled at or before it. Stable during a parallel phase (clock
@@ -410,6 +443,13 @@ class Network {
   /// else at owned_due_mail_.
   IdBitset owned_due_mail_;
   IdBitset* due_mail_ = nullptr;
+
+  /// Per-node up/down flags (all set unless faults are injected). Points
+  /// at the shared NodeRuntime's alive bits when a runtime was supplied,
+  /// else at owned_alive_.
+  IdBitset owned_alive_;
+  IdBitset* alive_ = nullptr;
+  std::size_t down_count_ = 0;
 
   // Instant mode: flat inboxes + shared broadcast log with read cursors.
   // The log is split into parallel arrays (messages / seq stamps) so the

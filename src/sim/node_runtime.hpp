@@ -39,13 +39,18 @@ struct NodeRuntime {
 
   /// Sizes every array for `n` nodes: bits clear, values zero, RNGs
   /// default-seeded (the Cluster re-seeds them from its top-level seed).
+  /// All nodes start alive; fault injection (sim/fault_plan.hpp) flips
+  /// alive bits through Network::set_node_down / set_node_up.
   explicit NodeRuntime(std::size_t n)
       : due_mail(n),
         armed(n),
+        alive(n),
         needs_observe(n),
         values(n, 0),
         active(n),
-        rngs(n) {}
+        rngs(n) {
+    alive.set_all();
+  }
 
   /// Number of nodes every parallel array is sized for.
   std::size_t size() const noexcept { return values.size(); }
@@ -58,6 +63,13 @@ struct NodeRuntime {
   /// Bit id set iff node id armed a timer for the next timer phase.
   /// Maintained exclusively by the SimDriver.
   IdBitset armed;
+  /// Bit id set iff node id is up (receives mail, runs timers, observes).
+  /// All-set unless a FaultPlan is active; maintained exclusively by the
+  /// Network (set_node_down / set_node_up) so the transport and the
+  /// driver's scans agree on liveness at every tick. A down node's bits
+  /// in the other arrays are masked out, never mutated, so recovery
+  /// restores exactly the pre-crash machine state.
+  IdBitset alive;
 
   // -- per-step hot group: the observe scan ---------------------------------
   /// Bit id set iff node id must receive on_observe even when its value is

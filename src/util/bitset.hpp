@@ -70,6 +70,14 @@ class IdBitset {
     words_.assign(other.words_.begin(), other.words_.end());
   }
 
+  /// Word-wise intersection with another bitset of the same size (e.g.
+  /// masking a due/armed scan down to the alive nodes).
+  void mask_with(const IdBitset& other) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= other.words_[w];
+    }
+  }
+
  private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
