@@ -88,6 +88,7 @@ std::optional<BenchFile> read_bench_file(const std::string& path) {
     rec.messages_total = field_u64(obj, "messages_total").value_or(0);
     rec.error_steps = field_u64(obj, "error_steps").value_or(0);
     rec.allocs = field_u64(obj, "allocs");
+    rec.max_recovery_ticks = field_u64(obj, "max_recovery_ticks");
     if (!rec.name.empty()) out.scenarios.push_back(std::move(rec));
     pos = close + 1;
     const std::size_t next = doc.find_first_not_of(",\n ", pos);

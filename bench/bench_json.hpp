@@ -19,6 +19,10 @@ struct BenchRecord {
   std::uint64_t error_steps = 0;
   /// Absent when the writing binary had the alloc hook compiled out.
   std::optional<std::uint64_t> allocs;
+  /// Worst fault-recovery window of the run (RunResult::
+  /// max_recovery_ticks). Absent in files written before the perf suite
+  /// carried a faulted case.
+  std::optional<std::uint64_t> max_recovery_ticks;
 };
 
 struct BenchFile {

@@ -44,6 +44,10 @@ struct PerfCase {
   /// count regardless of the flag (keeps the fingerprint flag-invariant
   /// while tracking the parallel driver's wall clock in the trajectory).
   std::size_t workers = 0;
+  /// Fault-plan spec ("none" = fault-free). The faulted case tracks the
+  /// recovery-window trajectory: its max_recovery_ticks lands in the
+  /// BENCH json and is gated by --compare like error_steps.
+  const char* faults = "none";
 };
 
 const char* validation_name(RunConfig::Validation v) {
@@ -96,7 +100,8 @@ void write_bench_json(const std::string& path, const std::string& label,
         << fmt(r.wall_seconds, 6) << ", \"steps_per_sec\": "
         << fmt(steps_per_sec, 1) << ", \"ns_per_step\": "
         << fmt(ns_per_step, 1) << ", \"messages_total\": "
-        << r.comm.total() << ", \"error_steps\": " << r.error_steps;
+        << r.comm.total() << ", \"error_steps\": " << r.error_steps
+        << ", \"max_recovery_ticks\": " << r.max_recovery_ticks();
     if (alloc_hook_enabled()) {
       const double per_step =
           r.steps_executed > 0
@@ -196,6 +201,22 @@ void compare_against(const std::string& path,
                             std::to_string(prev->error_steps) + " -> " +
                             std::to_string(r.error_steps));
     }
+    // Recovery-window gate, next to the error_steps one: the faulted
+    // case's worst re-convergence window is deterministic too, but it is
+    // measured in delivery ticks across the whole settle, so incidental
+    // trace changes shift it by a few ticks — a material growth (25% plus
+    // a 50-tick floor) is what marks a robustness regression. Skipped for
+    // files written before the perf suite carried a faulted case.
+    if (old->steps + 1 == r.steps_executed && prev->max_recovery_ticks &&
+        static_cast<double>(r.max_recovery_ticks()) >
+            static_cast<double>(*prev->max_recovery_ticks) * 1.25 + 50.0) {
+      verdict =
+          verdict.substr(0, 2) == "ok" ? "RECOVERY" : verdict + "+RECOVERY";
+      regressions.push_back(
+          std::string(cases[i].name) + ": max_recovery_ticks " +
+          std::to_string(*prev->max_recovery_ticks) + " -> " +
+          std::to_string(r.max_recovery_ticks()));
+    }
     diff.add_row({cases[i].name, fmt(sps_old, 0), fmt(sps_new, 0),
                   fmt(delta * 100.0, 1), aps_old < 0 ? "n/a" : fmt(aps_old, 3),
                   aps_new < 0 ? "n/a" : fmt(aps_new, 3),
@@ -215,6 +236,16 @@ void compare_against(const std::string& path,
 TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
   const std::uint64_t steps = ctx.opts().steps_or(2'000);
   const std::uint64_t seed = ctx.opts().seed;
+
+  // Churn schedule for the faulted case, scaled to the step count so
+  // --steps overrides keep every event inside the run.
+  const auto at = [&](double f) {
+    return std::to_string(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(steps * f)));
+  };
+  const std::string churn_plan =
+      "churn?crash=9@" + at(0.2) + ",recover=9@" + at(0.35) + ",join=+32@" +
+      at(0.5) + ",crash=20@" + at(0.7) + ",recover=20@" + at(0.75);
 
   const std::vector<PerfCase> cases = {
       {"instant_small_strict", "topk_filter", StreamFamily::kRandomWalk,
@@ -253,6 +284,12 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
        "instant", 4096, 8, RunConfig::Validation::kOff, 4},
       {"sched_parallel_w4", "naive", StreamFamily::kRandomWalk,
        "delay=2,jitter=4,ticks=8", 256, 8, RunConfig::Validation::kWeak, 4},
+      // Faulted hot path: crash/recover/join churn on the filter monitor.
+      // Tracks the fault machinery's wall-clock cost next to the clean
+      // rows and feeds max_recovery_ticks into the --compare gate.
+      {"instant_churn_strict", "topk_filter", StreamFamily::kRandomWalk,
+       "instant", 256, 16, RunConfig::Validation::kStrict, 0,
+       churn_plan.c_str()},
   };
 
   // One scenario per case; each runs on one worker thread, so the
@@ -266,6 +303,7 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
         Scenario sc = scenario(c.monitor, stream, c.n, c.k, steps, seed);
         sc.network = parse_network_spec(c.network);
         sc.validation = c.validation;
+        sc.faults = c.faults;
         sc.throw_on_error = false;  // lossy networks may diverge; record it
         // Honors --workers (all perf monitors are native); the fingerprint
         // is workers-invariant — CI diffs it at 1 vs 8. Note allocs/step
@@ -282,7 +320,7 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
   // Deterministic fingerprint (diffed across --jobs by CI).
   Table fingerprint({"case", "monitor", "family", "network", "n", "k",
                      "steps", "validation", "msgs_total", "msgs_per_step",
-                     "error_steps"});
+                     "error_steps", "max_recovery_ticks"});
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const PerfCase& c = cases[i];
     const RunResult& r = outcomes[i].run;
@@ -292,7 +330,8 @@ TOPKMON_SUITE(perf, "hot-path wall-clock suite (emits BENCH_*.json)") {
                          validation_name(c.validation),
                          std::to_string(r.comm.total()),
                          fmt(r.messages_per_step(), 3),
-                         std::to_string(r.error_steps)});
+                         std::to_string(r.error_steps),
+                         std::to_string(r.max_recovery_ticks())});
   }
   ctx.emit(fingerprint, "perf");
 

@@ -73,20 +73,84 @@ bool SimDriver::anything_scheduled() const noexcept {
   if (armed_nodes_ > 0 || coord_armed_ || !pending_controls_.empty()) {
     return true;
   }
-  if (fault_due()) return true;
+  if (fault_due() || !held_.empty()) return true;
   return auto_deliver_ && cluster_.net().pending_deliveries() > 0;
 }
 
 void SimDriver::set_fault_plan(const FaultPlan* plan) {
+  set_fault_plan(plan, 0);
+}
+
+void SimDriver::set_fault_plan(const FaultPlan* plan, std::size_t cursor) {
   if (plan != nullptr && plan->total_nodes() != cluster_.size()) {
     throw std::invalid_argument(
         "SimDriver::set_fault_plan: plan provisions " +
         std::to_string(plan->total_nodes()) + " nodes but the cluster has " +
         std::to_string(cluster_.size()));
   }
+  if (plan != nullptr && cursor > plan->events().size()) {
+    throw std::invalid_argument(
+        "SimDriver::set_fault_plan: cursor " + std::to_string(cursor) +
+        " exceeds the plan's " + std::to_string(plan->events().size()) +
+        " events");
+  }
   faults_ = plan;
-  fault_cursor_ = 0;
+  fault_cursor_ = plan != nullptr ? cursor : 0;
   frozen_armed_ = IdBitset(cluster_.size());
+  held_.clear();
+  if (plan != nullptr && plan->has_degradation()) {
+    degrade_.assign(cluster_.size(), NodeDegrade{});
+  } else {
+    degrade_.clear();
+  }
+}
+
+void SimDriver::dispatch_node_send(NodeId from, Message m) {
+  if (degrade_.empty()) {  // no degradation events in the plan
+    cluster_.net().node_send(from, m);
+    return;
+  }
+  const NodeDegrade& d = degrade_[from];
+  switch (d.mode) {
+    case DegradeMode::kNone:
+      break;
+    case DegradeMode::kMute:
+      return;  // discarded before the network: silent, never charged
+    case DegradeMode::kStale:
+      // Only value-bearing payloads freeze; the probe-reply flag in m.b
+      // and every other kind pass through untouched.
+      if (m.kind == MsgKind::kValueReport || m.kind == MsgKind::kViolation) {
+        m.a = d.frozen;
+      }
+      break;
+    case DegradeMode::kLag: {
+      const HeldSend held{cluster_.net().now() + d.lag_ticks, from, m};
+      auto pos = std::upper_bound(
+          held_.begin(), held_.end(), held.release,
+          [](SimTime r, const HeldSend& h) { return r < h.release; });
+      held_.insert(pos, held);
+      return;
+    }
+  }
+  cluster_.net().node_send(from, m);
+}
+
+void SimDriver::release_due_held() {
+  // Held messages re-enter the network at their release tick in queue
+  // order ((release, send order) — the queue is insertion-sorted). A
+  // released message is past its sender's degradation window by
+  // construction, so it goes straight to node_send: no re-degradation,
+  // even if the sender was re-degraded meanwhile.
+  const SimTime now = cluster_.net().now();
+  std::size_t released = 0;
+  while (released < held_.size() && held_[released].release <= now) {
+    cluster_.net().node_send(held_[released].from, held_[released].m);
+    ++released;
+  }
+  if (released > 0) {
+    held_.erase(held_.begin(),
+                held_.begin() + static_cast<std::ptrdiff_t>(released));
+  }
 }
 
 bool SimDriver::fault_due() const noexcept {
@@ -116,6 +180,23 @@ void SimDriver::apply_due_faults() {
       case FaultEvent::Kind::kSetK:
         coord_.on_set_k(coord_ctx_, ev.count);
         break;
+      case FaultEvent::Kind::kLag:
+        degrade_[ev.node] = NodeDegrade{DegradeMode::kLag, ev.count, 0};
+        break;
+      case FaultEvent::Kind::kStale:
+        // Snapshot the payload value at degradation time: the node keeps
+        // observing (and signalling) truthfully, but every value it
+        // *reports* from here until heal is this frozen one.
+        degrade_[ev.node] =
+            NodeDegrade{DegradeMode::kStale, 0, cluster_.value(ev.node)};
+        break;
+      case FaultEvent::Kind::kMute:
+        degrade_[ev.node] = NodeDegrade{DegradeMode::kMute, 0, 0};
+        break;
+      case FaultEvent::Kind::kHeal:
+        // Already-held lagged messages keep their release schedule.
+        degrade_[ev.node] = NodeDegrade{};
+        break;
     }
   }
 }
@@ -130,6 +211,9 @@ void SimDriver::apply_node_down(NodeId id) {
     --armed_nodes_;
   }
   cluster_.net().set_node_down(id);  // drops queued + future mail
+  // A crash ends any active degradation (the timeline validator enforces
+  // the same: a recovered node starts clean and must be re-degraded).
+  if (!degrade_.empty()) degrade_[id] = NodeDegrade{};
   coord_.on_node_down(coord_ctx_, id);
 }
 
@@ -266,7 +350,7 @@ void SimDriver::merge_shards() {
                     shard.signals.end());
     shard.signals.clear();
     for (const Message& m : shard.sends) {
-      net.node_send(m.from, m);
+      dispatch_node_send(m.from, m);
     }
     shard.sends.clear();
   }
@@ -336,6 +420,10 @@ void SimDriver::run_tick() {
   // any mail or timer is serviced. Controls/probes the fault hooks queue
   // are swapped in below, so they deliver this very tick.
   if (fault_due()) apply_due_faults();
+  // Lagged messages whose hold expired this tick enter the network now,
+  // before any node or coordinator phase, so they are ordinary scheduled
+  // deliveries for the rest of the tick.
+  if (!held_.empty()) release_due_held();
 
   delivering_controls_.clear();
   delivering_controls_.swap(pending_controls_);
@@ -405,7 +493,13 @@ void SimDriver::settle(bool respect_budget) {
       // Nothing computes until the next delivery: fast-forward the clock
       // (bounded by the step end under a budget). A due fault pins the
       // clock — it fires at the step's first tick, not the delivery's.
-      if (const auto due = net.earliest_pending()) {
+      // A held (lagged) message is a pending delivery too: its release
+      // tick bounds the jump exactly like the network's earliest one.
+      auto due = net.earliest_pending();
+      if (!held_.empty() && (!due || earliest_held_release() < *due)) {
+        due = earliest_held_release();
+      }
+      if (due) {
         SimTime target = *due > net.now() ? *due - 1 : net.now();
         if (budget != 0 && target > step_end - 1) target = step_end - 1;
         net.advance_clock_to(target);

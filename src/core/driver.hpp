@@ -145,6 +145,18 @@ class SimDriver {
   /// not match the cluster size.
   void set_fault_plan(const FaultPlan* plan);
 
+  /// Like set_fault_plan(plan), but resumes the schedule at event index
+  /// `cursor` instead of 0. The sharded runtime uses it when it rebuilds
+  /// a shard deployment mid-run (a fresh driver on the warm cluster must
+  /// not re-fire events the retired driver already applied). Throws
+  /// std::invalid_argument when `cursor` exceeds the plan's event count.
+  void set_fault_plan(const FaultPlan* plan, std::size_t cursor);
+
+  /// Index of the next unapplied fault event (== events().size() once
+  /// the schedule is exhausted). Pairs with the cursor-resuming
+  /// set_fault_plan overload across driver rebuilds.
+  std::size_t fault_cursor() const noexcept { return fault_cursor_; }
+
   /// Ticks consumed so far (diagnostics; grows monotonically).
   SimTime now() const noexcept { return cluster_.net().now(); }
 
@@ -182,12 +194,15 @@ class SimDriver {
   /// Node `from` sends `m` upstream (charged). Staged during a parallel
   /// phase — the network's send side (seq stamps, inboxes, stats) is
   /// owner-thread only — and replayed in serial order at the barrier.
+  /// Both the serial path and the barrier replay route through
+  /// dispatch_node_send, so adversarial degradations (lag/stale/mute)
+  /// apply identically for every --workers value.
   void node_send(NodeId from, Message m) {
     if (t_stage_ != nullptr) {
       m.from = from;  // replay target; node_send re-stamps it anyway
       t_stage_->sends.push_back(m);
     } else {
-      cluster_.net().node_send(from, m);
+      dispatch_node_send(from, m);
     }
   }
   /// Arms node id's timer for the next node timer phase (idempotent).
@@ -239,6 +254,20 @@ class SimDriver {
   void apply_due_faults();
   void apply_node_down(NodeId id);
   void apply_node_up(NodeId id, bool first_time);
+  /// The single funnel for charged node->coordinator traffic. With no
+  /// degraded node the funnel is one empty-vector test on top of
+  /// Network::node_send; otherwise it applies the sender's degradation:
+  /// mute discards the message, stale rewrites a value-bearing payload
+  /// to the frozen snapshot, lag parks the message in the held queue.
+  void dispatch_node_send(NodeId from, Message m);
+  /// Re-injects every held (lagged) message whose release tick has
+  /// arrived, in (release, send-seq) order. Owner thread, tick head.
+  void release_due_held();
+  /// Earliest release tick over the held queue (held_ must be non-empty;
+  /// the queue is kept sorted, so this is the front element).
+  SimTime earliest_held_release() const noexcept {
+    return held_.front().release;
+  }
   /// Phase-1 body for one node (mail -> controls -> timer). `stage` is
   /// the servicing shard during a parallel phase, nullptr on the serial
   /// path (side effects then apply directly — the workers == 1 loop is
@@ -280,6 +309,27 @@ class SimDriver {
   std::size_t fault_cursor_ = 0;      // next unapplied event
   TimeStep cur_step_ = 0;             // step currently being settled
   IdBitset frozen_armed_;  // timers frozen by a crash, rearmed on recovery
+
+  // Adversarial degradations (sized n only when the attached plan has
+  // degradation events; empty otherwise — the send funnel fast-paths on
+  // that emptiness, so fault-free and churn-only runs stay
+  // byte-identical to the pre-degradation code).
+  enum class DegradeMode : std::uint8_t { kNone, kLag, kStale, kMute };
+  struct NodeDegrade {
+    DegradeMode mode = DegradeMode::kNone;
+    std::size_t lag_ticks = 0;  ///< hold delay (kLag)
+    Value frozen = 0;           ///< payload snapshot (kStale)
+  };
+  /// One lagged message parked in the driver. The queue is kept sorted
+  /// by (release, insertion order): insertions go through upper_bound on
+  /// release, so equal releases preserve send order.
+  struct HeldSend {
+    SimTime release = 0;
+    NodeId from = 0;
+    Message m{};
+  };
+  std::vector<NodeDegrade> degrade_;
+  std::vector<HeldSend> held_;
 
   // Parallel mode (workers > 1): per-worker staging + the persistent
   // pool. Both empty/null at workers == 1 — the serial path never tests

@@ -15,6 +15,17 @@ constexpr std::int64_t pack_session_c(std::uint32_t epoch,
       (static_cast<std::uint64_t>(epoch) << 8) | log_n);
 }
 
+// Suspicion thresholds (Options::suspect). A healthy violating node's
+// report lands within the step that convened the repair (instant /
+// flushed-delay policies), so three consecutive signalled-but-silent
+// steps clear honest latency while catching mute and heavily lagging
+// nodes quickly. Two lost probe deadlines (the second already backed
+// off) escalate to quarantine; two contradicting reports confirm
+// staleness against boundary races.
+constexpr std::uint32_t kSilenceStrikes = 3;
+constexpr std::uint32_t kSuspectAttempts = 2;
+constexpr std::uint8_t kStaleStrikes = 2;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -235,6 +246,15 @@ void FilterCoordinator::on_init(CoordCtx& ctx) {
     throw std::invalid_argument("FilterCoordinator: k > n");
   }
   in_topk_.assign(n_, 0);
+  if (opts_.suspect) {
+    suspects_.clear();
+    quarantined_.assign(n_, 0);
+    n_quarantined_ = 0;
+    silent_steps_.assign(n_, 0);
+    sig_side_.assign(n_, 0);
+    sig_step_.assign(n_, 0);
+    stale_strikes_.assign(n_, 0);
+  }
   // A sharded full-quota coordinator cannot take the degenerate shortcut:
   // its minimum must keep watching the root boundary from above.
   degenerate_ = (k_ == n_) && opts_.pinned_boundary == nullptr;
@@ -248,16 +268,41 @@ void FilterCoordinator::on_init(CoordCtx& ctx) {
   begin_reset(ctx);
 }
 
-void FilterCoordinator::on_step_begin(CoordCtx& ctx, TimeStep) {
+void FilterCoordinator::on_step_begin(CoordCtx& ctx, TimeStep t) {
   if (degenerate_) return;
+  cur_step_ = t;
   const auto& signals = ctx.signals();
   if (!signals.empty()) {
-    ++mstats_.violation_steps;
-    mstats_.violations += signals.size();
-    for (const Signal& s : signals) {
-      (s.code == 1 ? pending_top_ : pending_bot_) = true;
+    if (opts_.suspect) {
+      // Quarantined nodes' signals are ignored: their violation cannot
+      // be repaired through reports the coordinator distrusts, and
+      // convening sessions for them would thrash aborts every step.
+      std::uint64_t counted = 0;
+      for (const Signal& s : signals) {
+        if (quarantined_[s.from] != 0) continue;
+        ++counted;
+        (s.code == 1 ? pending_top_ : pending_bot_) = true;
+        sig_side_[s.from] = s.code == 1 ? 1 : 2;
+        sig_step_[s.from] = t;
+        // A node that keeps signalling without any charged message
+        // landing is mute or lagging past the repair window.
+        if (++silent_steps_[s.from] >= kSilenceStrikes) {
+          suspect_node(ctx, s.from);
+        }
+      }
+      if (counted > 0) {
+        ++mstats_.violation_steps;
+        mstats_.violations += counted;
+      }
+    } else {
+      ++mstats_.violation_steps;
+      mstats_.violations += signals.size();
+      for (const Signal& s : signals) {
+        (s.code == 1 ? pending_top_ : pending_bot_) = true;
+      }
     }
   }
+  if (opts_.suspect && !suspects_.empty()) tick_release_probes(ctx);
   if (phase_ != Phase::kIdle) return;
   if (topk_ids_.size() != k_) {
     // The answer was never established — a FILTERRESET aborted under
@@ -288,6 +333,32 @@ void FilterCoordinator::on_step_begin(CoordCtx& ctx, TimeStep) {
 }
 
 void FilterCoordinator::on_message(CoordCtx& ctx, const Message& m) {
+  if (opts_.suspect && quarantined_[m.from] != 0) {
+    // The only message the coordinator trusts from a quarantined node is
+    // a probe reply — it proves the node answers again and releases the
+    // quarantine; session reports are exactly what quarantine distrusts.
+    if (m.kind == MsgKind::kValueReport && m.b == 1) {
+      handle_release_reply(ctx, m.from, m.a);
+    }
+    return;
+  }
+  if (opts_.suspect && m.kind == MsgKind::kValueReport) {
+    // A charged report clears the silence streak and any pending
+    // pre-quarantine suspicion — but only when it is *useful*: it lands
+    // while a session or selection is still collecting, or it is an
+    // explicit liveness reply (b == 1, re-sync / probe). A node lagging
+    // beyond the session window keeps producing stragglers that arrive
+    // after the repair already aborted; those must not launder its
+    // silence, or a laggard is never convicted.
+    if (session_active_ || phase_ != Phase::kIdle || m.b == 1) {
+      silent_steps_[m.from] = 0;
+      std::erase_if(suspects_, [&](const Suspect& s) {
+        return s.id == m.from && !s.quarantined;
+      });
+    }
+    check_stale_report(ctx, m.from, m.a);
+    if (quarantined_[m.from] != 0) return;  // the check just escalated
+  }
   if (m.kind == MsgKind::kValueReport && m.b == 1) {
     // Re-sync reply (session reports leave b at 0).
     handle_resync_reply(ctx, m.from, m.a);
@@ -305,6 +376,7 @@ void FilterCoordinator::on_message(CoordCtx& ctx, const Message& m) {
 
 void FilterCoordinator::on_timer(CoordCtx& ctx) {
   tick_resyncs(ctx);
+  if (opts_.suspect && !suspects_.empty()) tick_suspects(ctx);
   if (!session_active_) {
     // Inter-iteration gap of a FILTERRESET selection: the previous
     // iteration's winner announcement is in flight; convening the next
@@ -532,8 +604,13 @@ void FilterCoordinator::begin_reset(CoordCtx& ctx) {
 }
 
 void FilterCoordinator::finish_reset(CoordCtx& ctx) {
+  // Under churn or quarantine the selection can finish with fewer than k
+  // winners (selection_target() capped below k+1): install the partial
+  // answer — topk_ids_.size() != k_ then keeps the defensive rebuild
+  // retrying — instead of indexing past the winner list.
+  const std::size_t members = std::min(k_, sel_winners_.size());
   std::fill(in_topk_.begin(), in_topk_.end(), char{0});
-  for (std::size_t i = 0; i < k_; ++i) in_topk_[sel_winners_[i].id] = 1;
+  for (std::size_t i = 0; i < members; ++i) in_topk_[sel_winners_[i].id] = 1;
   topk_ids_.clear();
   for (NodeId id = 0; id < n_; ++id) {
     if (in_topk_[id]) topk_ids_.push_back(id);
@@ -543,7 +620,7 @@ void FilterCoordinator::finish_reset(CoordCtx& ctx) {
   // has no k-th member (T+ = +inf), k == n no (k+1)-st outsider
   // (T- = -inf). Monolithically both indices exist (the selection drew
   // k+1 <= n winners).
-  tplus_ = k_ > 0 ? sel_winners_[k_ - 1].value : kPlusInf;
+  tplus_ = members > 0 ? sel_winners_[members - 1].value : kPlusInf;
   tminus_ = k_ < sel_winners_.size() ? sel_winners_[k_].value : kMinusInf;
   // Lines 40-41.
   apply_boundary(ctx, choose_boundary());
@@ -620,6 +697,7 @@ void FilterCoordinator::on_node_down(CoordCtx& ctx, NodeId id) {
   if (degenerate_) return;  // a crash under k == n is rejected by the plan
   n_live_ = ctx.live_count();
   std::erase_if(resync_, [id](const Resync& r) { return r.id == id; });
+  if (opts_.suspect) clear_suspicion_state(id);
   // Structural loss: a member of the answer (or a winner of the in-flight
   // FILTERRESET selection, which would otherwise be installed dead) takes
   // the k-th position with it — re-find it over the remaining live nodes.
@@ -647,6 +725,23 @@ void FilterCoordinator::on_node_up(CoordCtx& ctx, NodeId id) {
   n_live_ = ctx.live_count();
   for (const Resync& r : resync_) {
     if (r.id == id) return;  // already pending (defensive; cleared on down)
+  }
+  if (opts_.replay && phase_ == Phase::kIdle && !session_active_ &&
+      topk_ids_.size() == k_) {
+    // Warm-standby recovery: the coordinator's own state is the collapsed
+    // assignment log — the node's membership (an outage always cleared
+    // it) and the established boundary — so replay it in one message
+    // instead of the probe/reply/assign round trip. The node's contains
+    // check on the assignment primes a violation signal if its returning
+    // value belongs above the boundary, which convenes repair exactly
+    // like a signalled violation; no re-sync entry, no retry storm.
+    ++mstats_.assign_replays;
+    Message assign;
+    assign.kind = MsgKind::kFilterAssign;
+    assign.a = in_topk_[id];
+    assign.b = mid_;
+    ctx.unicast(id, assign);
+    return;
   }
   ++mstats_.resyncs;
   resync_.push_back(Resync{id, probe_timeout(ctx), 0});
@@ -732,6 +827,182 @@ void FilterCoordinator::handle_resync_reply(CoordCtx& ctx, NodeId from,
     pending_bot_ = true;
     start_cycle(ctx);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Suspicion / quarantine (Options::suspect)
+// ---------------------------------------------------------------------------
+
+void FilterCoordinator::send_probe(CoordCtx& ctx, NodeId id) {
+  Message probe;
+  probe.kind = MsgKind::kProbe;
+  ctx.unicast(id, probe);
+}
+
+void FilterCoordinator::suspect_node(CoordCtx& ctx, NodeId id) {
+  for (const Suspect& s : suspects_) {
+    if (s.id == id) return;  // already suspected or quarantined
+  }
+  ++mstats_.suspicions;
+  suspects_.push_back(Suspect{id, probe_timeout(ctx), 0, false, 0, 0});
+  send_probe(ctx, id);
+  ctx.arm_timer();  // drive the probe deadline
+}
+
+void FilterCoordinator::quarantine_node(CoordCtx& ctx, NodeId id, bool stale) {
+  Suspect* entry = nullptr;
+  for (Suspect& s : suspects_) {
+    if (s.id == id) entry = &s;
+  }
+  if (entry == nullptr) {
+    // Stale detection quarantines directly, without a silence suspicion.
+    suspects_.push_back(Suspect{id, 0, 0, false, 0, 0});
+    entry = &suspects_.back();
+  }
+  if (entry->quarantined) return;
+  entry->quarantined = true;
+  entry->release_wait = 1;  // first release probe next step
+  entry->release_attempt = 0;
+  quarantined_[id] = 1;
+  ++n_quarantined_;
+  ++mstats_.quarantines;
+  if (stale) ++mstats_.stale_detections;
+  // Defensive removal, exactly like a crash: a quarantined member (or
+  // selection winner) would pin a value the coordinator distrusts into
+  // the answer, so the k-th position is re-found over the nodes it still
+  // trusts — the reset's fresh boundary is the defensive widen that
+  // covers the vacated slot.
+  bool structural = in_topk_[id] != 0;
+  if (phase_ == Phase::kReset) {
+    for (const Winner& w : sel_winners_) {
+      structural = structural || w.id == id;
+    }
+  }
+  if (in_topk_[id]) {
+    in_topk_[id] = 0;
+    topk_ids_.erase(std::remove(topk_ids_.begin(), topk_ids_.end(), id),
+                    topk_ids_.end());
+  }
+  if (structural) {
+    abort_cycle();
+    begin_reset(ctx);
+  }
+}
+
+void FilterCoordinator::tick_suspects(CoordCtx& ctx) {
+  bool ticking = false;
+  for (Suspect& s : suspects_) {
+    if (s.quarantined) continue;  // release probing is step-driven
+    if (s.countdown > 0) {
+      --s.countdown;
+      ticking = true;
+      continue;
+    }
+    if (++s.attempt >= kSuspectAttempts) {
+      quarantine_node(ctx, s.id, /*stale=*/false);
+      continue;
+    }
+    s.countdown = probe_timeout(ctx) << std::min(s.attempt, 6u);
+    send_probe(ctx, s.id);
+    ticking = true;
+  }
+  if (ticking) ctx.arm_timer();
+}
+
+void FilterCoordinator::tick_release_probes(CoordCtx& ctx) {
+  // Step-driven (not tick-driven) on purpose: a mute node answers no
+  // probe until it heals, and a tick-driven deadline would keep the
+  // coordinator timer armed forever — the settle loop would never
+  // quiesce under an unbudgeted network policy.
+  for (Suspect& s : suspects_) {
+    if (!s.quarantined) continue;
+    if (s.release_wait > 0) {
+      --s.release_wait;
+      continue;
+    }
+    // Cap the backoff at 16 steps: a release probe is one unicast per
+    // window, and a healed node should not sit excluded for most of a
+    // run because its quarantine happened to be old.
+    s.release_wait = std::uint32_t{1}
+                     << std::min(++s.release_attempt, 4u);
+    send_probe(ctx, s.id);
+  }
+}
+
+void FilterCoordinator::handle_release_reply(CoordCtx& ctx, NodeId from,
+                                             Value v) {
+  auto it = std::find_if(suspects_.begin(), suspects_.end(),
+                         [from](const Suspect& s) { return s.id == from; });
+  if (it == suspects_.end() || !it->quarantined) return;
+  if (phase_ != Phase::kIdle || session_active_) {
+    // Re-admitting mid-cycle would corrupt the running session's quorum;
+    // the next release probe finds the coordinator idle later.
+    it->release_wait = 1;
+    it->release_attempt = 0;
+    return;
+  }
+  clear_suspicion_state(from);
+  if (topk_ids_.size() != k_) {
+    begin_reset(ctx);  // the selection re-integrates it with everyone else
+    return;
+  }
+  // Re-admit as an outsider anchored on the established boundary, exactly
+  // like a crash-recovery re-sync completion. A stale node that answered
+  // with its frozen value simply earns its next quarantine through the
+  // contradiction strikes; a healed one converges here.
+  Message assign;
+  assign.kind = MsgKind::kFilterAssign;
+  assign.a = 0;
+  assign.b = mid_;
+  ctx.unicast(from, assign);
+  if (v > mid_) {
+    ++mstats_.violations;
+    pending_bot_ = true;
+    start_cycle(ctx);
+  }
+}
+
+void FilterCoordinator::check_stale_report(CoordCtx& ctx, NodeId from,
+                                           Value v) {
+  // A signal pins which side of the boundary the node's *true* value is
+  // on (signals come from the uncharged control plane — the degradations
+  // cannot forge them): side 1 means a member fell below the boundary,
+  // side 2 an outsider rose above it. A report landing on the
+  // contradicted side is a strike; consistency clears the record
+  // (boundary races can produce isolated contradictions). The anchor
+  // must be from the *current* step: a persistent violator re-raises
+  // its signal every step (the needs-observe contract), so a truly
+  // stale node always has a same-step anchor — while an honest node
+  // whose value hovers across the boundary stops signalling the moment
+  // its violation clears, and its in-flight reports are never judged
+  // against the outdated side.
+  if (sig_side_[from] == 0 || sig_step_[from] != cur_step_) {
+    return;
+  }
+  const bool contradicts =
+      (sig_side_[from] == 1 && v >= mid_) || (sig_side_[from] == 2 && v <= mid_);
+  if (!contradicts) {
+    stale_strikes_[from] = 0;
+    return;
+  }
+  if (++stale_strikes_[from] >= kStaleStrikes) {
+    quarantine_node(ctx, from, /*stale=*/true);
+  }
+}
+
+void FilterCoordinator::clear_suspicion_state(NodeId id) {
+  std::erase_if(suspects_, [&](const Suspect& s) {
+    if (s.id != id) return false;
+    if (s.quarantined) {
+      quarantined_[id] = 0;
+      --n_quarantined_;
+    }
+    return true;
+  });
+  silent_steps_[id] = 0;
+  sig_side_[id] = 0;
+  sig_step_[id] = 0;
+  stale_strikes_[id] = 0;
 }
 
 }  // namespace topkmon

@@ -132,6 +132,40 @@ class FilterCoordinator final : public CoordinatorAlgo {
     /// enabling it changes message traces, so lossy fingerprints (e15)
     /// only match historical ones with the flag off.
     bool reset_backoff = false;
+    /// Suspicion state machine for adversarially degraded nodes
+    /// (sim/fault_plan.hpp lag/stale/mute). The coordinator gets no
+    /// failure-detector event for a degradation — it must *infer* it:
+    ///  * silence — a node that signals a violation but whose charged
+    ///    reports never arrive (mute, or lagging beyond the session
+    ///    window) accumulates silence strikes; at kSilenceStrikes the
+    ///    coordinator suspects it (MonitorStats::suspicions) and probes
+    ///    with a tick-driven deadline and capped-backoff resends;
+    ///  * contradiction — a node whose fresh signal says its true value
+    ///    crossed the boundary while its reports keep landing on the
+    ///    other side (stale) accumulates strikes; at kStaleStrikes it is
+    ///    quarantined directly (MonitorStats::stale_detections).
+    /// A suspect that exhausts kSuspectAttempts probe deadlines is
+    /// *quarantined* (MonitorStats::quarantines): its signals and
+    /// session reports are ignored, it is removed from the answer (a
+    /// structural removal aborts the cycle and re-runs the selection —
+    /// the defensive boundary widen), and selection_target() shrinks so
+    /// resets stop waiting for it. Quarantined nodes are re-probed with
+    /// step-driven capped backoff forever; a probe reply releases the
+    /// quarantine and re-admits the node through the re-sync path, so a
+    /// healed node converges back to the exact answer. Off by default:
+    /// the machinery changes no trace until enabled AND a node actually
+    /// degrades. Tuned for instant/delayed networks; under heavy drop
+    /// the strike thresholds absorb most — not all — false positives.
+    bool suspect = false;
+    /// Warm-standby recovery: when a node recovers (or joins) while the
+    /// answer is established and no cycle is in flight, replay the
+    /// coordinator's collapsed assignment log — the node's membership
+    /// and the current boundary — as one kFilterAssign instead of the
+    /// probe/reply/assign handshake (MonitorStats::assign_replays).
+    /// Cuts the re-sync probe storm on join-heavy churn plans; falls
+    /// back to the handshake whenever the answer is not established or
+    /// a cycle is running. Off by default (changes e19 traces).
+    bool replay = false;
   };
 
   explicit FilterCoordinator(std::size_t k) : FilterCoordinator(k, {}) {}
@@ -210,14 +244,40 @@ class FilterCoordinator final : public CoordinatorAlgo {
     return 2 * ctx.flush_ticks() + 2;
   }
 
+  // -- suspicion machinery (active only with Options::suspect) --------------
+  void send_probe(CoordCtx& ctx, NodeId id);
+  /// Puts `id` under suspicion (if not already) and sends the first
+  /// deadline-tracked probe.
+  void suspect_node(CoordCtx& ctx, NodeId id);
+  /// Escalates `id` to quarantine: ignore its signals and reports, drop
+  /// it from the answer (structural removals re-run the selection), and
+  /// switch its probing to the step-driven release schedule.
+  void quarantine_node(CoordCtx& ctx, NodeId id, bool stale);
+  /// Tick-driven probe deadlines of pre-quarantine suspects (capped
+  /// backoff; kSuspectAttempts lost probes escalate to quarantine).
+  void tick_suspects(CoordCtx& ctx);
+  /// Step-driven release probes of quarantined nodes (capped backoff).
+  void tick_release_probes(CoordCtx& ctx);
+  /// A probe reply from a quarantined node: release the quarantine and
+  /// re-admit through the established-boundary assignment (deferred
+  /// mid-cycle, like a re-sync reply).
+  void handle_release_reply(CoordCtx& ctx, NodeId from, Value v);
+  /// Signal-vs-report contradiction check (stale detection): a fresh
+  /// signal fixes which side of the boundary the node's *true* value is
+  /// on; a report landing on the other side is a strike.
+  void check_stale_report(CoordCtx& ctx, NodeId from, Value v);
+  /// Clears every per-node suspicion trace for `id` (crash, release).
+  void clear_suspicion_state(NodeId id);
+
   /// Boundary for a concluded cycle: the pinned root boundary when the
   /// gap contains it (sharded mode), the gap midpoint otherwise.
   Value choose_boundary() const;
   /// FILTERRESET selection count: k+1 monolithically, capped at the live
-  /// node count so a full-quota shard (k == n) selects everyone exactly
-  /// once and a selection under churn never waits on a dead participant.
+  /// non-quarantined node count so a full-quota shard (k == n) selects
+  /// everyone exactly once and a selection under churn or quarantine
+  /// never waits on a participant that cannot answer.
   std::size_t selection_target() const noexcept {
-    return std::min(k_ + 1, n_live_);
+    return std::min(k_ + 1, n_live_ - std::min(n_quarantined_, n_live_));
   }
 
   std::size_t k_;
@@ -277,6 +337,24 @@ class FilterCoordinator final : public CoordinatorAlgo {
   // Defensive-rebuild backoff (active only with Options::reset_backoff).
   std::uint32_t backoff_wait_ = 0;     ///< steps left before the next retry
   std::uint32_t backoff_attempt_ = 0;  ///< consecutive failed rebuilds
+
+  // Suspicion / quarantine state (allocated only with Options::suspect).
+  struct Suspect {
+    NodeId id;
+    std::uint64_t countdown;  ///< ticks until the suspicion probe is lost
+    std::uint32_t attempt;    ///< pre-quarantine probe deadlines missed
+    bool quarantined;
+    std::uint32_t release_wait;     ///< steps until the next release probe
+    std::uint32_t release_attempt;  ///< failed release probes (caps backoff)
+  };
+  std::vector<Suspect> suspects_;
+  std::vector<char> quarantined_;  ///< fast membership test for suspects_
+  std::size_t n_quarantined_ = 0;
+  std::vector<std::uint32_t> silent_steps_;  ///< signalled-but-silent streak
+  std::vector<std::uint8_t> sig_side_;  ///< last signalled side (1 top, 2 bot)
+  std::vector<TimeStep> sig_step_;      ///< step of that signal
+  std::vector<std::uint8_t> stale_strikes_;
+  TimeStep cur_step_ = 0;  ///< step of the last on_step_begin
 };
 
 }  // namespace topkmon

@@ -34,6 +34,14 @@ struct MonitorStats {
   std::uint64_t resync_retries = 0;     ///< re-sync probes resent on timeout
   std::uint64_t reset_backoffs = 0;     ///< defensive rebuilds deferred by
                                         ///< the reset backoff (opt-in)
+  std::uint64_t suspicions = 0;         ///< nodes put under suspicion by the
+                                        ///< failure-inference machinery
+  std::uint64_t quarantines = 0;        ///< suspicions escalated to quarantine
+  std::uint64_t stale_detections = 0;   ///< quarantines caused by a report
+                                        ///< contradicting the node's signal
+  std::uint64_t assign_replays = 0;     ///< warm-standby recoveries served by
+                                        ///< an assignment-log replay instead
+                                        ///< of the probe handshake
 };
 
 /// Abstract Top-k-Position monitor.

@@ -76,12 +76,33 @@ class NaiveCoordinator final : public CoordinatorAlgo {
   NaiveCoordinator(std::size_t k, bool send_on_change_only);
   /// Sharded-deployment ctor (core/shard_coordinator.hpp): lifts the
   /// k >= 1 requirement so a shard's quota can be renegotiated to 0.
-  NaiveCoordinator(std::size_t k, bool send_on_change_only, bool sharded);
+  /// `suspect` enables the adversarial-degradation suspicion machinery
+  /// (see sim/fault_plan.hpp lag/stale/mute):
+  ///  * plain naive — every live node reports every step, so silence IS
+  ///    the anomaly: a node unheard for kNaiveSilenceSteps observation
+  ///    steps is suspected (MonitorStats::suspicions) and probed with
+  ///    capped-backoff deadlines; exhausted deadlines quarantine it
+  ///    (MonitorStats::quarantines) — its replica entry drops to -inf so
+  ///    the distrusted value leaves the answer;
+  ///  * naive_chg — silence is legitimate, so the coordinator audits:
+  ///    one round-robin probe per step (MonitorStats::polls) arms the
+  ///    same deadline machinery for the audited node.
+  /// Quarantined nodes get step-driven capped-backoff release probes;
+  /// any report from the node releases the quarantine (it demonstrably
+  /// answers again — a laggard oscillates, a healed node stays). Stale
+  /// responders are undetectable for the naive family: nodes raise no
+  /// violation signals, so there is no truth to contradict a frozen
+  /// report (stale_detections stays 0 by design; see the filter
+  /// monitor's contradiction detector). Off by default: no trace
+  /// changes until enabled.
+  NaiveCoordinator(std::size_t k, bool send_on_change_only, bool sharded,
+                   bool suspect = false);
 
   std::string_view name() const override {
     return send_on_change_only_ ? "naive_on_change" : "naive";
   }
   void on_init(CoordCtx& ctx) override;
+  void on_step_begin(CoordCtx& ctx, TimeStep t) override;
   void on_message(CoordCtx& ctx, const Message& m) override;
   void on_timer(CoordCtx& ctx) override;
   void on_step_end(CoordCtx& ctx, TimeStep t) override;
@@ -113,10 +134,18 @@ class NaiveCoordinator final : public CoordinatorAlgo {
 
  private:
   void refresh_answer();
+  // -- suspicion machinery (active only with suspect_) ----------------------
+  void send_probe(CoordCtx& ctx, NodeId id);
+  void suspect_node(CoordCtx& ctx, NodeId id);
+  void quarantine_node(NodeId id);
+  /// Any report from `id`: refresh the heard stamp, clear pending
+  /// suspicion, release an active quarantine.
+  void note_report(NodeId id);
 
   std::size_t k_;
   bool send_on_change_only_;
   bool sharded_ = false;
+  bool suspect_ = false;
 
   // Pending crash-recovery re-syncs, in recovery order (see filter_roles
   // for the same pattern with a handshake reply).
@@ -126,6 +155,25 @@ class NaiveCoordinator final : public CoordinatorAlgo {
     std::uint32_t attempt;
   };
   std::vector<Resync> resync_;
+
+  // Suspicion / quarantine state (allocated only with suspect_).
+  struct Suspect {
+    NodeId id;
+    std::uint64_t countdown;  ///< ticks until the probe is declared lost
+    std::uint32_t attempt;    ///< probe deadlines missed so far
+    bool quarantined;
+    std::uint32_t release_wait;     ///< steps until the next release probe
+    std::uint32_t release_attempt;  ///< failed release probes (caps backoff)
+    /// naive_chg audit probe: not yet a suspicion — the first missed
+    /// deadline converts it into one (MonitorStats::suspicions).
+    bool audit;
+  };
+  std::vector<Suspect> suspects_;
+  std::vector<char> quarantined_;
+  std::vector<TimeStep> last_heard_;  ///< step of the last report per node
+  NodeId audit_cursor_ = 0;           ///< naive_chg round-robin audit probe
+  TimeStep cur_step_ = 0;
+
   std::vector<Value> known_values_;  ///< coordinator's replica
   std::vector<NodeId> topk_ids_;
   /// Incremental top-k over the replica: O(received reports) per step

@@ -216,9 +216,64 @@ std::string_view monitor_name(ShardedSpec::Monitor m) {
 
 ShardedDeployment::ShardedDeployment(const ShardedSpec& spec) : spec_(spec) {
   ranges_ = partition_shards(spec.n, spec.shards);
-  const std::vector<std::size_t> quotas =
-      initial_shard_quotas(ranges_, spec.n, spec.k);
   const std::size_t c = ranges_.size();
+
+  // Churn provisioning: spec.n is the provisioned capacity (initial nodes
+  // plus every joining block), but the initial quotas must split over the
+  // initially-live prefix only — a shard whose nodes are all join reserve
+  // starts at quota 0 and wins slots at its join via the root fixpoint.
+  const std::size_t initial =
+      spec.faults != nullptr ? spec.faults->initial_nodes() : spec.n;
+  std::vector<ShardRange> live_ranges = ranges_;
+  for (ShardRange& r : live_ranges) {
+    r.size = initial > r.base ? std::min<std::size_t>(r.size, initial - r.base)
+                              : 0;
+  }
+  const std::vector<std::size_t> quotas =
+      initial_shard_quotas(live_ranges, initial, spec.k);
+
+  // Carve the deployment-level plan into per-shard plans with shard-local
+  // ids. Membership events route to the owning shard (a join block can
+  // straddle shard boundaries and is split at them); kSetK stays at the
+  // deployment level (the scenario routes it through set_k). shard_plans_
+  // is filled completely before any adapter takes a pointer into it.
+  if (spec.faults != nullptr) {
+    std::vector<std::vector<FaultEvent>> by_shard(c);
+    for (const FaultEvent& ev : spec.faults->events()) {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kSetK:
+          break;
+        case FaultEvent::Kind::kJoin: {
+          NodeId id = ev.node;
+          std::size_t left = ev.count;
+          while (left > 0) {
+            const std::size_t s = shard_of(id);
+            const std::size_t take = std::min<std::size_t>(
+                left, ranges_[s].base + ranges_[s].size - id);
+            FaultEvent local = ev;
+            local.node = id - ranges_[s].base;
+            local.count = take;
+            by_shard[s].push_back(local);
+            id += static_cast<NodeId>(take);
+            left -= take;
+          }
+          break;
+        }
+        default: {
+          const std::size_t s = shard_of(ev.node);
+          FaultEvent local = ev;
+          local.node = ev.node - ranges_[s].base;
+          by_shard[s].push_back(local);
+          break;
+        }
+      }
+    }
+    shard_plans_.reserve(c);
+    for (std::size_t s = 0; s < c; ++s) {
+      shard_plans_.push_back(
+          FaultPlan::from_events(ranges_[s].size, std::move(by_shard[s])));
+    }
+  }
 
   adapters_.reserve(c);
   for (std::size_t s = 0; s < c; ++s) {
@@ -227,6 +282,10 @@ ShardedDeployment::ShardedDeployment(const ShardedSpec& spec) : spec_(spec) {
     cfg.quota = quotas[s];
     cfg.seed = shard_seed(spec.seed, s);
     cfg.network = spec.network;
+    if (!shard_plans_.empty() && !shard_plans_[s].empty()) {
+      cfg.faults = &shard_plans_[s];
+    }
+    cfg.join_reserve = ranges_[s].size - live_ranges[s].size;
     // At c == 1 the (single) inner driver takes the parallel tick scan; at
     // c > 1 the inner drivers stay serial and the pool below steps whole
     // shards concurrently instead — no nested pools.
@@ -340,6 +399,12 @@ void ShardedDeployment::set_k(std::size_t k) {
     return;
   }
   root_coord_->request_k(k);
+}
+
+SimTime ShardedDeployment::ticks() const {
+  SimTime t = 0;
+  for (const auto& a : adapters_) t = std::max(t, a->ticks());
+  return t;
 }
 
 CommStats ShardedDeployment::node_shard_comm() {

@@ -52,6 +52,7 @@
 #include "core/roles.hpp"
 #include "core/shard_coordinator.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/worker_pool.hpp"
 
 namespace topkmon {
@@ -175,7 +176,7 @@ class RootMergeCoordinator final : public CoordinatorAlgo {
 
 /// Construction parameters of a two-tier sharded deployment.
 struct ShardedSpec {
-  std::size_t n = 0;          ///< total nodes
+  std::size_t n = 0;          ///< total nodes (incl. not-yet-joined ids)
   std::size_t k = 0;          ///< global top-k size
   std::size_t shards = 1;     ///< shard count c (1 <= c <= n)
   std::uint64_t seed = 0;     ///< scenario seed (shard 0 keeps it verbatim)
@@ -186,6 +187,14 @@ struct ShardedSpec {
   Monitor monitor = Monitor::kFilter;
   /// topk_filter's beacon-suppression ablation, forwarded to every shard.
   bool suppress_idle_broadcasts = false;
+  /// Deployment-level fault schedule (global ids; nullptr = fault-free;
+  /// must outlive the deployment). Membership churn is carved into
+  /// per-shard plans with shard-local ids and fired by the shard drivers;
+  /// quotas split over the initially-live prefix only; kSetK events stay
+  /// with the caller (route them through set_k). Degradations (lag/
+  /// stale/mute) are not supported sharded — the scenario runner rejects
+  /// such plans before construction.
+  const FaultPlan* faults = nullptr;
 };
 
 /// A complete two-tier deployment: c shard deployments plus the root
@@ -231,6 +240,13 @@ class ShardedDeployment {
   const RootMergeCoordinator& root() const { return *root_coord_; }
   Cluster& shard_cluster(std::size_t s) { return adapters_.at(s)->cluster(); }
 
+  /// Max inner-driver delivery ticks across the shards. Monotonic across
+  /// filter-shard rebuilds (each shard's clock lives on its warm
+  /// cluster), so the sharded scenario runner can key recovery-window
+  /// accounting on it exactly like the monolithic runner keys on
+  /// SimDriver::now().
+  SimTime ticks() const;
+
   /// node<->shard tier message totals: the per-shard cluster counters
   /// summed (at c == 1, a plain copy of the single shard's stats, series
   /// included).
@@ -244,6 +260,11 @@ class ShardedDeployment {
  private:
   ShardedSpec spec_;
   std::vector<ShardRange> ranges_;
+  /// Per-shard carved fault schedules (shard-local ids). Filled once in
+  /// the constructor and never resized after: the adapters hold stable
+  /// pointers into it, so it must be declared before them (destroyed
+  /// after).
+  std::vector<FaultPlan> shard_plans_;
   std::vector<std::unique_ptr<ShardAdapter>> adapters_;
   std::vector<std::unique_ptr<NodeAlgo>> agents_;
   std::unique_ptr<Cluster> root_cluster_;

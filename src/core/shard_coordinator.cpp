@@ -72,6 +72,20 @@ std::uint64_t shard_seed(std::uint64_t base_seed, std::size_t shard) noexcept {
   return splitmix64(state);
 }
 
+namespace {
+
+/// Shared ctor step of both adapters: ids provisioned for a later join
+/// start down, before the first initialize, exactly like the monolithic
+/// runner marks them (driver.hpp set_fault_plan contract).
+void mark_join_reserve_down(const ShardConfig& cfg, Cluster& cluster) {
+  for (std::size_t i = cfg.n - std::min(cfg.join_reserve, cfg.n); i < cfg.n;
+       ++i) {
+    cluster.net().set_node_down(static_cast<NodeId>(i));
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // NaiveShardAdapter
 // ---------------------------------------------------------------------------
@@ -83,12 +97,14 @@ NaiveShardAdapter::NaiveShardAdapter(const ShardConfig& cfg,
       cluster_(cfg.n, cfg.seed, cfg.network),
       coord_(std::make_unique<NaiveCoordinator>(cfg.quota, send_on_change_only,
                                                 cfg.sharded)) {
+  mark_join_reserve_down(cfg_, cluster_);
   nodes_.reserve(cfg_.n);
   for (std::size_t i = 0; i < cfg_.n; ++i) {
     nodes_.push_back(std::make_unique<NaiveNode>(send_on_change_only));
   }
   driver_ = std::make_unique<SimDriver>(cluster_, *coord_, nodes_,
                                         /*auto_deliver=*/true, cfg_.workers);
+  if (cfg_.faults != nullptr) driver_->set_fault_plan(cfg_.faults);
   driver_->set_dense_loop(cfg_.dense_loop);
 }
 
@@ -131,10 +147,16 @@ FilterShardAdapter::FilterShardAdapter(const ShardConfig& cfg,
     : cfg_(cfg),
       nobeacon_(suppress_idle_broadcasts),
       quota_(cfg.quota),
-      cluster_(cfg.n, cfg.seed, cfg.network) {}
+      cluster_(cfg.n, cfg.seed, cfg.network) {
+  mark_join_reserve_down(cfg_, cluster_);
+}
 
 void FilterShardAdapter::rebuild() {
   if (coord_) add_monitor_stats(mstats_retired_, coord_->monitor_stats());
+  // The fresh driver must resume the fault schedule where the retired one
+  // left it — re-firing an applied crash/recover would corrupt the alive
+  // set (which itself persists on the warm cluster's network).
+  const std::size_t fault_cursor = driver_ ? driver_->fault_cursor() : 0;
   driver_.reset();
   coord_.reset();
   nodes_.clear();
@@ -149,11 +171,12 @@ void FilterShardAdapter::rebuild() {
   }
   driver_ = std::make_unique<SimDriver>(cluster_, *coord_, nodes_,
                                         /*auto_deliver=*/true, cfg_.workers);
+  if (cfg_.faults != nullptr) driver_->set_fault_plan(cfg_.faults, fault_cursor);
   driver_->set_dense_loop(cfg_.dense_loop);
   // Full initialization on the warm cluster: values, RNG streams, the
-  // protocol-epoch counter and CommStats persist; node/coordinator
-  // protocol state starts fresh, so the FILTERRESET selection leaves
-  // exact extrema in T+/T-.
+  // protocol-epoch counter, CommStats and the alive set persist;
+  // node/coordinator protocol state starts fresh, so the FILTERRESET
+  // selection (over the live nodes only) leaves exact extrema in T+/T-.
   driver_->initialize();
 }
 
@@ -170,10 +193,24 @@ bool FilterShardAdapter::crossing() {
   // accumulator extrema never miss a real crossing; the root requeries
   // exact values before acting).
   if (!cfg_.sharded || !pin_.has_value()) return false;
+  // An under-filled answer (churn removed members faster than the local
+  // reset could re-fill — up to a whole-shard outage) is a crossing by
+  // definition: only a root renegotiation can drain the unfillable quota
+  // toward shards that can cover the vacated slots.
+  if (coord_->topk().size() < quota_) return true;
   return coord_->boundary() != *pin_;
 }
 
 ShardExtrema FilterShardAdapter::extrema() {
+  // Under-fill: fewer live trusted nodes than quota. Report U_s = -inf so
+  // the root's fixpoint takes the quota this shard cannot fill (the
+  // weakest-member rule picks the minimum U first), and L_s = -inf too —
+  // if the shard cannot even fill its quota it has no live outsider, and
+  // a stale accumulator value must not win it more quota or pin the root
+  // boundary from below during the outage.
+  if (coord_->topk().size() < quota_) {
+    return ShardExtrema{kMinusInf, kMinusInf};
+  }
   return ShardExtrema{coord_->t_plus(), coord_->t_minus()};
 }
 

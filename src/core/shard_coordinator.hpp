@@ -90,6 +90,10 @@ inline void add_monitor_stats(MonitorStats& into,
   into.resyncs += from.resyncs;
   into.resync_retries += from.resync_retries;
   into.reset_backoffs += from.reset_backoffs;
+  into.suspicions += from.suspicions;
+  into.quarantines += from.quarantines;
+  into.stale_detections += from.stale_detections;
+  into.assign_replays += from.assign_replays;
 }
 
 /// The shard extrema the root tier merges over.
@@ -100,7 +104,7 @@ struct ShardExtrema {
 
 /// Construction parameters shared by the shard adapters.
 struct ShardConfig {
-  std::size_t n = 0;        ///< shard size
+  std::size_t n = 0;        ///< shard size (incl. not-yet-joined ids)
   std::size_t quota = 0;    ///< initial per-shard k
   std::uint64_t seed = 0;   ///< shard cluster seed (see shard_seed)
   NetworkSpec network{};    ///< node<->shard delivery policy
@@ -110,6 +114,15 @@ struct ShardConfig {
   /// the quota-0 / quota-n edge cases. False at c == 1, where the shard
   /// must be message-for-message identical to the monolithic path.
   bool sharded = true;
+  /// Shard-local fault schedule (nullptr = fault-free). Must outlive the
+  /// adapter. The filter shard re-attaches it across rebuilds with the
+  /// retired driver's cursor preserved, so events the old driver already
+  /// fired never replay on the fresh one.
+  const FaultPlan* faults = nullptr;
+  /// Trailing shard-local ids provisioned for a later join event: ids
+  /// [n - join_reserve, n) start down (transport off, on_init deferred)
+  /// and go live when their join fires in the shard's fault schedule.
+  std::size_t join_reserve = 0;
 };
 
 /// The root tier's handle on one shard deployment.
@@ -155,6 +168,11 @@ class ShardAdapter {
   virtual std::size_t quota() const = 0;
   virtual Cluster& cluster() = 0;
   virtual const MonitorStats& monitor_stats() const = 0;
+
+  /// Inner-driver delivery ticks consumed so far. Monotonic across filter
+  /// shard rebuilds (the clock lives on the warm cluster's network);
+  /// recovery-window accounting in the sharded scenario runner keys on it.
+  virtual SimTime ticks() const = 0;
 };
 
 /// naive / naive_chg shard (see file comment).
@@ -177,6 +195,7 @@ class NaiveShardAdapter final : public ShardAdapter {
   const MonitorStats& monitor_stats() const override {
     return coord_->monitor_stats();
   }
+  SimTime ticks() const override { return driver_->now(); }
 
  private:
   ShardConfig cfg_;
@@ -210,6 +229,7 @@ class FilterShardAdapter final : public ShardAdapter {
     add_monitor_stats(mstats_combined_, coord_->monitor_stats());
     return mstats_combined_;
   }
+  SimTime ticks() const override { return driver_ ? driver_->now() : 0; }
 
  private:
   /// (Re)creates coordinator + nodes + driver on the warm cluster and

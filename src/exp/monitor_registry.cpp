@@ -180,6 +180,12 @@ RolePair make_role_pair(Cluster& cluster, std::string_view spec,
       // retry loop to damp): seeded exponential backoff on defensive
       // resets, for the lossy-network and churn suites.
       else if (p.key == "backoff") o.reset_backoff = parse_flag(p);
+      // Adversarial-degradation suspicion machinery (lag/stale/mute
+      // plans; see core/filter_roles.hpp).
+      else if (p.key == "suspect") o.suspect = parse_flag(p);
+      // Warm-standby assignment replay on recovery/join (one
+      // kFilterAssign instead of the resync handshake).
+      else if (p.key == "replay") o.replay = parse_flag(p);
       else bad_param(parsed, p);
     }
     pair.coordinator = std::make_unique<FilterCoordinator>(k, o);
@@ -192,9 +198,16 @@ RolePair make_role_pair(Cluster& cluster, std::string_view spec,
   }
 
   if (parsed.name == "naive" || parsed.name == "naive_chg") {
-    expect_no_params(parsed);
+    // Native-roles-only knob: the suspicion machinery for adversarial
+    // degradations (silence scan / audit probes; core/naive_roles.hpp).
+    bool suspect = false;
+    for (const auto& p : parsed.params) {
+      if (p.key == "suspect") suspect = parse_flag(p);
+      else bad_param(parsed, p);
+    }
     const bool chg = (parsed.name == "naive_chg");
-    pair.coordinator = std::make_unique<NaiveCoordinator>(k, chg);
+    pair.coordinator =
+        std::make_unique<NaiveCoordinator>(k, chg, /*sharded=*/false, suspect);
     pair.nodes.reserve(cluster.size());
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       pair.nodes.push_back(std::make_unique<NaiveNode>(chg));

@@ -214,6 +214,16 @@ RunResult run_scenario(const Scenario& sc) {
             }
           }
           break;
+        case FaultEvent::Kind::kLag:
+        case FaultEvent::Kind::kStale:
+        case FaultEvent::Kind::kMute:
+        case FaultEvent::Kind::kHeal:
+          // Degradations touch neither the truth nor the value mirror (the
+          // node is up and observing; only its wire behaviour changes) —
+          // but they do open a recovery window below, so the error tail
+          // the monitor accrues until it quarantines / heals is charged to
+          // the event in result.recovery_ticks.
+          break;
       }
       ++next_event;
     }
@@ -269,27 +279,28 @@ RunResult run_sharded_scenario(const Scenario& sc) {
   if (sc.k == 0 || sc.k > sc.n) {
     throw std::invalid_argument("run_sharded_scenario: k out of range");
   }
-  // Sharded deployments accept k-only fault plans (quota renegotiation at
-  // the root) and reject membership churn: per-shard clusters cannot
-  // retire / provision nodes behind the root tier's back.
+  // Sharded deployments accept membership churn and dynamic-k plans (the
+  // deployment carves the schedule into per-shard plans; a whole-shard
+  // outage drains its quota at the root via the under-fill fixpoint) and
+  // reject adversarial degradations: the lag/stale/mute held-send
+  // machinery is per-driver state that cannot survive shard rebuilds.
   const FaultPlan plan(sc.faults, sc.n, sc.k, sc.seed);
   const bool faulty = !plan.empty();
-  if (plan.has_churn()) {
+  if (plan.has_degradation()) {
     throw std::invalid_argument(
         "run_sharded_scenario: fault plan '" + sc.faults +
-        "' contains membership churn; sharded deployments support k-only "
-        "plans (crash/recover/join/leave require shards == 1)");
+        "' contains adversarial degradations; sharded deployments support "
+        "churn and k plans (lag/stale/mute/heal require shards == 1)");
   }
+  // Provision for joining blocks exactly like the monolithic runner: ids
+  // [sc.n, N) exist from the start (streams, trace, truth, shard
+  // clusters) but start down.
+  const std::size_t N = faulty ? plan.total_nodes() : sc.n;
   const auto [spec, shards_param] = split_shards_param(sc.monitor);
   const std::size_t shards = shards_param != 0 ? shards_param : sc.shards;
   if (shards == 0 || shards > sc.n) {
     throw std::invalid_argument(
         "run_sharded_scenario: need 1 <= shards <= n");
-  }
-  if (sc.record_series && shards > 1) {
-    throw std::invalid_argument(
-        "run_sharded_scenario: record_series requires shards == 1 "
-        "(per-shard clusters cannot merge per-step series)");
   }
 
   // Sharded deployments exist for the three native monitors only; parse
@@ -329,9 +340,9 @@ RunResult run_sharded_scenario(const Scenario& sc) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  auto streams = make_stream_set(sc.stream, sc.n, sc.seed);
+  auto streams = make_stream_set(sc.stream, N, sc.seed);
 
-  dspec.n = sc.n;
+  dspec.n = N;
   dspec.k = sc.k;
   dspec.shards = shards;
   dspec.seed = sc.seed;
@@ -341,16 +352,24 @@ RunResult run_sharded_scenario(const Scenario& sc) {
           ? sc.workers
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   dspec.dense_loop = sc.dense_loop;
+  if (faulty) dspec.faults = &plan;
   ShardedDeployment dep(dspec);
-  if (sc.record_series) dep.shard_cluster(0).stats().enable_series();
+  if (sc.record_series) {
+    // Every shard cluster begins the same observation steps, so the
+    // per-shard series align by index and node_shard_comm's accumulate
+    // merges them into one deployment-level per-step series.
+    for (std::size_t s = 0; s < dep.shards(); ++s) {
+      dep.shard_cluster(s).stats().enable_series();
+    }
+  }
 
   const RunConfig cfg = sc.run_config();
   RunResult result;
   result.config = cfg;
   result.network = sc.network.name();
-  if (sc.record_trace) result.trace.emplace(sc.n, sc.steps + 1);
+  if (sc.record_trace) result.trace.emplace(N, sc.steps + 1);
 
-  std::optional<GroundTruthTracker> truth(std::in_place, sc.n, sc.k);
+  std::optional<GroundTruthTracker> truth(std::in_place, N, sc.k);
   const bool track = cfg.validation != RunConfig::Validation::kOff;
   const std::string detail = " (network " + sc.network.name() + ", shards " +
                              std::to_string(shards) + ")";
@@ -364,28 +383,44 @@ RunResult run_sharded_scenario(const Scenario& sc) {
     }
   };
 
+  // Down-node bookkeeping mirroring the shard drivers' alive bits at step
+  // granularity: ids provisioned for a later join start down (the
+  // deployment marks their transports down; the ground truth excludes
+  // them until their join event fires).
+  std::vector<char> down(N, 0);
+  if (faulty) {
+    for (NodeId id = sc.n; id < N; ++id) {
+      down[id] = 1;
+      if (track) truth->set_value(id, kMinusInf);
+    }
+  }
+
   // Same two observation paths as run_scenario, with the value writes
   // routed through the deployment (global id -> owning shard cluster).
+  // Down nodes keep streaming into the values[] mirror but write neither
+  // the shard clusters nor the ground truth — a dark node's moves are
+  // invisible until recovery syncs its latest value back in.
   const bool quiet_streams = streams.quiet_capable();
   if (!quiet_streams) streams.plan_steps(sc.steps + 1);
-  std::vector<Value> values(sc.n, 0);
-  std::vector<Value> incoming(sc.n);
+  std::vector<Value> values(N, 0);
+  std::vector<Value> incoming(N);
   std::vector<NodeId> changed;
-  changed.reserve(sc.n);
+  changed.reserve(N);
 
   const auto observe = [&](TimeStep t) {
     if (quiet_streams) {
       streams.advance_all_active(values, changed);
       for (const NodeId id : changed) {
+        if (down[id]) continue;
         dep.set_value(id, values[id]);
         if (track) truth->set_value(id, values[id]);
       }
     } else {
       streams.advance_all(incoming);
       changed.clear();
-      for (NodeId id = 0; id < sc.n; ++id) {
+      for (NodeId id = 0; id < N; ++id) {
         const Value v = incoming[id];
-        if (v != values[id]) {
+        if (v != values[id] && !down[id]) {
           changed.push_back(id);
           dep.set_value(id, v);
           if (track) truth->set_value(id, v);
@@ -394,7 +429,7 @@ RunResult run_sharded_scenario(const Scenario& sc) {
       values.swap(incoming);
     }
     if (result.trace.has_value()) {
-      for (NodeId id = 0; id < sc.n; ++id) result.trace->at(t, id) = values[id];
+      for (NodeId id = 0; id < N; ++id) result.trace->at(t, id) = values[id];
     }
   };
 
@@ -411,26 +446,82 @@ RunResult run_sharded_scenario(const Scenario& sc) {
                                     wall_start)
           .count();
 
-  // k-only fault schedule: apply each dynamic-k event to the deployment
-  // (root quota renegotiation) and rebuild the ground truth at the new k.
+  // Scenario-side mirror of the fault schedule (the shard drivers fire
+  // the carved membership events inside dep.step(t); dynamic k routes
+  // through the root renegotiation here). Recovery windows key on the
+  // deployment's max shard tick clock — monotonic across filter-shard
+  // rebuilds — exactly like the monolithic runner keys on SimDriver::now.
   std::size_t next_event = 0;
+  std::size_t win_begin = 0;
+  std::size_t win_end = 0;
+  std::uint64_t win_tick = 0;
+  bool win_open = false;
+  std::size_t cur_k = sc.k;
   if (faulty) result.recovery_ticks.assign(plan.events().size(), 0);
+
+  const auto apply_events = [&](TimeStep t) {
+    const std::size_t first = next_event;
+    const auto& events = plan.events();
+    while (next_event < events.size() && events[next_event].step == t) {
+      const FaultEvent& ev = events[next_event];
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash:
+        case FaultEvent::Kind::kLeave:
+          down[ev.node] = 1;
+          if (track) truth->set_value(ev.node, kMinusInf);
+          break;
+        case FaultEvent::Kind::kRecover:
+          down[ev.node] = 0;
+          dep.set_value(ev.node, values[ev.node]);
+          if (track) truth->set_value(ev.node, values[ev.node]);
+          break;
+        case FaultEvent::Kind::kJoin:
+          for (std::size_t i = 0; i < ev.count; ++i) {
+            const NodeId id = ev.node + static_cast<NodeId>(i);
+            down[id] = 0;
+            dep.set_value(id, values[id]);
+            if (track) truth->set_value(id, values[id]);
+          }
+          break;
+        case FaultEvent::Kind::kSetK:
+          cur_k = ev.count;
+          dep.set_k(cur_k);
+          if (track) {
+            truth.emplace(N, cur_k);
+            for (NodeId id = 0; id < N; ++id) {
+              truth->set_value(id, down[id] ? kMinusInf : values[id]);
+            }
+          }
+          break;
+        case FaultEvent::Kind::kLag:
+        case FaultEvent::Kind::kStale:
+        case FaultEvent::Kind::kMute:
+        case FaultEvent::Kind::kHeal:
+          break;  // rejected above; unreachable
+      }
+      ++next_event;
+    }
+    if (next_event != first) {
+      win_begin = first;
+      win_end = next_event;
+      win_tick = dep.ticks();
+      win_open = true;
+    }
+  };
 
   for (TimeStep t = 1; t <= sc.steps; ++t) {
     begin_step(t);
     observe(t);
-    while (faulty && next_event < plan.events().size() &&
-           plan.events()[next_event].step == t) {
-      const std::size_t new_k = plan.events()[next_event].count;
-      dep.set_k(new_k);
-      if (track) {
-        truth.emplace(sc.n, new_k);
-        for (NodeId id = 0; id < sc.n; ++id) truth->set_value(id, values[id]);
-      }
-      ++next_event;
-    }
+    if (faulty) apply_events(t);
+    const std::uint64_t errors_before = result.error_steps;
     dep.step(t, changed);
     check(t);
+    if (win_open && result.error_steps != errors_before) {
+      const std::uint64_t w = dep.ticks() - win_tick;
+      for (std::size_t i = win_begin; i < win_end; ++i) {
+        result.recovery_ticks[i] = w;
+      }
+    }
     ++result.steps_executed;
     if (sc.on_step) sc.on_step(t, values, dep.topk());
   }

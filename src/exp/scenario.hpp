@@ -80,22 +80,28 @@ struct Scenario {
   /// RunResult::comm then counts the node<->shard tier and
   /// RunResult::root_comm the shard<->root tier. A `?shards=c` monitor
   /// parameter (e.g. "topk_filter?shards=4") overrides this field. Only
-  /// native monitors ("topk_filter", "naive", "naive_chg") support c > 1,
-  /// and record_series is rejected there (per-shard clusters cannot merge
-  /// per-step series).
+  /// native monitors ("topk_filter", "naive", "naive_chg") support c > 1.
+  /// record_series works at any c: the per-shard series are merged
+  /// element-wise into one deployment-level per-step series (every shard
+  /// begins the same steps, so the series align by index).
   std::size_t shards = 1;
 
   /// Fault-injection plan (sim/fault_plan.hpp spec grammar): "none"
   /// (default) runs fault-free and byte-identical to a scenario without
   /// the field; anything else schedules crash / recover / join / leave /
-  /// dynamic-k events against the run. Requires a native monitor
+  /// dynamic-k events — plus the adversarial degradations lag / stale /
+  /// mute / heal — against the run. Requires a native monitor
   /// ("topk_filter", "naive", "naive_chg"); composes with any network
   /// policy and with workers > 1 (schedules derive from the run seed like
   /// link randomness, so results stay byte-reproducible). With join
   /// events the cluster/streams/ground truth are provisioned at the
   /// plan's total_nodes(); RunResult::recovery_ticks then reports the
-  /// re-convergence window of every event. Sharded deployments (shards >
-  /// 1) accept k-only plans and reject churn.
+  /// re-convergence window of every event (for a degradation: the error
+  /// tail until the monitor quarantines the node or the heal lands).
+  /// Sharded deployments (shards > 1) accept churn and dynamic-k plans —
+  /// the deployment carves the schedule into per-shard plans and the
+  /// root renegotiates quotas across outages — and reject degradations
+  /// (lag/stale/mute/heal require shards == 1).
   std::string faults = "none";
 
   /// Optional per-step observer called after each validated step with the
@@ -164,8 +170,11 @@ RunResult run_scenario(const Scenario& scenario);
 /// guaranteed under instant delivery with pairwise-distinct values;
 /// non-instant networks run supported-but-degraded, like the monolithic
 /// native monitors (error steps are recorded, use kWeak +
-/// throw_on_error=false). Throws std::invalid_argument for non-native
-/// monitors, record_series with c > 1, or shards > n.
+/// throw_on_error=false). Membership churn and dynamic-k fault plans are
+/// supported at any c (whole-shard outages drain the dead shard's quota
+/// at the root and regrant it on recovery); adversarial degradations are
+/// not. Throws std::invalid_argument for non-native monitors, plans with
+/// degradations, or shards > n.
 RunResult run_sharded_scenario(const Scenario& scenario);
 
 }  // namespace topkmon::exp

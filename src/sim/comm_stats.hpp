@@ -69,14 +69,26 @@ class CommStats {
 
   /// Adds another instance's totals into this one — the per-tier
   /// aggregation of a sharded deployment (core/root_merge.hpp) sums its
-  /// shard clusters' counters this way. The per-step series is not
-  /// merged; runs that need a series use a single shard.
-  void accumulate(const CommStats& other) noexcept {
+  /// shard clusters' counters this way. When `other` carries a per-step
+  /// series it is merged element-wise (shorter series are zero-padded to
+  /// the longer length): the sharded runner begins every shard's steps in
+  /// lockstep, so per-shard series align by index and the sum is the
+  /// deployment-level per-step message count.
+  void accumulate(const CommStats& other) {
     upstream_ += other.upstream_;
     unicast_ += other.unicast_;
     broadcast_ += other.broadcast_;
     for (std::size_t i = 0; i < kNumMsgKinds; ++i) {
       by_kind_[i] += other.by_kind_[i];
+    }
+    if (other.series_enabled_) {
+      series_enabled_ = true;
+      if (series_.size() < other.series_.size()) {
+        series_.resize(other.series_.size(), 0);
+      }
+      for (std::size_t i = 0; i < other.series_.size(); ++i) {
+        series_[i] += other.series_[i];
+      }
     }
   }
 

@@ -19,8 +19,8 @@ namespace {
 
 const std::vector<std::string>& known_keys() {
   static const std::vector<std::string> keys = {
-      "crash", "recover", "join", "leave", "k",
-      "every", "down",    "count", "outage"};
+      "crash", "recover", "join",  "leave",  "k",    "every", "down",
+      "count", "outage",  "lag",   "stale",  "mute", "heal"};
   return keys;
 }
 
@@ -42,6 +42,10 @@ std::string_view fault_kind_name(FaultEvent::Kind kind) noexcept {
     case FaultEvent::Kind::kJoin: return "join";
     case FaultEvent::Kind::kLeave: return "leave";
     case FaultEvent::Kind::kSetK: return "k";
+    case FaultEvent::Kind::kLag: return "lag";
+    case FaultEvent::Kind::kStale: return "stale";
+    case FaultEvent::Kind::kMute: return "mute";
+    case FaultEvent::Kind::kHeal: return "heal";
   }
   return "?";
 }
@@ -109,6 +113,44 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
       if (key == "down") gen_down = *v;
       if (key == "count") gen_count = *v;
       if (key == "outage") gen_outage = *v, gen_outage_set = true;
+      continue;
+    }
+
+    if (key == "lag" || key == "stale" || key == "mute" || key == "heal") {
+      if (at == std::string_view::npos) {
+        bad(spec, "event '" + std::string(item) +
+                      "' is missing its @step schedule");
+      }
+      std::string_view step_text = rest.substr(at + 1);
+      FaultEvent ev;
+      if (key == "lag") {
+        const std::size_t colon = step_text.find(':');
+        if (colon == std::string_view::npos) {
+          bad(spec, "lag takes a hold delay: lag=ID@STEP:TICKS, got '" +
+                        std::string(item) + "'");
+        }
+        const auto ticks = to_u64(step_text.substr(colon + 1));
+        if (!ticks || *ticks == 0) {
+          bad(spec, "malformed lag ticks in '" + std::string(item) +
+                        "' (must be >= 1)");
+        }
+        ev.count = *ticks;
+        step_text = step_text.substr(0, colon);
+        ev.kind = FaultEvent::Kind::kLag;
+      } else {
+        ev.kind = key == "stale"  ? FaultEvent::Kind::kStale
+                  : key == "mute" ? FaultEvent::Kind::kMute
+                                  : FaultEvent::Kind::kHeal;
+      }
+      ev.step = parse_step(step_text, item);
+      const auto id = to_u64(rest.substr(0, at));
+      if (!id) bad(spec, "malformed node id in '" + std::string(item) + "'");
+      ev.node = static_cast<NodeId>(*id);
+      if (*id != ev.node) {
+        bad(spec, "node id in '" + std::string(item) +
+                      "' exceeds the 32-bit id space");
+      }
+      events_.push_back(ev);
       continue;
     }
 
@@ -235,6 +277,9 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
   // 0 = alive, 1 = down, 2 = left, 3 = not joined yet.
   std::vector<int> state(total_nodes_, 0);
   for (std::size_t id = n; id < total_nodes_; ++id) state[id] = 3;
+  // Degradation is orthogonal to liveness but only legal on a live node;
+  // a crash or leave implicitly clears it (the node restarts clean).
+  std::vector<char> degraded(total_nodes_, 0);
   std::size_t live = n;
   std::size_t cur_k = k;
   std::size_t next_base = n;
@@ -263,6 +308,7 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
       case FaultEvent::Kind::kCrash:
         require_state(ev, 0);
         state[ev.node] = 1;
+        degraded[ev.node] = 0;
         --live;
         break;
       case FaultEvent::Kind::kRecover:
@@ -278,6 +324,7 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
         }
         require_state(ev, 0);
         state[ev.node] = 2;
+        degraded[ev.node] = 0;
         --live;
         break;
       case FaultEvent::Kind::kJoin:
@@ -297,6 +344,27 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
         }
         cur_k = ev.count;
         break;
+      case FaultEvent::Kind::kLag:
+      case FaultEvent::Kind::kStale:
+      case FaultEvent::Kind::kMute:
+        require_state(ev, 0);
+        if (degraded[ev.node]) {
+          bad(spec, "cannot " + std::string(fault_kind_name(ev.kind)) +
+                        " node " + std::to_string(ev.node) + " at step " +
+                        std::to_string(ev.step) +
+                        ": node is already degraded (heal it first)");
+        }
+        degraded[ev.node] = 1;
+        break;
+      case FaultEvent::Kind::kHeal:
+        require_state(ev, 0);
+        if (!degraded[ev.node]) {
+          bad(spec, "cannot heal node " + std::to_string(ev.node) +
+                        " at step " + std::to_string(ev.step) +
+                        ": node is not degraded");
+        }
+        degraded[ev.node] = 0;
+        break;
     }
     if (live < cur_k) {
       bad(spec, "event '" + std::string(fault_kind_name(ev.kind)) +
@@ -304,8 +372,82 @@ FaultPlan::FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
                     " leaves fewer live nodes (" + std::to_string(live) +
                     ") than k (" + std::to_string(cur_k) + ")");
     }
-    has_churn_ = has_churn_ || ev.kind != FaultEvent::Kind::kSetK;
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kRecover:
+      case FaultEvent::Kind::kJoin:
+      case FaultEvent::Kind::kLeave:
+        has_churn_ = true;
+        break;
+      case FaultEvent::Kind::kLag:
+      case FaultEvent::Kind::kStale:
+      case FaultEvent::Kind::kMute:
+      case FaultEvent::Kind::kHeal:
+        has_degradation_ = true;
+        break;
+      case FaultEvent::Kind::kSetK:
+        break;
+    }
   }
+}
+
+FaultPlan FaultPlan::from_events(std::size_t total_nodes,
+                                 std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  std::size_t joins = 0;
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kRecover:
+      case FaultEvent::Kind::kLeave:
+        plan.has_churn_ = true;
+        break;
+      case FaultEvent::Kind::kJoin:
+        plan.has_churn_ = true;
+        joins += ev.count;
+        break;
+      case FaultEvent::Kind::kLag:
+      case FaultEvent::Kind::kStale:
+      case FaultEvent::Kind::kMute:
+      case FaultEvent::Kind::kHeal:
+        plan.has_degradation_ = true;
+        break;
+      case FaultEvent::Kind::kSetK:
+        break;
+    }
+  }
+  plan.n_ = total_nodes - joins;
+  plan.total_nodes_ = total_nodes;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+std::string FaultPlan::spec_name() const {
+  if (events_.empty()) return "none";
+  std::string out = "churn?";
+  bool first = true;
+  for (const FaultEvent& ev : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += fault_kind_name(ev.kind);
+    out += '=';
+    switch (ev.kind) {
+      case FaultEvent::Kind::kJoin:
+        out += '+' + std::to_string(ev.count);
+        break;
+      case FaultEvent::Kind::kSetK:
+        out += std::to_string(ev.count);
+        break;
+      default:
+        out += std::to_string(ev.node);
+        break;
+    }
+    out += '@' + std::to_string(ev.step);
+    if (ev.kind == FaultEvent::Kind::kLag) {
+      out += ':' + std::to_string(ev.count);
+    }
+  }
+  return out;
 }
 
 }  // namespace topkmon

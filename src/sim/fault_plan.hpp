@@ -18,11 +18,27 @@
 //   k       — dynamic reconfiguration: the coordinator renegotiates a new
 //             top-k size mid-run without a cold restart.
 //
+// Adversarial degradation modes (the node stays up at the transport but
+// stops behaving; the coordinator gets no failure-detector event and must
+// *infer* the degradation — see the suspicion machinery in
+// core/filter_roles.hpp):
+//
+//   lag     — lag=ID@STEP:TICKS: every charged message the node sends is
+//             held in the driver for TICKS delivery ticks before entering
+//             the network.
+//   stale   — stale=ID@STEP: the node keeps answering probes and reports
+//             with its value frozen at degradation time (observations
+//             continue; only the reported payloads freeze).
+//   mute    — mute=ID@STEP: the node's charged sends are discarded — it
+//             goes silent without a transport-level crash.
+//   heal    — heal=ID@STEP: ends the node's active degradation.
+//
 // Spec grammar (parsed like monitor/network specs: name '?' params):
 //
 //   none                                   empty plan
 //   churn?crash=17@500,recover=17@900,join=+64@1200,leave=12@1500,k=32@2000
 //   churn?every=200,down=3,count=5,outage=80[,k=32@600]
+//   churn?lag=3@100:40,stale=5@200,mute=7@300,heal=5@400
 //
 // The second form generates `count` crash bursts of `down` seeded-random
 // live victims at steps every, 2*every, ..., each recovering after
@@ -53,13 +69,24 @@ namespace topkmon {
 /// settle phase of observation step `step` (step >= 1; step 0 is
 /// initialization and cannot carry events).
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kCrash, kRecover, kJoin, kLeave, kSetK };
+  enum class Kind : std::uint8_t {
+    kCrash,
+    kRecover,
+    kJoin,
+    kLeave,
+    kSetK,
+    kLag,
+    kStale,
+    kMute,
+    kHeal,
+  };
   Kind kind = Kind::kCrash;
   TimeStep step = 0;
-  /// Target node (kCrash/kRecover/kLeave); first id of the joining block
-  /// (kJoin); unused for kSetK.
+  /// Target node (kCrash/kRecover/kLeave/kLag/kStale/kMute/kHeal); first
+  /// id of the joining block (kJoin); unused for kSetK.
   NodeId node = 0;
-  /// Number of joining nodes (kJoin); the new k (kSetK); 0 otherwise.
+  /// Number of joining nodes (kJoin); the new k (kSetK); the hold delay
+  /// in delivery ticks (kLag); 0 otherwise.
   std::size_t count = 0;
 };
 
@@ -80,12 +107,33 @@ class FaultPlan {
   FaultPlan(std::string_view spec, std::size_t n, std::size_t k,
             std::uint64_t seed);
 
+  /// Trusted factory: wraps pre-validated `events` (already sorted by
+  /// step, ids legal against a cluster of `total_nodes` nodes) without
+  /// re-parsing or re-validating. The sharded runtime uses it to carve a
+  /// validated deployment-level plan into per-shard plans with
+  /// shard-local ids; join events keep their explicit node base.
+  /// `total_nodes` is the provisioned cluster size (initial nodes plus
+  /// every joining block).
+  static FaultPlan from_events(std::size_t total_nodes,
+                               std::vector<FaultEvent> events);
+
   /// No events scheduled (also true for spec "none" / "").
   bool empty() const noexcept { return events_.empty(); }
 
-  /// True iff any event changes membership (everything except kSetK).
-  /// Sharded deployments accept k-only plans and reject churn.
+  /// True iff any event changes membership (crash/recover/join/leave).
+  /// Degradations and kSetK are not churn.
   bool has_churn() const noexcept { return has_churn_; }
+
+  /// True iff any event is an adversarial degradation (lag/stale/mute/
+  /// heal). Sharded deployments accept churn and k plans but reject
+  /// degradations (the held-send machinery is per-driver).
+  bool has_degradation() const noexcept { return has_degradation_; }
+
+  /// Canonical explicit-form spec that reparses to this exact plan:
+  /// "none" for the empty plan, else "churn?" followed by every event in
+  /// stored (step-sorted) order. Generated churn round-trips through its
+  /// expansion: parse(spec_name()) yields identical events for any seed.
+  std::string spec_name() const;
 
   /// Initial node count the plan was validated against.
   std::size_t initial_nodes() const noexcept { return n_; }
@@ -102,6 +150,7 @@ class FaultPlan {
   std::size_t n_ = 0;
   std::size_t total_nodes_ = 0;
   bool has_churn_ = false;
+  bool has_degradation_ = false;
   std::vector<FaultEvent> events_;
 };
 

@@ -185,16 +185,25 @@ TEST(ShardScenario, RejectsUnsupportedConfigurations) {
   sc.shards = 2;
   EXPECT_THROW(exp::run_scenario(sc), std::invalid_argument);
 
-  // Per-step comm series are per-shard at c > 1 — not representable.
-  exp::Scenario series = base_scenario("topk_filter", 16, 4, 1, 10);
-  series.shards = 2;
-  series.record_series = true;
-  EXPECT_THROW(exp::run_scenario(series), std::invalid_argument);
-
   // More shards than nodes.
   exp::Scenario wide = base_scenario("topk_filter", 4, 2, 1, 10);
   wide.shards = 8;
   EXPECT_THROW(exp::run_scenario(wide), std::invalid_argument);
+}
+
+TEST(ShardScenario, SeriesMergesAcrossShards) {
+  // record_series at c > 1: the per-shard series merge element-wise into
+  // one deployment-level per-step series whose sum equals the
+  // node<->shard tier total.
+  exp::Scenario sc = base_scenario("topk_filter", 64, 6, 2, 80);
+  sc.shards = 2;
+  sc.record_series = true;
+  const RunResult r = exp::run_scenario(sc);
+  ASSERT_TRUE(r.comm.series_enabled());
+  EXPECT_EQ(r.comm.series().size(), static_cast<std::size_t>(81));
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : r.comm.series()) sum += v;
+  EXPECT_EQ(sum, r.comm.total());
 }
 
 TEST(ShardGrid, ShardsAxisDoesNotEnterTrialSeed) {

@@ -1,12 +1,16 @@
 // Fault-injection subsystem tests (sim/fault_plan.hpp + the SimDriver /
 // scenario plumbing): spec grammar and timeline validation with
-// did-you-mean hints, schedule determinism (same seed => same victims,
-// byte-identical across worker counts), crash/recover/join/leave/k
-// end-to-end on every native monitor, churn composed with the e15 drop
-// ladder, the sharded k-only contract, and the RunResult error/recovery
-// accounting the churn suite reports.
+// did-you-mean hints, property/fuzz coverage of the grammar (random valid
+// timelines validate; spec_name round-trips; malformed specs hint),
+// schedule determinism (same seed => same victims, byte-identical across
+// worker counts), crash/recover/join/leave/k end-to-end on every native
+// monitor, churn composed with the e15 drop ladder, the sharded churn
+// contract (per-shard plan carving, whole-shard outage quota drain,
+// degradations rejected), and the RunResult error/recovery accounting the
+// churn suite reports.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -111,6 +115,204 @@ TEST(FaultPlanSpec, GeneratedChurnIsSeedDeterministic) {
     if (a.events()[i].node != c.events()[i].node) any_differs = true;
   }
   EXPECT_TRUE(any_differs);
+}
+
+// ---------------------------------------------------------------------------
+// Property / fuzz coverage of the grammar
+// ---------------------------------------------------------------------------
+
+namespace fuzz {
+
+struct Timeline {
+  std::string spec = "churn?";
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t events = 0;
+};
+
+/// Generates a random *valid* timeline: every emitted event is legal in
+/// the membership/degradation state the previous events left behind, so
+/// the plan must construct (any throw is a validator bug).
+Timeline random_timeline(std::mt19937_64& rng) {
+  Timeline tl;
+  tl.n = 4 + rng() % 29;                          // 4..32 initial nodes
+  tl.k = 1 + rng() % std::min<std::size_t>(tl.n, 8);
+  enum : char { kUp, kDown, kGone };
+  std::vector<char> state(tl.n, kUp);
+  std::vector<char> degraded(tl.n, 0);
+  std::size_t live = tl.n;
+  std::size_t cur_k = tl.k;  // the validator holds live >= k at all times
+  TimeStep step = 1;
+  const std::size_t want = 1 + rng() % 12;
+  bool first = true;
+  const auto emit = [&](const std::string& item) {
+    if (!first) tl.spec += ',';
+    first = false;
+    tl.spec += item;
+    ++tl.events;
+  };
+  const auto pick = [&](const auto& eligible) -> std::size_t {
+    std::vector<std::size_t> ids;
+    for (std::size_t id = 0; id < state.size(); ++id) {
+      if (eligible(id)) ids.push_back(id);
+    }
+    return ids.empty() ? state.size() : ids[rng() % ids.size()];
+  };
+  for (std::size_t e = 0; e < want; ++e) {
+    step += static_cast<TimeStep>(rng() % 40);
+    const std::string at = "@" + std::to_string(step);
+    switch (rng() % 8) {
+      case 0: {  // crash a live node (also clears its degradation)
+        if (live <= cur_k) break;
+        const std::size_t id = pick([&](std::size_t i) {
+          return state[i] == kUp;
+        });
+        if (id == state.size()) break;
+        state[id] = kDown;
+        degraded[id] = 0;
+        --live;
+        emit("crash=" + std::to_string(id) + at);
+        break;
+      }
+      case 1: {  // recover a crashed node
+        const std::size_t id = pick([&](std::size_t i) {
+          return state[i] == kDown;
+        });
+        if (id == state.size()) break;
+        state[id] = kUp;
+        ++live;
+        emit("recover=" + std::to_string(id) + at);
+        break;
+      }
+      case 2: {  // permanent leave of a live node
+        if (live <= cur_k) break;
+        const std::size_t id = pick([&](std::size_t i) {
+          return state[i] == kUp;
+        });
+        if (id == state.size()) break;
+        state[id] = kGone;
+        degraded[id] = 0;
+        --live;
+        emit("leave=" + std::to_string(id) + at);
+        break;
+      }
+      case 3: {  // join a fresh block
+        const std::size_t count = 1 + rng() % 4;
+        state.insert(state.end(), count, kUp);
+        degraded.insert(degraded.end(), count, 0);
+        live += count;
+        emit("join=+" + std::to_string(count) + at);
+        break;
+      }
+      case 4: {  // dynamic k within the live count
+        cur_k = 1 + rng() % live;
+        emit("k=" + std::to_string(cur_k) + at);
+        break;
+      }
+      case 5: {  // degrade a clean live node
+        const std::size_t id = pick([&](std::size_t i) {
+          return state[i] == kUp && degraded[i] == 0;
+        });
+        if (id == state.size()) break;
+        degraded[id] = 1;
+        const std::size_t mode = rng() % 3;
+        if (mode == 0) {
+          emit("lag=" + std::to_string(id) + at + ":" +
+               std::to_string(1 + rng() % 50));
+        } else {
+          emit((mode == 1 ? "stale=" : "mute=") + std::to_string(id) + at);
+        }
+        break;
+      }
+      default: {  // heal an actively degraded node
+        const std::size_t id = pick([&](std::size_t i) {
+          return degraded[i] != 0;
+        });
+        if (id == state.size()) break;
+        degraded[id] = 0;
+        emit("heal=" + std::to_string(id) + at);
+        break;
+      }
+    }
+  }
+  if (tl.events == 0) {
+    // Always-legal fallback so the plan is never empty: re-assert k.
+    emit("k=" + std::to_string(cur_k) + "@" + std::to_string(step));
+  }
+  return tl;
+}
+
+}  // namespace fuzz
+
+TEST(FaultPlanSpec, FuzzRandomValidTimelinesValidate) {
+  std::mt19937_64 rng(0xF00DF00Dull);
+  for (int iter = 0; iter < 300; ++iter) {
+    const fuzz::Timeline tl = fuzz::random_timeline(rng);
+    SCOPED_TRACE(tl.spec);
+    const FaultPlan plan(tl.spec, tl.n, tl.k, /*seed=*/iter);
+    EXPECT_EQ(plan.events().size(), tl.events);
+    EXPECT_EQ(plan.initial_nodes(), tl.n);
+  }
+}
+
+TEST(FaultPlanSpec, FuzzSpecNameRoundTripsToIdenticalPlan) {
+  std::mt19937_64 rng(0xCAFEF00Dull);
+  for (int iter = 0; iter < 300; ++iter) {
+    const fuzz::Timeline tl = fuzz::random_timeline(rng);
+    SCOPED_TRACE(tl.spec);
+    const FaultPlan a(tl.spec, tl.n, tl.k, /*seed=*/iter);
+    const FaultPlan b(a.spec_name(), tl.n, tl.k, /*seed=*/iter);
+    EXPECT_EQ(a.spec_name(), b.spec_name());
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+      EXPECT_EQ(a.events()[i].step, b.events()[i].step);
+      EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+      EXPECT_EQ(a.events()[i].count, b.events()[i].count);
+    }
+    EXPECT_EQ(a.total_nodes(), b.total_nodes());
+    EXPECT_EQ(a.has_churn(), b.has_churn());
+    EXPECT_EQ(a.has_degradation(), b.has_degradation());
+  }
+}
+
+TEST(FaultPlanSpec, GeneratedChurnSpecNameRoundTrips) {
+  // The generated form expands to explicit events; spec_name must emit
+  // that expansion, and reparsing it must reproduce the events for any
+  // seed (the canonical form carries no seed dependence).
+  const FaultPlan a("churn?every=50,down=3,count=4,outage=20,k=12@170", 64, 8,
+                    9);
+  const FaultPlan b(a.spec_name(), 64, 8, /*seed=*/12345);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].step, b.events()[i].step);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+}
+
+TEST(FaultPlanSpec, FuzzMutatedKeysHintTheIntendedKey) {
+  // Drop one character from a known key: the error must carry the
+  // intended key as a did-you-mean hint.
+  const struct {
+    const char* spec;
+    const char* hint;
+  } cases[] = {
+      {"churn?crsh=1@10", "crash"},     {"churn?recver=1@10", "recover"},
+      {"churn?lav=1@10:5", "lag"},      {"churn?stal=1@10", "stale"},
+      {"churn?mut=1@10", "mute"},       {"churn?hea=1@10", "heal"},
+      {"churn?leae=1@10", "leave"},     {"churn?jin=+4@10", "join"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    try {
+      FaultPlan(c.spec, 8, 2, 1);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.hint), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -300,12 +502,12 @@ TEST(FaultInjection, NonNativeMonitorRejected) {
 }
 
 // ---------------------------------------------------------------------------
-// Sharded deployments: k-only plans
+// Sharded deployments: churn and k plans (degradations rejected)
 // ---------------------------------------------------------------------------
 
-TEST(FaultInjection, ShardedRejectsChurnAcceptsDynamicK) {
+TEST(FaultInjection, ShardedRejectsDegradationsAcceptsDynamicK) {
   Scenario sc = churn_scenario("topk_filter?nobeacon", "instant",
-                               "churn?crash=1@10", 64, 8);
+                               "churn?mute=1@10,heal=1@30", 64, 8);
   sc.shards = 4;
   EXPECT_THROW(run_scenario(sc), std::invalid_argument);
 
@@ -322,6 +524,72 @@ TEST(FaultInjection, ShardedRejectsChurnAcceptsDynamicK) {
       EXPECT_EQ(r.error_steps, 0u);
     }
   }
+}
+
+TEST(FaultInjection, ShardedMixedChurnReachesExactTail) {
+  // The full membership-churn grammar at c in {2, 4}: crashes, a
+  // recovery, a join block (which lands entirely in shards provisioned as
+  // join reserve), a leave and a dynamic k. The deployment carves the
+  // plan into per-shard schedules; the tail must be exact after the last
+  // event re-converges, with every recovery window bounded.
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE(shards);
+    for (const char* mon : {"topk_filter?nobeacon", "naive", "naive_chg"}) {
+      SCOPED_TRACE(mon);
+      Scenario sc = churn_scenario(mon, "instant", kMixedPlan);
+      sc.shards = shards;
+      const RunResult r = run_scenario(sc);
+      EXPECT_EQ(r.error_steps_since(270), 0u);
+      EXPECT_EQ(r.recovery_ticks.size(), 7u);
+      EXPECT_LE(r.max_recovery_ticks(), 50'000u);
+    }
+  }
+}
+
+TEST(FaultInjection, ShardedWholeShardOutageDrainsQuotaAndRecovers) {
+  // n = 64, c = 4: shard 0 owns ids [0, 16). Crashing all of it at step
+  // 40 leaves its quota unfillable; the under-fill report (U_s = -inf)
+  // makes the root drain the quota to the live shards. Exactness on the
+  // outage plateau proves the drain happened — a shard holding quota it
+  // cannot fill would leave the union short of k and fail strict
+  // validation every step. Recovery at 160 regrants via the resync ->
+  // violation -> crossing chain.
+  std::string plan = "churn?";
+  for (int id = 0; id < 16; ++id) {
+    plan += "crash=" + std::to_string(id) + "@40,";
+  }
+  for (int id = 0; id < 16; ++id) {
+    plan += "recover=" + std::to_string(id) + "@160,";
+  }
+  plan.pop_back();
+  for (const char* mon : {"topk_filter?nobeacon", "naive"}) {
+    SCOPED_TRACE(mon);
+    Scenario sc = churn_scenario(mon, "instant", plan, 64, 8);
+    sc.shards = 4;
+    const RunResult r = run_scenario(sc);
+    // Exact on the outage plateau (quota fully drained)...
+    EXPECT_EQ(r.error_steps_since(100), r.error_steps_since(160));
+    // ...and exact again after the recovery renegotiation settles.
+    EXPECT_EQ(r.error_steps_since(250), 0u);
+    EXPECT_LE(r.max_recovery_ticks(), 50'000u);
+  }
+}
+
+TEST(FaultInjection, ShardedChurnIsWorkerCountInvariant) {
+  // Churn events fire inside the per-shard drivers; whole-shard stepping
+  // on pool threads must not perturb a single message, error step or
+  // recovery window.
+  Scenario sc = churn_scenario("topk_filter?nobeacon", "instant", kMixedPlan);
+  sc.shards = 4;
+  sc.workers = 1;
+  const RunResult a = run_scenario(sc);
+  sc.workers = 8;
+  const RunResult b = run_scenario(sc);
+  EXPECT_EQ(a.comm.total(), b.comm.total());
+  EXPECT_EQ(a.root_comm.total(), b.root_comm.total());
+  EXPECT_EQ(a.error_step_list, b.error_step_list);
+  EXPECT_EQ(a.recovery_ticks, b.recovery_ticks);
+  EXPECT_EQ(a.monitor.resyncs, b.monitor.resyncs);
 }
 
 TEST(FaultInjection, ShardedSetKValidatesRange) {
