@@ -43,7 +43,14 @@ TOPKMON_SUITE(e14, "message-delay sweep: staleness vs cost (extension)") {
   SweepGrid grid;
   grid.ns = {kN};
   grid.ks = {kK};
-  grid.monitors = {"topk_filter", "naive"};
+  // The whole zoo, now that every monitor has a native role port: the
+  // delay axis finally applies to the slack/dominance/approx/multi-k/
+  // ordered variants, not just Algorithm 1 and the naive baseline.
+  // multi_k monitors ks = {4, 8} so its answer row validates against the
+  // grid's k = 4 ground truth; approx gets an ε two walk steps wide.
+  grid.monitors = {"topk_filter",       "naive",   "slack",
+                   "dominance",         "ordered", "approx?eps=40000",
+                   "multi_k?ks=4+8"};
   grid.families = {StreamFamily::kRandomWalk};
   grid.networks.clear();
   for (const auto& s : network_specs) {
@@ -56,6 +63,12 @@ TOPKMON_SUITE(e14, "message-delay sweep: staleness vs cost (extension)") {
   // actually wrong (a frozen workload would mask any delay).
   grid.stream_template.walk.max_step = 20'000;
   grid.throw_on_error = false;  // staleness is the measurement, not a bug
+
+  // In-suite differential guard: each native port must still be
+  // message-identical to its lock-step reference before its delay rows
+  // mean anything.
+  assert_ports_match_lockstep(ctx, grid.monitors, grid.stream_template, kN,
+                              kK, steps, args.seed);
 
   const auto specs = grid.expand();
   const auto results = ctx.runner().run(specs);

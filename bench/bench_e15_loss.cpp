@@ -35,7 +35,13 @@ TOPKMON_SUITE(e15, "message-loss sweep: robustness of filters (extension)") {
   SweepGrid grid;
   grid.ns = {kN};
   grid.ks = {kK};
-  grid.monitors = {"topk_filter", "naive"};
+  // The whole zoo (native role ports): loss now stresses each variant's
+  // own statefulness — slack's wide boundaries shrug off lost updates
+  // longer, ordered's rank slots desynchronize fastest. Same parameter
+  // conventions as e14 (ks anchored at the grid k; ε two walk steps).
+  grid.monitors = {"topk_filter",       "naive",   "slack",
+                   "dominance",         "ordered", "approx?eps=40000",
+                   "multi_k?ks=4+8"};
   grid.families = {StreamFamily::kRandomWalk};
   grid.networks.clear();
   for (const auto& s : network_specs) {
@@ -46,6 +52,12 @@ TOPKMON_SUITE(e15, "message-loss sweep: robustness of filters (extension)") {
   grid.base_seed = args.seed;
   grid.stream_template.walk.max_step = 20'000;
   grid.throw_on_error = false;  // divergence is the measurement here
+
+  // In-suite differential guard: each native port must still be
+  // message-identical to its lock-step reference before its loss rows
+  // mean anything.
+  assert_ports_match_lockstep(ctx, grid.monitors, grid.stream_template, kN,
+                              kK, steps, args.seed);
 
   const auto specs = grid.expand();
   const auto results = ctx.runner().run(specs);

@@ -87,7 +87,7 @@ void FilterNode::on_message(NodeCtx& ctx, const Message& m) {
       // new boundary may exclude the current value — the next step's
       // observe must then run (and signal) even if the value is static.
       selecting_ = false;
-      filter_ = member_ ? Filter{m.a, kPlusInf} : Filter{kMinusInf, m.a};
+      filter_ = boundary_filter(m.a, member_);
       ctx.set_needs_observe(!filter_.contains(ctx.value()));
       break;
     }
@@ -110,7 +110,7 @@ void FilterNode::on_message(NodeCtx& ctx, const Message& m) {
       // kStartSession control the coordinator convenes for it (delivered
       // the same tick, after this message) finds the node ready to join.
       member_ = m.a != 0;
-      filter_ = member_ ? Filter{m.b, kPlusInf} : Filter{kMinusInf, m.b};
+      filter_ = boundary_filter(m.b, member_);
       selecting_ = false;
       in_session_ = false;
       active_ = false;
@@ -236,6 +236,9 @@ FilterCoordinator::FilterCoordinator(std::size_t k, Options opts)
   // boundary from below.
   if (k == 0 && opts_.pinned_boundary == nullptr) {
     throw std::invalid_argument("FilterCoordinator: k must be >= 1");
+  }
+  if (opts_.epsilon < 0) {
+    throw std::invalid_argument("FilterCoordinator: epsilon must be >= 0");
   }
 }
 
@@ -579,7 +582,10 @@ void FilterCoordinator::decide(CoordCtx& ctx) {
   // Lines 27-28: accumulate T+ and T- since the last reset.
   tplus_ = std::min(tplus_, *min_v_);
   tminus_ = std::max(tminus_, *max_v_);
-  if (tplus_ < tminus_) {
+  // Approx mode tolerates an inversion of up to 2·⌊ε/2⌋ before resetting
+  // (core/approx_monitor.cpp explains the even rounding); ε = 0 exact.
+  const Value slack = 2 * (opts_.epsilon / 2);
+  if (tplus_ < tminus_ - slack) {
     // Line 30: the top-k set may have changed; recompute from scratch.
     begin_reset(ctx);
   } else {
@@ -668,6 +674,7 @@ void FilterCoordinator::apply_boundary(CoordCtx& ctx, Value m) {
   Message update;
   update.kind = MsgKind::kFilterUpdate;
   update.a = m;
+  update.b = opts_.epsilon;
   ctx.broadcast(update);
 }
 
@@ -820,9 +827,9 @@ void FilterCoordinator::handle_resync_reply(CoordCtx& ctx, NodeId from,
   assign.a = 0;  // non-member: the crash removed it from the answer
   assign.b = mid_;
   ctx.unicast(from, assign);
-  if (v > mid_) {
-    // The returning value belongs above the boundary: handle it exactly
-    // like a signalled bottom-side filter violation.
+  if (v > mid_ + opts_.epsilon / 2) {
+    // The returning value belongs above the (ε/2-widened) boundary:
+    // handle it exactly like a signalled bottom-side filter violation.
     ++mstats_.violations;
     pending_bot_ = true;
     start_cycle(ctx);
@@ -955,7 +962,7 @@ void FilterCoordinator::handle_release_reply(CoordCtx& ctx, NodeId from,
   assign.a = 0;
   assign.b = mid_;
   ctx.unicast(from, assign);
-  if (v > mid_) {
+  if (v > mid_ + opts_.epsilon / 2) {
     ++mstats_.violations;
     pending_bot_ = true;
     start_cycle(ctx);
@@ -979,8 +986,9 @@ void FilterCoordinator::check_stale_report(CoordCtx& ctx, NodeId from,
   if (sig_side_[from] == 0 || sig_step_[from] != cur_step_) {
     return;
   }
-  const bool contradicts =
-      (sig_side_[from] == 1 && v >= mid_) || (sig_side_[from] == 2 && v <= mid_);
+  const Value half = opts_.epsilon / 2;
+  const bool contradicts = (sig_side_[from] == 1 && v >= mid_ - half) ||
+                           (sig_side_[from] == 2 && v <= mid_ + half);
   if (!contradicts) {
     stale_strikes_[from] = 0;
     return;

@@ -59,10 +59,15 @@ enum class FilterSessionGroup : std::int64_t {
   kSelectRest = 4, ///< selection participants not yet announced as winners
 };
 
-/// Node-side half of Algorithm 1.
+/// Node-side half of Algorithm 1. With a non-zero epsilon the node runs
+/// the ε-approximate variant (core/approx_monitor.hpp): every boundary it
+/// installs is widened by ε/2 on its own side, so values within ε/2 of
+/// the boundary never violate. ε is a deployment constant — every node
+/// and the coordinator are configured with the same value.
 class FilterNode final : public NodeAlgo {
  public:
-  explicit FilterNode(std::size_t k) : k_(k) {}
+  explicit FilterNode(std::size_t k, Value epsilon = 0)
+      : k_(k), half_(epsilon / 2) {}
 
   void on_init(NodeCtx& ctx, Value v0) override;
   void on_observe(NodeCtx& ctx, Value v, TimeStep t) override;
@@ -76,7 +81,14 @@ class FilterNode final : public NodeAlgo {
   bool member() const noexcept { return member_; }
 
  private:
+  /// Filter for boundary m under the node's membership belief: members
+  /// watch [m - ε/2, +inf], outsiders (-inf, m + ε/2] (ε = 0 exact).
+  Filter boundary_filter(Value m, bool member) const noexcept {
+    return member ? Filter{m - half_, kPlusInf} : Filter{kMinusInf, m + half_};
+  }
+
   std::size_t k_;
+  Value half_;  ///< ε/2 (0 in the exact deployment)
 
   // Persistent node state (what a deployed node stores).
   Filter filter_{};       ///< [-inf, +inf] until the first boundary arrives
@@ -166,12 +178,24 @@ class FilterCoordinator final : public CoordinatorAlgo {
     /// back to the handshake whenever the answer is not established or
     /// a cycle is running. Off by default (changes e19 traces).
     bool replay = false;
+    /// ε-approximate mode (core/approx_monitor.hpp): the answer only has
+    /// to be correct for value vectors perturbed by at most ε/2 per node.
+    /// The coordinator tolerates a T+/T- inversion up to 2·⌊ε/2⌋ before
+    /// resetting, stamps ε into every kFilterUpdate (payload b), and
+    /// classifies re-sync replies against the ε/2-widened outsider
+    /// filter. The paired FilterNode must be constructed with the same ε.
+    /// With approx set, name() reports "approx_topk"; ε = 0 is the exact
+    /// special case and produces byte-identical traces to topk_filter.
+    bool approx = false;
+    Value epsilon = 0;
   };
 
   explicit FilterCoordinator(std::size_t k) : FilterCoordinator(k, {}) {}
   FilterCoordinator(std::size_t k, Options opts);
 
-  std::string_view name() const override { return "topk_filter"; }
+  std::string_view name() const override {
+    return opts_.approx ? "approx_topk" : "topk_filter";
+  }
   void on_init(CoordCtx& ctx) override;
   void on_step_begin(CoordCtx& ctx, TimeStep t) override;
   void on_message(CoordCtx& ctx, const Message& m) override;

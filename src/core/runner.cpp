@@ -13,9 +13,10 @@ namespace topkmon {
 
 void check_answer_step(GroundTruthTracker& truth,
                        const std::vector<NodeId>& answer,
-                       const OrderedTopkMonitor* ordered, const RunConfig& cfg,
-                       std::string_view monitor_name, std::string_view detail,
-                       TimeStep t, RunResult* result, bool throw_on_error) {
+                       const std::vector<NodeId>* claimed_order,
+                       const RunConfig& cfg, std::string_view monitor_name,
+                       std::string_view detail, TimeStep t, RunResult* result,
+                       bool throw_on_error) {
   if (cfg.validation == RunConfig::Validation::kOff) return;
 
   bool ok = true;
@@ -25,8 +26,8 @@ void check_answer_step(GroundTruthTracker& truth,
     ok = truth.is_valid(answer);
   }
 
-  if (ok && cfg.validate_order && ordered != nullptr) {
-    ok = (ordered->ordered_topk() == truth.ordered_topk());
+  if (ok && cfg.validate_order && claimed_order != nullptr) {
+    ok = (*claimed_order == truth.ordered_topk());
   }
 
   if (!ok) {
@@ -52,8 +53,10 @@ void check_step(const MonitorBase& monitor, GroundTruthTracker& truth,
       cfg.validate_order
           ? dynamic_cast<const OrderedTopkMonitor*>(&monitor)
           : nullptr;
-  check_answer_step(truth, monitor.topk(), ordered, cfg, monitor.name(),
-                    /*detail=*/"", t, result, throw_on_error);
+  check_answer_step(truth, monitor.topk(),
+                    ordered != nullptr ? &ordered->ordered_topk() : nullptr,
+                    cfg, monitor.name(), /*detail=*/"", t, result,
+                    throw_on_error);
 }
 
 }  // namespace

@@ -137,22 +137,24 @@ struct RunResult {
 RunResult run_monitor(MonitorBase& monitor, StreamSet& streams,
                       const RunConfig& cfg, bool throw_on_error = true);
 
-class OrderedTopkMonitor;
 class GroundTruthTracker;
 
 /// Shared per-step validation core of run_monitor and exp::run_scenario:
 /// checks `answer` against the incrementally maintained ground truth
 /// under cfg.validation (plus the rank order when cfg.validate_order and
-/// `ordered` is non-null), records any divergence on `result`
+/// `claimed_order` is non-null — the monitor's ranked answer, best
+/// first, from either the lock-step OrderedTopkMonitor or the native
+/// OrderedCoordinator), records any divergence on `result`
 /// (correct / error_steps / first_error_step), and throws
 /// std::logic_error when `throw_on_error`. `detail` is appended to the
 /// error message (e.g. " (network delay=2)"). The caller owns `truth`
 /// and must have fed it every value update (see GroundTruthTracker).
 void check_answer_step(GroundTruthTracker& truth,
                        const std::vector<NodeId>& answer,
-                       const OrderedTopkMonitor* ordered, const RunConfig& cfg,
-                       std::string_view monitor_name, std::string_view detail,
-                       TimeStep t, RunResult* result, bool throw_on_error);
+                       const std::vector<NodeId>* claimed_order,
+                       const RunConfig& cfg, std::string_view monitor_name,
+                       std::string_view detail, TimeStep t, RunResult* result,
+                       bool throw_on_error);
 
 /// Computes the empirical competitive ratio of a finished run against the
 /// offline optimum on the recorded trace: total messages / max(1, OPT

@@ -9,10 +9,14 @@
 #include "core/dominance_monitor.hpp"
 #include "core/filter_roles.hpp"
 #include "core/lockstep_adapter.hpp"
+#include "core/dominance_roles.hpp"
 #include "core/multik_monitor.hpp"
+#include "core/multik_roles.hpp"
 #include "core/naive_monitor.hpp"
 #include "core/naive_roles.hpp"
+#include "core/ordered_roles.hpp"
 #include "core/ordered_topk_monitor.hpp"
+#include "core/slack_roles.hpp"
 #include "core/recompute_monitor.hpp"
 #include "core/slack_monitor.hpp"
 #include "core/topk_monitor.hpp"
@@ -216,6 +220,89 @@ RolePair make_role_pair(Cluster& cluster, std::string_view spec,
     return pair;
   }
 
+  if (parsed.name == "approx") {
+    // The ε-approximate monitor is the filter monitor with half-widened
+    // boundaries (FilterCoordinator::Options::approx), so it composes
+    // with the same native-only knobs as topk_filter.
+    FilterCoordinator::Options o;
+    o.approx = true;
+    for (const auto& p : parsed.params) {
+      if (p.key == "eps") o.epsilon = parse_int(parsed, p);
+      else if (p.key == "nobeacon") o.suppress_idle_broadcasts = parse_flag(p);
+      else if (p.key == "backoff") o.reset_backoff = parse_flag(p);
+      else if (p.key == "suspect") o.suspect = parse_flag(p);
+      else if (p.key == "replay") o.replay = parse_flag(p);
+      else bad_param(parsed, p);
+    }
+    pair.coordinator = std::make_unique<FilterCoordinator>(k, o);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<FilterNode>(k, o.epsilon));
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  if (parsed.name == "slack") {
+    SlackCoordinator::Options o;
+    for (const auto& p : parsed.params) {
+      if (p.key == "alpha") o.alpha = parse_double(parsed, p);
+      else if (p.key == "adaptive") o.adaptive = parse_flag(p);
+      // TEST-ONLY: off-by-`nudge` boundary mutation for the differential
+      // harness's self-test (tests/core/test_port_mutant.cpp). Never a
+      // documented monitor parameter.
+      else if (p.key == "nudge") o.debug_boundary_nudge = parse_int(parsed, p);
+      else bad_param(parsed, p);
+    }
+    pair.coordinator = std::make_unique<SlackCoordinator>(k, o);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<SlackNode>());
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  if (parsed.name == "dominance") {
+    expect_no_params(parsed);
+    pair.coordinator = std::make_unique<DominanceCoordinator>(k);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<DominanceNode>());
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  if (parsed.name == "ordered") {
+    OrderedCoordinator::Options o;
+    o.suppress_idle_broadcasts = parse_nobeacon_only(parsed);
+    pair.coordinator = std::make_unique<OrderedCoordinator>(k, o);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<OrderedNode>(k));
+    }
+    pair.native = true;
+    return pair;
+  }
+
+  if (parsed.name == "multi_k") {
+    std::vector<std::size_t> ks{k};
+    MultiKCoordinator::Options o;
+    for (const auto& p : parsed.params) {
+      if (p.key == "ks") ks = parse_ks(parsed, p);
+      else if (p.key == "nobeacon") o.suppress_idle_broadcasts = parse_flag(p);
+      else bad_param(parsed, p);
+    }
+    pair.coordinator = std::make_unique<MultiKCoordinator>(ks, o);
+    pair.nodes.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      pair.nodes.push_back(std::make_unique<MultiKNode>(ks));
+    }
+    pair.native = true;
+    return pair;
+  }
+
   // Everything else bridges the lock-step implementation (instant only).
   auto adapter =
       std::make_unique<LockstepAdapter>(build_monitor(parsed, k), cluster);
@@ -274,8 +361,12 @@ const std::vector<std::string>& all_monitor_names() {
 }
 
 const std::vector<std::string>& native_monitor_names() {
-  static const std::vector<std::string> names{"topk_filter", "naive",
-                                              "naive_chg"};
+  // Every monitor except the recompute baseline has a native role port;
+  // recompute stays a lock-step bridge (its per-step global re-sort has
+  // no event-driven decomposition worth maintaining).
+  static const std::vector<std::string> names{
+      "topk_filter", "ordered", "slack",  "dominance",
+      "naive",       "naive_chg", "approx", "multi_k"};
   return names;
 }
 

@@ -15,8 +15,8 @@
 // Two factories exist: make_monitor yields the legacy lock-step
 // MonitorBase; make_role_pair yields the role-separated deployment
 // (CoordinatorAlgo + n NodeAlgos) used by run_scenario — native for
-// Algorithm 1 and the naive baseline, LockstepAdapter-bridged for the
-// rest (pair.native tells which).
+// every monitor except recompute, which stays LockstepAdapter-bridged
+// as the adapter-path reference (pair.native tells which).
 #pragma once
 
 #include <memory>

@@ -9,6 +9,7 @@
 #include "core/driver.hpp"
 #include "core/ground_truth_tracker.hpp"
 #include "core/lockstep_adapter.hpp"
+#include "core/ordered_roles.hpp"
 #include "core/ordered_topk_monitor.hpp"
 #include "core/root_merge.hpp"
 #include "exp/monitor_registry.hpp"
@@ -18,6 +19,21 @@
 
 namespace topkmon::exp {
 
+namespace {
+
+/// The registry's native-capable specs, joined for rejection messages —
+/// derived from native_monitor_names() so new role ports never leave a
+/// stale hand-written list behind.
+std::string native_monitor_list() {
+  std::string out;
+  for (const auto& name : native_monitor_names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
 
 RunResult run_scenario(const Scenario& sc) {
   // Deployment-level dispatch: an explicit `?shards=c` monitor parameter
@@ -60,13 +76,13 @@ RunResult run_scenario(const Scenario& sc) {
     throw std::invalid_argument(
         "run_scenario: monitor '" + sc.monitor +
         "' has no native role implementation and cannot run on network '" +
-        sc.network.name() + "' (native: topk_filter, naive, naive_chg)");
+        sc.network.name() + "' (native: " + native_monitor_list() + ")");
   }
   if (!pair.native && faulty) {
     throw std::invalid_argument(
         "run_scenario: monitor '" + sc.monitor +
         "' has no native role implementation and cannot run under fault "
-        "plan '" + sc.faults + "' (native: topk_filter, naive, naive_chg)");
+        "plan '" + sc.faults + "' (native: " + native_monitor_list() + ")");
   }
   const std::size_t workers =
       sc.workers != 0
@@ -76,7 +92,7 @@ RunResult run_scenario(const Scenario& sc) {
     throw std::invalid_argument(
         "run_scenario: monitor '" + sc.monitor +
         "' has no native role implementation and cannot run with workers > 1 "
-        "(native: topk_filter, naive, naive_chg)");
+        "(native: " + native_monitor_list() + ")");
   }
   if (sc.record_series) cluster.stats().enable_series();
 
@@ -92,13 +108,21 @@ RunResult run_scenario(const Scenario& sc) {
   // event re-emplaces it (and re-feeds the value mirror).
   std::optional<GroundTruthTracker> truth(std::in_place, N, sc.k);
   const bool track = cfg.validation != RunConfig::Validation::kOff;
-  const auto* ordered =
+  const auto* ordered_lockstep =
       sc.validate_order
           ? dynamic_cast<const OrderedTopkMonitor*>(pair.lockstep)
           : nullptr;
+  const auto* ordered_native =
+      sc.validate_order
+          ? dynamic_cast<const OrderedCoordinator*>(pair.coordinator.get())
+          : nullptr;
   const std::string detail = " (network " + sc.network.name() + ")";
   const auto check = [&](TimeStep t) {
-    check_answer_step(*truth, pair.coordinator->topk(), ordered, cfg,
+    const std::vector<NodeId>* claimed_order =
+        ordered_lockstep != nullptr   ? &ordered_lockstep->ordered_topk()
+        : ordered_native != nullptr ? &ordered_native->ordered_topk()
+                                    : nullptr;
+    check_answer_step(*truth, pair.coordinator->topk(), claimed_order, cfg,
                       pair.coordinator->name(), detail, t, &result,
                       sc.throw_on_error);
   };

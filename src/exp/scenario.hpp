@@ -68,9 +68,9 @@ struct Scenario {
   /// one per hardware thread. Output is byte-identical for every value
   /// (the parallel-tick determinism contract; enforced by tests and the
   /// CI workers-determinism smoke). Values > 1 require a native monitor
-  /// ("topk_filter", "naive", "naive_chg") — run_scenario rejects
-  /// adapter-backed monitors with a clear error, like it does for
-  /// non-instant networks.
+  /// (every registry spec except "recompute"; see
+  /// exp::native_monitor_names()) — run_scenario rejects adapter-backed
+  /// monitors with a clear error, like it does for non-instant networks.
   std::size_t workers = 1;
 
   /// Shard count of the two-tier hierarchical deployment
@@ -80,7 +80,9 @@ struct Scenario {
   /// RunResult::comm then counts the node<->shard tier and
   /// RunResult::root_comm the shard<->root tier. A `?shards=c` monitor
   /// parameter (e.g. "topk_filter?shards=4") overrides this field. Only
-  /// native monitors ("topk_filter", "naive", "naive_chg") support c > 1.
+  /// the monitors with a sharded deployment ("topk_filter", "naive",
+  /// "naive_chg" — a narrower set than the native role ports) support
+  /// c > 1.
   /// record_series works at any c: the per-shard series are merged
   /// element-wise into one deployment-level per-step series (every shard
   /// begins the same steps, so the series align by index).

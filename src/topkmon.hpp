@@ -38,6 +38,10 @@
 #include "core/driver.hpp"               // IWYU pragma: export
 #include "core/filter_roles.hpp"         // IWYU pragma: export
 #include "core/naive_roles.hpp"          // IWYU pragma: export
+#include "core/slack_roles.hpp"          // IWYU pragma: export
+#include "core/dominance_roles.hpp"      // IWYU pragma: export
+#include "core/ordered_roles.hpp"        // IWYU pragma: export
+#include "core/multik_roles.hpp"         // IWYU pragma: export
 #include "core/lockstep_adapter.hpp"     // IWYU pragma: export
 #include "core/topk_monitor.hpp"         // IWYU pragma: export
 #include "core/approx_monitor.hpp"       // IWYU pragma: export

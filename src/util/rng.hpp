@@ -53,6 +53,20 @@ class Rng {
   /// Children with different ids are statistically independent.
   Rng derive(std::uint64_t stream_id) const noexcept;
 
+  /// Full-state equality: two generators compare equal iff their future
+  /// output sequences are identical. The differential equivalence harness
+  /// uses this to prove a native role port consumed exactly the same coin
+  /// flips as its lock-step twin.
+  friend bool operator==(const Rng& a, const Rng& b) noexcept {
+    return a.s_ == b.s_ &&
+           a.has_cached_gaussian_ == b.has_cached_gaussian_ &&
+           (!a.has_cached_gaussian_ ||
+            a.cached_gaussian_ == b.cached_gaussian_);
+  }
+  friend bool operator!=(const Rng& a, const Rng& b) noexcept {
+    return !(a == b);
+  }
+
   /// Fisher-Yates shuffle of a random-access range.
   template <typename RandomIt>
   void shuffle(RandomIt first, RandomIt last) noexcept {

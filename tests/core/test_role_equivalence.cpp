@@ -1,100 +1,52 @@
 // The load-bearing guarantee of the role-separated redesign: under the
-// instant NetworkSpec, the native event-driven implementations
-// (FilterCoordinator/FilterNode for the paper's Algorithm 1, the naive
-// roles for the §2.1 baseline) are *byte-identical* to their lock-step
-// MonitorBase counterparts — same messages of every kind in every step,
-// same protocol coin flips, same answers, same algorithm-event counters.
-// This is what lets every pre-redesign experiment suite reproduce its
-// numbers exactly through the Scenario path.
+// instant NetworkSpec, the native event-driven implementations are
+// *byte-identical* to their lock-step MonitorBase counterparts — same
+// messages of every kind in every step, same protocol coin flips, same
+// answers, same algorithm-event counters. This is what lets every
+// pre-redesign experiment suite reproduce its numbers exactly through
+// the Scenario path. The comparison machinery lives in the shared
+// differential harness (role_port_harness.hpp), which also proves the
+// five later ports (test_role_ports.cpp) — one standard for the zoo.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
-#include "core/runner.hpp"
-#include "exp/monitor_registry.hpp"
-#include "exp/scenario.hpp"
-#include "streams/factory.hpp"
+#include "role_port_harness.hpp"
 
 namespace topkmon {
 namespace {
 
-struct Shape {
-  std::size_t n;
-  std::size_t k;
-};
+using harness::Shape;
+using harness::expect_identical;
+using harness::run_lockstep;
+using harness::run_native;
 
-RunResult run_lockstep(const std::string& spec, StreamFamily family, Shape s,
-                       std::uint64_t seed, std::size_t steps) {
-  auto monitor = exp::make_monitor(spec, s.k);
-  StreamSpec stream;
-  stream.family = family;
-  auto streams = make_stream_set(stream, s.n, seed);
-  RunConfig cfg;
-  cfg.n = s.n;
-  cfg.k = s.k;
-  cfg.steps = steps;
-  cfg.seed = seed;
-  cfg.record_series = true;
-  return run_monitor(*monitor, streams, cfg);
-}
-
-RunResult run_native(const std::string& spec, StreamFamily family, Shape s,
-                     std::uint64_t seed, std::size_t steps) {
-  exp::Scenario sc;
-  sc.monitor = spec;
-  sc.stream.family = family;
-  sc.n = s.n;
-  sc.k = s.k;
-  sc.steps = steps;
-  sc.seed = seed;
-  sc.record_series = true;
-  return exp::run_scenario(sc);
-}
-
-void expect_identical(const RunResult& a, const RunResult& b,
-                      const std::string& label) {
-  SCOPED_TRACE(label);
-  EXPECT_EQ(a.monitor_name, b.monitor_name);
-  EXPECT_TRUE(a.correct);
-  EXPECT_TRUE(b.correct);
-
-  // Communication: every direction, every kind, every step.
-  EXPECT_EQ(a.comm.upstream(), b.comm.upstream());
-  EXPECT_EQ(a.comm.unicast(), b.comm.unicast());
-  EXPECT_EQ(a.comm.broadcast(), b.comm.broadcast());
-  for (std::size_t kind = 0; kind < kNumMsgKinds; ++kind) {
-    EXPECT_EQ(a.comm.by_kind(static_cast<MsgKind>(kind)),
-              b.comm.by_kind(static_cast<MsgKind>(kind)))
-        << "kind " << msg_kind_name(static_cast<MsgKind>(kind));
-  }
-  EXPECT_EQ(a.comm.series(), b.comm.series());
-
-  // Algorithm event counters.
-  EXPECT_EQ(a.monitor.violation_steps, b.monitor.violation_steps);
-  EXPECT_EQ(a.monitor.violations, b.monitor.violations);
-  EXPECT_EQ(a.monitor.handler_calls, b.monitor.handler_calls);
-  EXPECT_EQ(a.monitor.midpoint_updates, b.monitor.midpoint_updates);
-  EXPECT_EQ(a.monitor.filter_resets, b.monitor.filter_resets);
-  EXPECT_EQ(a.monitor.protocol_runs, b.monitor.protocol_runs);
+void expect_identical_and_correct(const RunResult& lockstep,
+                                  const RunResult& native,
+                                  const std::string& label) {
+  // The monitors below are exact on the instant network: beyond twin
+  // identity, both runs must match the ground truth at every step.
+  EXPECT_TRUE(lockstep.correct) << label;
+  EXPECT_TRUE(native.correct) << label;
+  expect_identical(lockstep, native, label);
 }
 
 TEST(RoleEquivalence, FilterMonitorMatchesLockstepAcrossShapes) {
   const std::vector<Shape> shapes{{8, 2}, {16, 4}, {16, 1}, {16, 15}, {5, 5}};
-  const std::vector<StreamFamily> families{
-      StreamFamily::kRandomWalk, StreamFamily::kIidUniform,
-      StreamFamily::kRotatingMax, StreamFamily::kBursty};
+  const std::vector<std::string> families{"random_walk", "iid_uniform",
+                                          "rotating_max", "bursty"};
   for (const Shape s : shapes) {
-    for (const StreamFamily family : families) {
+    for (const std::string& family : families) {
       for (const std::uint64_t seed : {1ull, 7ull}) {
         const auto lockstep =
             run_lockstep("topk_filter", family, s, seed, 300);
         const auto native = run_native("topk_filter", family, s, seed, 300);
-        expect_identical(lockstep, native,
-                         "topk_filter n=" + std::to_string(s.n) +
-                             " k=" + std::to_string(s.k) + " fam=" +
-                             std::string(family_name(family)) + " seed=" +
-                             std::to_string(seed));
+        expect_identical_and_correct(
+            lockstep, native,
+            "topk_filter n=" + std::to_string(s.n) + " k=" +
+                std::to_string(s.k) + " fam=" + family + " seed=" +
+                std::to_string(seed));
       }
     }
   }
@@ -102,37 +54,37 @@ TEST(RoleEquivalence, FilterMonitorMatchesLockstepAcrossShapes) {
 
 TEST(RoleEquivalence, FilterMonitorMatchesLockstepWithBeaconSuppression) {
   const Shape s{24, 4};
-  for (const StreamFamily family :
-       {StreamFamily::kRandomWalk, StreamFamily::kIidUniform}) {
+  for (const std::string family : {"random_walk", "iid_uniform"}) {
     const auto lockstep =
         run_lockstep("topk_filter?nobeacon", family, s, 11, 400);
     const auto native = run_native("topk_filter?nobeacon", family, s, 11, 400);
-    expect_identical(lockstep, native,
-                     "nobeacon fam=" + std::string(family_name(family)));
+    expect_identical_and_correct(lockstep, native, "nobeacon fam=" + family);
   }
 }
 
 TEST(RoleEquivalence, NaiveVariantsMatchLockstep) {
   const Shape s{12, 3};
   for (const std::string spec : {"naive", "naive_chg"}) {
-    for (const StreamFamily family :
-         {StreamFamily::kRandomWalk, StreamFamily::kSinusoidal}) {
+    for (const std::string family : {"random_walk", "sinusoidal"}) {
       const auto lockstep = run_lockstep(spec, family, s, 3, 250);
       const auto native = run_native(spec, family, s, 3, 250);
-      expect_identical(lockstep, native,
-                       spec + " fam=" + std::string(family_name(family)));
+      expect_identical_and_correct(lockstep, native,
+                                   spec + " fam=" + family);
     }
   }
 }
 
-TEST(RoleEquivalence, AdapterBackedMonitorsMatchLockstep) {
+TEST(RoleEquivalence, FormerAdapterMonitorsNowRunNativeAndMatch) {
+  // Before the five-port PR these bridged through LockstepAdapter; the
+  // same twin comparison now exercises their native role pairs (the
+  // deep per-port grids live in test_role_ports.cpp). `recompute` stays
+  // the adapter-backed reference, pinning that the bridge still works.
   const Shape s{16, 4};
   for (const std::string spec :
        {"recompute", "slack", "dominance", "ordered", "approx?eps=64"}) {
-    const auto lockstep =
-        run_lockstep(spec, StreamFamily::kRandomWalk, s, 5, 200);
-    const auto native = run_native(spec, StreamFamily::kRandomWalk, s, 5, 200);
-    expect_identical(lockstep, native, spec);
+    const auto lockstep = run_lockstep(spec, "random_walk", s, 5, 200);
+    const auto native = run_native(spec, "random_walk", s, 5, 200);
+    expect_identical_and_correct(lockstep, native, spec);
   }
 }
 
